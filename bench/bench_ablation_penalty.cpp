@@ -1,0 +1,76 @@
+// Ablation D: the embedded penalty value.
+//
+// Section 3.2 / Theorem 2: any penalty works as long as the found minimizer
+// is violation-free; the paper picks 50 to avoid the numerical downsides of
+// the provable Theorem 1 bound U > 2 * sum|q| (which for these circuits is
+// ~10^6).  The sweep shows (a) tiny penalties fail to reject violations,
+// (b) a broad middle range behaves like the paper's 50, and (c) the huge
+// provable U still works but no better.  Also ablates the eta-includes-
+// omega variant of equation (3).
+#include <cstdio>
+
+#include "bench_support/circuits.hpp"
+#include "core/burkard.hpp"
+#include "core/embedding.hpp"
+#include "core/initial.hpp"
+#include "core/qhat.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::printf("Ablation: embedded timing-violation penalty "
+              "(circuit ckte, 100 iterations)\n\n");
+  const auto instance = qbp::make_circuit(*qbp::find_preset("ckte"));
+  const auto& problem = instance.problem;
+  const auto initial = qbp::make_initial(
+      problem, qbp::InitialStrategy::kQbpZeroWireCost, 1993);
+
+  const auto analysis = qbp::analyze_embedding(problem, qbp::kPaperPenalty);
+  std::printf("Theorem 1 threshold for this instance: %s "
+              "(paper's penalty: 50)\n\n",
+              qbp::format_grouped(
+                  static_cast<long long>(analysis.theorem1_threshold))
+                  .c_str());
+
+  qbp::TextTable table({"penalty", "provably exact", "found feasible",
+                        "final WL", "best viol count", "cpu"});
+  table.set_alignment({qbp::TextTable::Align::kLeft});
+
+  const double penalties[] = {2.0, 10.0, 50.0, 500.0,
+                              qbp::theorem1_penalty(problem)};
+  for (const double penalty : penalties) {
+    qbp::BurkardOptions options;
+    options.penalty = penalty;
+    const auto result = qbp::solve_qbp(problem, initial.assignment, options);
+    const qbp::QhatMatrix qhat(problem, penalty);
+    table.add_row(
+        {qbp::format_double(penalty, 0),
+         qbp::analyze_embedding(problem, penalty).provably_exact ? "yes" : "no",
+         result.found_feasible ? "yes" : "no",
+         result.found_feasible
+             ? qbp::format_double(problem.wirelength(result.best_feasible), 0)
+             : "-",
+         std::to_string(qhat.ordered_violations(result.best)),
+         qbp::format_double(result.seconds, 2)});
+    std::fprintf(stderr, "  penalty %.0f done\n", penalty);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("eta variant (equation (3): eta includes omega_s u_s term):\n");
+  qbp::TextTable eta_table({"variant", "found feasible", "final WL", "cpu"});
+  eta_table.set_alignment({qbp::TextTable::Align::kLeft});
+  for (const bool with_omega : {false, true}) {
+    qbp::BurkardOptions options;
+    options.eta_includes_omega = with_omega;
+    const auto result = qbp::solve_qbp(problem, initial.assignment, options);
+    eta_table.add_row(
+        {with_omega ? "eq. (3) with omega" : "listed STEP 3 (default)",
+         result.found_feasible ? "yes" : "no",
+         result.found_feasible
+             ? qbp::format_double(problem.wirelength(result.best_feasible), 0)
+             : "-",
+         qbp::format_double(result.seconds, 2)});
+  }
+  std::printf("%s\n", eta_table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension bench: the simulated-annealing baseline the paper did not run.
+//
+// SA was the other standard 1990s comparator; this bench answers "would
+// annealing have beaten QBP?" on three circuits under the Table III
+// protocol (shared feasible start, timing constraints active).
+#include <cstdio>
+
+#include "baselines/sa.hpp"
+#include "bench_support/circuits.hpp"
+#include "core/burkard.hpp"
+#include "core/initial.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::printf("Extension: simulated annealing vs QBP "
+              "(timing constraints active)\n\n");
+  qbp::TextTable table({"circuit", "start", "QBP final", "(-%)", "cpu",
+                        "SA final", "(-%)", "cpu", "SA accepted"});
+  table.set_alignment({qbp::TextTable::Align::kLeft});
+
+  for (const char* name : {"cktb", "ckte", "cktg"}) {
+    const auto instance = qbp::make_circuit(*qbp::find_preset(name));
+    const auto& problem = instance.problem;
+    const auto initial = qbp::make_initial(
+        problem, qbp::InitialStrategy::kQbpZeroWireCost, 1993);
+    const double start = problem.wirelength(initial.assignment);
+    const auto pct = [&](double final_cost) {
+      return (start - final_cost) / start * 100.0;
+    };
+
+    const auto qbp_result = qbp::solve_qbp(problem, initial.assignment);
+    const double qbp_final =
+        qbp_result.found_feasible
+            ? problem.wirelength(qbp_result.best_feasible)
+            : start;
+
+    qbp::SaOptions sa_options;
+    sa_options.seed = 1993;
+    const auto sa_result = qbp::solve_sa(problem, initial.assignment, sa_options);
+    const double sa_final = problem.wirelength(sa_result.assignment);
+
+    table.add_row({name, qbp::format_double(start, 0),
+                   qbp::format_double(qbp_final, 0),
+                   qbp::format_double(pct(qbp_final), 1),
+                   qbp::format_double(qbp_result.seconds, 2),
+                   qbp::format_double(sa_final, 0),
+                   qbp::format_double(pct(sa_final), 1),
+                   qbp::format_double(sa_result.seconds, 2),
+                   qbp::format_grouped(sa_result.accepted)});
+    std::fprintf(stderr, "  %s done\n", name);
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

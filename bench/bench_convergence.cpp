@@ -1,0 +1,57 @@
+// Convergence curves: the incumbent penalized value per iteration for QBP
+// on two circuits (timing constraints active), printed as CSV series --
+// the "figure" a modern version of the paper would include next to
+// Tables II/III.  Also prints a coarse ASCII sparkline for eyeballing.
+#include <cstdio>
+
+#include "bench_support/circuits.hpp"
+#include "core/burkard.hpp"
+#include "core/initial.hpp"
+
+namespace {
+
+void sparkline(const std::vector<double>& history) {
+  if (history.empty()) return;
+  const double hi = history.front();
+  const double lo = history.back();
+  const char* levels = " .:-=+*#%@";
+  std::printf("  |");
+  for (std::size_t k = 0; k < history.size(); k += std::max<std::size_t>(
+                                                  1, history.size() / 60)) {
+    const double t = hi > lo ? (history[k] - lo) / (hi - lo) : 0.0;
+    std::printf("%c", levels[static_cast<int>(t * 9.0)]);
+  }
+  std::printf("|\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Convergence: incumbent penalized value per iteration "
+              "(200 iterations, timing constraints active)\n\n");
+  std::printf("csv header: circuit,iteration,best_penalized\n");
+
+  for (const char* name : {"cktb", "ckte"}) {
+    const auto instance = qbp::make_circuit(*qbp::find_preset(name));
+    const auto& problem = instance.problem;
+    const auto initial = qbp::make_initial(
+        problem, qbp::InitialStrategy::kQbpZeroWireCost, 1993);
+    qbp::BurkardOptions options;
+    options.iterations = 200;
+    const auto result = qbp::solve_qbp(problem, initial.assignment, options);
+
+    for (std::size_t k = 0; k < result.history.size(); ++k) {
+      std::printf("%s,%zu,%.1f\n", name, k + 1, result.history[k]);
+    }
+    std::printf("# %s: start %.0f, final feasible wirelength %.0f, %.2f s "
+                "(high-to-low sparkline below)\n",
+                name, problem.wirelength(initial.assignment),
+                result.found_feasible
+                    ? problem.wirelength(result.best_feasible)
+                    : -1.0,
+                result.seconds);
+    sparkline(result.history);
+    std::fprintf(stderr, "  %s done\n", name);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Extension bench: absolute optimality gaps on provably-solved instances.
+//
+// The paper can only compare heuristics against each other; with the
+// branch-and-bound solver we can measure how far each method sits from the
+// *proven optimum* on medium instances (16-20 components, 4 partitions,
+// timing constraints active).
+#include <cstdio>
+
+#include "baselines/gfm.hpp"
+#include "baselines/gkl.hpp"
+#include "core/burkard.hpp"
+#include "core/exact.hpp"
+#include "core/initial.hpp"
+#include "netlist/generator.hpp"
+#include "timing/constraints.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+qbp::PartitionProblem make_instance(std::int32_t n, std::uint64_t seed) {
+  qbp::RandomNetlistSpec spec;
+  spec.name = "x" + std::to_string(seed);
+  spec.num_components = n;
+  spec.total_wires = 4 * n;
+  spec.num_slots = 4;
+  spec.grid_width = 2;
+  spec.seed = seed;
+  auto generated = qbp::generate_netlist(spec);
+  auto topology = qbp::PartitionTopology::grid(2, 2, qbp::CostKind::kManhattan);
+  std::vector<double> usage(4, 0.0);
+  for (std::int32_t j = 0; j < n; ++j) {
+    usage[generated.hidden_slot[j]] += generated.netlist.component_size(j);
+  }
+  for (qbp::PartitionId i = 0; i < 4; ++i) {
+    topology.set_capacity(i, usage[i] * 1.25);
+  }
+  qbp::TimingSpec timing_spec;
+  timing_spec.target_count = n;
+  timing_spec.seed = seed;
+  auto timing = qbp::generate_timing_constraints(
+      generated.netlist, generated.hidden_slot, topology, timing_spec);
+  return qbp::PartitionProblem(std::move(generated.netlist),
+                               std::move(topology), std::move(timing));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: optimality gaps against proven optima "
+              "(4 partitions, timing constraints active)\n\n");
+  qbp::TextTable table({"instance", "N", "optimum", "B&B nodes", "QBP gap",
+                        "GFM gap", "GKL gap"});
+  table.set_alignment({qbp::TextTable::Align::kLeft});
+
+  for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const std::int32_t n = 18;
+    const auto problem = make_instance(n, seed);
+    const auto initial = qbp::make_initial(
+        problem, qbp::InitialStrategy::kQbpZeroWireCost, seed);
+    if (!initial.feasible) {
+      std::fprintf(stderr, "  seed %llu skipped (no feasible start)\n",
+                   static_cast<unsigned long long>(seed));
+      continue;
+    }
+
+    qbp::BurkardOptions qbp_options;
+    qbp_options.iterations = 60;
+    const auto heuristic = qbp::solve_qbp(problem, initial.assignment,
+                                          qbp_options);
+    qbp::ExactOptions exact_options;
+    if (heuristic.found_feasible) {
+      exact_options.warm_start = &heuristic.best_feasible;
+    }
+    const auto exact = qbp::solve_exact(problem, exact_options);
+    if (!exact.found || !exact.proven_optimal) {
+      std::fprintf(stderr, "  seed %llu skipped (not proven)\n",
+                   static_cast<unsigned long long>(seed));
+      continue;
+    }
+
+    const auto gfm = qbp::solve_gfm(problem, initial.assignment);
+    const auto gkl = qbp::solve_gkl(problem, initial.assignment);
+    const auto gap_of = [&](double value) {
+      return exact.objective > 0.0
+                 ? qbp::format_double(
+                       (value - exact.objective) / exact.objective * 100.0, 1) +
+                       "%"
+                 : std::string(value == 0.0 ? "0.0%" : "inf");
+    };
+    table.add_row({"seed " + std::to_string(seed), std::to_string(n),
+                   qbp::format_double(exact.objective, 0),
+                   qbp::format_grouped(exact.nodes),
+                   heuristic.found_feasible
+                       ? gap_of(heuristic.best_feasible_objective)
+                       : "-",
+                   gap_of(gfm.objective), gap_of(gkl.objective)});
+    std::fprintf(stderr, "  seed %llu done\n",
+                 static_cast<unsigned long long>(seed));
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

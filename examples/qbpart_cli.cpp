@@ -1,0 +1,188 @@
+// qbpart_cli: partition a problem file with any of the four methods.
+//
+//   # generate a sample problem, then solve it
+//   ./qbpart_cli --emit-sample sample.qp
+//   ./qbpart_cli --problem sample.qp --method qbp --out solution.txt
+//
+// Methods: qbp (the paper's solver), gfm, gkl, sa.  GFM/GKL/SA need a
+// feasible start, produced QBP(B=0)-style; QBP accepts any start
+// (--start random).  The result assignment is written in the `assign`
+// format of core/problem_io.hpp and can be fed back via --initial.
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/gfm.hpp"
+#include "baselines/gkl.hpp"
+#include "baselines/sa.hpp"
+#include "bench_support/circuits.hpp"
+#include "core/burkard.hpp"
+#include "core/initial.hpp"
+#include "core/problem_io.hpp"
+#include "core/report.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int emit_sample(const std::string& path) {
+  // A mid-sized instance from the Table I family, written as a .qp file.
+  const auto instance = qbp::make_circuit(*qbp::find_preset("cktb"));
+  if (!qbp::write_problem_file(path, instance.problem)) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%d components, 16 partitions)\n", path.c_str(),
+              instance.problem.num_components());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string problem_path;
+  std::string method = "qbp";
+  std::string out_path;
+  std::string initial_path;
+  std::string emit_sample_path;
+  std::string start = "qbp0";
+  std::int64_t iterations = 100;
+  std::int64_t seed = 1993;
+  bool quiet = false;
+
+  qbp::CliParser cli("qbpart_cli",
+                     "timing- and capacity-constrained partitioning from a "
+                     ".qp problem file");
+  cli.add_string("problem", problem_path, "input problem file (.qp)");
+  cli.add_string("method", method, "qbp | gfm | gkl | sa");
+  cli.add_string("out", out_path, "write the final assignment here");
+  cli.add_string("initial", initial_path,
+                 "read the starting assignment from this file");
+  cli.add_string("start", start,
+                 "start strategy when --initial absent: qbp0 | random | greedy");
+  cli.add_int("iterations", iterations, "QBP iteration budget");
+  cli.add_int("seed", seed, "random seed");
+  cli.add_string("emit-sample", emit_sample_path,
+                 "write a sample problem file and exit");
+  cli.add_flag("quiet", quiet, "suppress the capacity report");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  if (!emit_sample_path.empty()) return emit_sample(emit_sample_path);
+  if (problem_path.empty()) {
+    std::fprintf(stderr, "--problem is required (or --emit-sample)\n%s",
+                 cli.usage().c_str());
+    return 1;
+  }
+
+  qbp::PartitionProblem problem;
+  if (const auto parsed = qbp::read_problem_file(problem_path, problem);
+      !parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", problem_path.c_str(), parsed.message.c_str());
+    return 1;
+  }
+  std::printf("%s: %d components, %d partitions, %lld wires, %lld timing "
+              "constraints\n",
+              problem_path.c_str(), problem.num_components(),
+              problem.num_partitions(),
+              static_cast<long long>(problem.netlist().total_wires()),
+              static_cast<long long>(problem.timing().count()));
+
+  // Starting assignment.
+  qbp::Assignment initial;
+  bool initial_feasible = false;
+  if (!initial_path.empty()) {
+    const auto parsed = qbp::read_assignment_file(
+        initial_path, problem.num_components(), problem.num_partitions(), initial);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s: %s\n", initial_path.c_str(),
+                   parsed.message.c_str());
+      return 1;
+    }
+    initial_feasible = problem.is_feasible(initial);
+  } else {
+    qbp::InitialStrategy strategy = qbp::InitialStrategy::kQbpZeroWireCost;
+    if (start == "random") {
+      strategy = qbp::InitialStrategy::kRandom;
+    } else if (start == "greedy") {
+      strategy = qbp::InitialStrategy::kGreedyBalanced;
+    } else if (start != "qbp0") {
+      std::fprintf(stderr, "unknown --start '%s'\n", start.c_str());
+      return 1;
+    }
+    const auto made = qbp::make_initial(problem, strategy,
+                                        static_cast<std::uint64_t>(seed));
+    initial = made.assignment;
+    initial_feasible = made.feasible;
+  }
+  std::printf("start: objective %.1f, feasible: %s\n",
+              problem.objective(initial), initial_feasible ? "yes" : "no");
+
+  // Solve.
+  qbp::Assignment final_assignment = initial;
+  if (method == "qbp") {
+    qbp::BurkardOptions options;
+    options.iterations = static_cast<std::int32_t>(iterations);
+    const auto result = qbp::solve_qbp(problem, initial, options);
+    if (!result.found_feasible) {
+      std::fprintf(stderr,
+                   "QBP found no fully feasible solution (best penalized "
+                   "value %.1f); rerun with more --iterations\n",
+                   result.best_penalized);
+      return 2;
+    }
+    final_assignment = result.best_feasible;
+    std::printf("QBP: %d iterations, %.2f s\n", result.iterations_run,
+                result.seconds);
+  } else if (method == "gfm" || method == "gkl" || method == "sa") {
+    if (!initial_feasible) {
+      std::fprintf(stderr, "%s requires a feasible starting assignment\n",
+                   method.c_str());
+      return 2;
+    }
+    if (method == "gfm") {
+      const auto result = qbp::solve_gfm(problem, initial);
+      final_assignment = result.assignment;
+      std::printf("GFM: %d passes, %lld moves kept, %.2f s\n", result.passes,
+                  static_cast<long long>(result.moves_kept), result.seconds);
+    } else if (method == "gkl") {
+      const auto result = qbp::solve_gkl(problem, initial);
+      final_assignment = result.assignment;
+      std::printf("GKL: %d outer loops, %lld swaps kept, %.2f s\n",
+                  result.outer_loops,
+                  static_cast<long long>(result.swaps_kept), result.seconds);
+    } else {
+      qbp::SaOptions options;
+      options.seed = static_cast<std::uint64_t>(seed);
+      const auto result = qbp::solve_sa(problem, initial, options);
+      final_assignment = result.assignment;
+      std::printf("SA: %d temperature steps, %lld/%lld accepted, %.2f s\n",
+                  result.temperature_steps,
+                  static_cast<long long>(result.accepted),
+                  static_cast<long long>(result.proposed), result.seconds);
+    }
+  } else {
+    std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());
+    return 1;
+  }
+
+  const auto report = qbp::make_report(problem, final_assignment);
+  std::printf("final: objective %.1f, capacity ok: %s, timing ok: %s\n",
+              report.objective, report.capacity_ok ? "yes" : "no",
+              report.timing_ok ? "yes" : "no");
+  if (!quiet) {
+    std::printf("%s", qbp::to_string(report).c_str());
+  }
+  if (!out_path.empty()) {
+    if (!qbp::write_assignment_file(out_path, final_assignment)) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("assignment written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,315 @@
+#include "assign/gap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace qbp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+constexpr double kCapTolerance = 1e-9;
+
+struct BestPair {
+  std::int32_t best_agent = -1;
+  double best_cost = kInf;
+  double second_cost = kInf;
+
+  /// Regret key: how much is lost if the best agent fills up.  Items with a
+  /// single feasible agent get top priority.
+  [[nodiscard]] double regret() const noexcept {
+    if (best_agent < 0) return -kInf;  // nothing feasible; handled separately
+    if (second_cost == kInf) return 1e18;
+    return second_cost - best_cost;
+  }
+};
+
+BestPair best_agents(const GapProblem& problem, std::span<const double> slack,
+                     std::int32_t item) {
+  BestPair best;
+  const std::int32_t m = problem.cost.rows();
+  const double size = problem.sizes[static_cast<std::size_t>(item)];
+  for (std::int32_t i = 0; i < m; ++i) {
+    if (slack[static_cast<std::size_t>(i)] + kCapTolerance < size) continue;
+    const double c = problem.cost(i, item);
+    if (c < best.best_cost ||
+        (c == best.best_cost && best.best_agent >= 0 && i < best.best_agent)) {
+      best.second_cost = best.best_cost;
+      best.best_cost = c;
+      best.best_agent = i;
+    } else if (c < best.second_cost) {
+      best.second_cost = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double gap_cost(const GapProblem& problem,
+                std::span<const std::int32_t> agent_of_item) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < agent_of_item.size(); ++j) {
+    total += problem.cost(agent_of_item[j], static_cast<std::int32_t>(j));
+  }
+  return total;
+}
+
+bool gap_feasible(const GapProblem& problem,
+                  std::span<const std::int32_t> agent_of_item) {
+  std::vector<double> usage(problem.capacities.size(), 0.0);
+  for (std::size_t j = 0; j < agent_of_item.size(); ++j) {
+    usage[static_cast<std::size_t>(agent_of_item[j])] += problem.sizes[j];
+  }
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    if (usage[i] > problem.capacities[i] + kCapTolerance) return false;
+  }
+  return true;
+}
+
+double gap_lower_bound(const GapProblem& problem, std::int32_t iterations) {
+  const std::int32_t m = problem.cost.rows();
+  const std::int32_t n = problem.cost.cols();
+  std::vector<double> lambda(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> usage(static_cast<std::size_t>(m), 0.0);
+  double best_bound = -kInf;
+
+  // Step size normalization: scale by the cost range so the schedule is
+  // instance-independent.
+  double cost_span = 0.0;
+  for (std::int32_t i = 0; i < m; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      cost_span = std::max(cost_span, std::abs(problem.cost(i, j)));
+    }
+  }
+  if (cost_span == 0.0) cost_span = 1.0;
+
+  for (std::int32_t k = 0; k < iterations; ++k) {
+    // Evaluate L(lambda): each item independently picks its cheapest agent
+    // under the penalized costs.
+    std::fill(usage.begin(), usage.end(), 0.0);
+    double value = 0.0;
+    for (std::int32_t j = 0; j < n; ++j) {
+      std::int32_t best_agent = 0;
+      double best_cost = kInf;
+      for (std::int32_t i = 0; i < m; ++i) {
+        const double c = problem.cost(i, j) +
+                         lambda[static_cast<std::size_t>(i)] *
+                             problem.sizes[static_cast<std::size_t>(j)];
+        if (c < best_cost) {
+          best_cost = c;
+          best_agent = i;
+        }
+      }
+      value += best_cost;
+      usage[static_cast<std::size_t>(best_agent)] +=
+          problem.sizes[static_cast<std::size_t>(j)];
+    }
+    for (std::int32_t i = 0; i < m; ++i) {
+      value -= lambda[static_cast<std::size_t>(i)] *
+               problem.capacities[static_cast<std::size_t>(i)];
+    }
+    best_bound = std::max(best_bound, value);
+
+    // Projected subgradient step on g_i = usage_i - capacity_i.
+    const double step = 0.1 * cost_span / (1.0 + static_cast<double>(k));
+    for (std::int32_t i = 0; i < m; ++i) {
+      const double gradient = usage[static_cast<std::size_t>(i)] -
+                              problem.capacities[static_cast<std::size_t>(i)];
+      lambda[static_cast<std::size_t>(i)] =
+          std::max(0.0, lambda[static_cast<std::size_t>(i)] + step * gradient);
+    }
+  }
+  return best_bound;
+}
+
+GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
+  const std::int32_t m = problem.cost.rows();
+  const std::int32_t n = problem.cost.cols();
+  assert(static_cast<std::size_t>(n) == problem.sizes.size());
+  assert(static_cast<std::size_t>(m) == problem.capacities.size());
+
+  GapResult result;
+  result.agent_of_item.assign(static_cast<std::size_t>(n), -1);
+  std::vector<double> slack(problem.capacities.begin(), problem.capacities.end());
+
+  // ---- Phase 1: max-regret construction (lazy priority queue). ----
+  struct HeapEntry {
+    double regret;
+    std::int32_t item;
+    bool operator<(const HeapEntry& other) const noexcept {
+      // max-heap on regret; deterministic tie-break on the smaller item id.
+      if (regret != other.regret) return regret < other.regret;
+      return item > other.item;
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  std::vector<std::int32_t> hopeless;  // no feasible agent right now
+  for (std::int32_t j = 0; j < n; ++j) {
+    const BestPair best = best_agents(problem, slack, j);
+    if (best.best_agent < 0) {
+      hopeless.push_back(j);
+    } else {
+      heap.push({best.regret(), j});
+    }
+  }
+
+  const auto assign = [&](std::int32_t item, std::int32_t agent) {
+    result.agent_of_item[static_cast<std::size_t>(item)] = agent;
+    slack[static_cast<std::size_t>(agent)] -=
+        problem.sizes[static_cast<std::size_t>(item)];
+  };
+
+  while (!heap.empty()) {
+    const HeapEntry entry = heap.top();
+    heap.pop();
+    const std::int32_t j = entry.item;
+    if (result.agent_of_item[static_cast<std::size_t>(j)] >= 0) continue;
+    // Capacities may have changed since this key was computed: refresh.
+    const BestPair best = best_agents(problem, slack, j);
+    if (best.best_agent < 0) {
+      hopeless.push_back(j);
+      continue;
+    }
+    const double fresh = best.regret();
+    if (!heap.empty() && fresh + kEps < heap.top().regret) {
+      heap.push({fresh, j});  // someone else is more urgent now
+      continue;
+    }
+    assign(j, best.best_agent);
+  }
+
+  // Items with no capacity-feasible agent go to the agent with the most
+  // slack (cheapest such agent on ties); repair sorts it out below.
+  result.construction_failures = static_cast<std::int32_t>(hopeless.size());
+  for (const std::int32_t j : hopeless) {
+    std::int32_t chosen = 0;
+    for (std::int32_t i = 1; i < m; ++i) {
+      const double si = slack[static_cast<std::size_t>(i)];
+      const double sc = slack[static_cast<std::size_t>(chosen)];
+      if (si > sc + kEps ||
+          (std::abs(si - sc) <= kEps && problem.cost(i, j) < problem.cost(chosen, j))) {
+        chosen = i;
+      }
+    }
+    assign(j, chosen);
+  }
+
+  // ---- Phase 2: capacity repair. ----
+  const std::int64_t repair_budget =
+      options.max_repair_moves >= 0 ? options.max_repair_moves
+                                    : 8 * static_cast<std::int64_t>(n);
+  while (result.repair_moves < repair_budget) {
+    // Most-overflowing agent.
+    std::int32_t worst = -1;
+    double worst_overflow = kCapTolerance;
+    for (std::int32_t i = 0; i < m; ++i) {
+      const double overflow = -slack[static_cast<std::size_t>(i)];
+      if (overflow > worst_overflow) {
+        worst_overflow = overflow;
+        worst = i;
+      }
+    }
+    if (worst < 0) break;  // feasible
+
+    // Cheapest move (cost delta per unit size) out of `worst` into an agent
+    // with room; if no fitting target exists, fall back to the move that
+    // reduces total overflow the most.
+    std::int32_t move_item = -1;
+    std::int32_t move_target = -1;
+    double move_score = kInf;
+    std::int32_t fallback_item = -1;
+    std::int32_t fallback_target = -1;
+    double fallback_slack = -kInf;
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (result.agent_of_item[static_cast<std::size_t>(j)] != worst) continue;
+      const double size = problem.sizes[static_cast<std::size_t>(j)];
+      for (std::int32_t i = 0; i < m; ++i) {
+        if (i == worst) continue;
+        const double target_slack = slack[static_cast<std::size_t>(i)];
+        if (target_slack + kCapTolerance >= size) {
+          const double delta = problem.cost(i, j) - problem.cost(worst, j);
+          const double score = delta / size;
+          if (score < move_score) {
+            move_score = score;
+            move_item = j;
+            move_target = i;
+          }
+        } else if (target_slack > fallback_slack) {
+          fallback_slack = target_slack;
+          fallback_item = j;
+          fallback_target = i;
+        }
+      }
+    }
+    if (move_item < 0) {
+      if (fallback_item < 0) break;  // agent has no items or no other agent
+      move_item = fallback_item;
+      move_target = fallback_target;
+    }
+    const double size = problem.sizes[static_cast<std::size_t>(move_item)];
+    slack[static_cast<std::size_t>(worst)] += size;
+    slack[static_cast<std::size_t>(move_target)] -= size;
+    result.agent_of_item[static_cast<std::size_t>(move_item)] = move_target;
+    ++result.repair_moves;
+  }
+
+  // ---- Phase 3: local improvement. ----
+  for (int pass = 0; pass < options.improvement_passes; ++pass) {
+    bool improved = false;
+    for (std::int32_t j = 0; j < n; ++j) {
+      const std::int32_t from = result.agent_of_item[static_cast<std::size_t>(j)];
+      const double size = problem.sizes[static_cast<std::size_t>(j)];
+      std::int32_t best_to = -1;
+      double best_delta = -kEps;
+      for (std::int32_t i = 0; i < m; ++i) {
+        if (i == from) continue;
+        if (slack[static_cast<std::size_t>(i)] + kCapTolerance < size) continue;
+        const double delta = problem.cost(i, j) - problem.cost(from, j);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_to = i;
+        }
+      }
+      if (best_to >= 0) {
+        slack[static_cast<std::size_t>(from)] += size;
+        slack[static_cast<std::size_t>(best_to)] -= size;
+        result.agent_of_item[static_cast<std::size_t>(j)] = best_to;
+        improved = true;
+      }
+    }
+    if (options.swap_improvement) {
+      for (std::int32_t j1 = 0; j1 < n; ++j1) {
+        for (std::int32_t j2 = j1 + 1; j2 < n; ++j2) {
+          const std::int32_t a1 = result.agent_of_item[static_cast<std::size_t>(j1)];
+          const std::int32_t a2 = result.agent_of_item[static_cast<std::size_t>(j2)];
+          if (a1 == a2) continue;
+          const double s1 = problem.sizes[static_cast<std::size_t>(j1)];
+          const double s2 = problem.sizes[static_cast<std::size_t>(j2)];
+          if (slack[static_cast<std::size_t>(a1)] + s1 + kCapTolerance < s2) continue;
+          if (slack[static_cast<std::size_t>(a2)] + s2 + kCapTolerance < s1) continue;
+          const double delta = problem.cost(a2, j1) + problem.cost(a1, j2) -
+                               problem.cost(a1, j1) - problem.cost(a2, j2);
+          if (delta < -kEps) {
+            slack[static_cast<std::size_t>(a1)] += s1 - s2;
+            slack[static_cast<std::size_t>(a2)] += s2 - s1;
+            result.agent_of_item[static_cast<std::size_t>(j1)] = a2;
+            result.agent_of_item[static_cast<std::size_t>(j2)] = a1;
+            improved = true;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.cost = gap_cost(problem, result.agent_of_item);
+  result.feasible = gap_feasible(problem, result.agent_of_item);
+  return result;
+}
+
+}  // namespace qbp

@@ -1,0 +1,83 @@
+// Generalized Assignment Problem heuristic (Martello & Toth, "Knapsack
+// Problems", ch. 7 -- the MTHG scheme the paper cites for its inner solves).
+//
+//   minimize   sum_j cost(agent(j), j)
+//   subject to sum_{j : agent(j)=i} size_j <= capacity_i     (C1)
+//              every item assigned to exactly one agent      (C3)
+//
+// Three phases:
+//   1. max-regret construction: repeatedly assign the item whose best and
+//      second-best feasible agents differ the most (it has the most to lose
+//      from waiting), via a lazy priority queue;
+//   2. capacity repair for items that had no feasible agent at construction
+//      time (moves items out of overflowing agents, cheapest delta per unit
+//      size first);
+//   3. local improvement: single-item reassignment passes and (optionally)
+//      pairwise swap passes.
+//
+// Inside the Burkard iteration (STEP 4 / STEP 6 of the paper) this is called
+// with the linearized cost vectors eta / h reshaped to an M x N matrix; the
+// heuristic's solution steers the line search, so approximate optimality is
+// acceptable, but C1/C3 feasibility of the *returned* vector matters and is
+// reported via `feasible`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/dense.hpp"
+
+namespace qbp {
+
+struct GapProblem {
+  Matrix<double> cost;             // M x N
+  std::vector<double> sizes;       // N, positive
+  std::vector<double> capacities;  // M, non-negative
+};
+
+struct GapOptions {
+  /// Reassignment improvement passes after construction + repair.
+  int improvement_passes = 2;
+  /// Also run pairwise swap improvement (O(N^2 M) worst case per pass);
+  /// valuable under tight capacities, off by default for inner-loop use.
+  bool swap_improvement = false;
+  /// Abort repair after this many single-item moves (guards against cycling
+  /// on infeasible instances).
+  std::int64_t max_repair_moves = -1;  // -1 => 8 * N
+};
+
+struct GapResult {
+  std::vector<std::int32_t> agent_of_item;  // N entries in [0, M)
+  double cost = 0.0;
+  /// True when all capacities are respected.
+  bool feasible = false;
+  /// Items that had no capacity-feasible agent when constructed.
+  std::int32_t construction_failures = 0;
+  /// Moves spent in the repair phase.
+  std::int64_t repair_moves = 0;
+};
+
+[[nodiscard]] GapResult solve_gap(const GapProblem& problem,
+                                  const GapOptions& options = {});
+
+/// Total cost of an explicit assignment under `problem`.
+[[nodiscard]] double gap_cost(const GapProblem& problem,
+                              std::span<const std::int32_t> agent_of_item);
+
+/// True when `agent_of_item` respects every capacity.
+[[nodiscard]] bool gap_feasible(const GapProblem& problem,
+                                std::span<const std::int32_t> agent_of_item);
+
+/// Lagrangian lower bound on the GAP optimum (Jornsten & Nasberg style):
+/// relax the capacity constraints with multipliers lambda_i >= 0,
+///
+///   L(lambda) = sum_j min_i (c_ij + lambda_i * s_j) - sum_i lambda_i * cap_i,
+///
+/// and maximize by projected subgradient ascent.  Every L(lambda) is a
+/// valid bound; the best over `iterations` steps is returned.  Used to
+/// report optimality gaps for heuristic solutions.
+[[nodiscard]] double gap_lower_bound(const GapProblem& problem,
+                                     std::int32_t iterations = 60);
+
+}  // namespace qbp

@@ -1,0 +1,120 @@
+#include "assign/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qbp {
+
+namespace {
+std::vector<std::int32_t> density_order(std::span<const KnapsackItem> items) {
+  std::vector<std::int32_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const double da = items[static_cast<std::size_t>(a)].weight > 0.0
+                          ? items[static_cast<std::size_t>(a)].value /
+                                items[static_cast<std::size_t>(a)].weight
+                          : std::numeric_limits<double>::infinity();
+    const double db = items[static_cast<std::size_t>(b)].weight > 0.0
+                          ? items[static_cast<std::size_t>(b)].value /
+                                items[static_cast<std::size_t>(b)].weight
+                          : std::numeric_limits<double>::infinity();
+    return da != db ? da > db : a < b;
+  });
+  return order;
+}
+}  // namespace
+
+double knapsack_upper_bound(std::span<const KnapsackItem> items, double capacity) {
+  double bound = 0.0;
+  double remaining = capacity;
+  for (const std::int32_t k : density_order(items)) {
+    const auto& item = items[static_cast<std::size_t>(k)];
+    if (item.value <= 0.0) continue;
+    if (item.weight <= remaining) {
+      bound += item.value;
+      remaining -= item.weight;
+    } else {
+      if (item.weight > 0.0 && remaining > 0.0) {
+        bound += item.value * (remaining / item.weight);
+      }
+      break;
+    }
+  }
+  return bound;
+}
+
+std::vector<std::int32_t> knapsack_greedy(std::span<const KnapsackItem> items,
+                                          double capacity, double& total_value) {
+  std::vector<std::int32_t> chosen;
+  double remaining = capacity;
+  total_value = 0.0;
+  for (const std::int32_t k : density_order(items)) {
+    const auto& item = items[static_cast<std::size_t>(k)];
+    if (item.value <= 0.0) continue;
+    if (item.weight <= remaining) {
+      chosen.push_back(k);
+      total_value += item.value;
+      remaining -= item.weight;
+    }
+  }
+  // Classic guard: the best single fitting item can beat the greedy pack.
+  std::int32_t best_single = -1;
+  double best_single_value = total_value;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    if (items[k].weight <= capacity && items[k].value > best_single_value) {
+      best_single_value = items[k].value;
+      best_single = static_cast<std::int32_t>(k);
+    }
+  }
+  if (best_single >= 0) {
+    chosen.assign(1, best_single);
+    total_value = best_single_value;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<std::int32_t> knapsack_exact(std::span<const KnapsackItem> items,
+                                         double capacity, double& total_value,
+                                         double scale) {
+  const auto n = items.size();
+  const auto grid = static_cast<std::int64_t>(std::floor(capacity * scale + 1e-9));
+  if (grid < 0 || n == 0) {
+    total_value = 0.0;
+    return {};
+  }
+  std::vector<std::int64_t> weights(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Round weights up so the discretized solution is feasible for the
+    // continuous capacity.
+    weights[k] = static_cast<std::int64_t>(std::ceil(items[k].weight * scale - 1e-9));
+  }
+  const auto columns = static_cast<std::size_t>(grid) + 1;
+  std::vector<double> best(columns, 0.0);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(columns, false));
+  for (std::size_t k = 0; k < n; ++k) {
+    if (items[k].value <= 0.0) continue;
+    for (std::int64_t w = grid; w >= weights[k]; --w) {
+      const double candidate =
+          best[static_cast<std::size_t>(w - weights[k])] + items[k].value;
+      if (candidate > best[static_cast<std::size_t>(w)]) {
+        best[static_cast<std::size_t>(w)] = candidate;
+        take[k][static_cast<std::size_t>(w)] = true;
+      }
+    }
+  }
+  total_value = best[static_cast<std::size_t>(grid)];
+  std::vector<std::int32_t> chosen;
+  std::int64_t w = grid;
+  for (std::size_t k = n; k-- > 0;) {
+    if (take[k][static_cast<std::size_t>(w)]) {
+      chosen.push_back(static_cast<std::int32_t>(k));
+      w -= weights[k];
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace qbp

@@ -1,0 +1,37 @@
+// 0/1 knapsack helpers (Martello & Toth, "Knapsack Problems").
+//
+// The GAP heuristic uses the fractional (Dantzig) bound to prioritize
+// repair moves; the exact DP is a test oracle and is also used by the
+// capacity-repair step when item counts are tiny.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qbp {
+
+struct KnapsackItem {
+  double value = 0.0;   // profit if taken
+  double weight = 0.0;  // capacity consumed
+};
+
+/// Dantzig upper bound for max-profit 0/1 knapsack: greedy by value/weight
+/// density with a fractional final item.
+[[nodiscard]] double knapsack_upper_bound(std::span<const KnapsackItem> items,
+                                          double capacity);
+
+/// Greedy feasible solution (by density); returns chosen indices and fills
+/// `total_value`.  A 1/2-approximation when combined with the best single
+/// item, which this implementation applies.
+[[nodiscard]] std::vector<std::int32_t> knapsack_greedy(
+    std::span<const KnapsackItem> items, double capacity, double& total_value);
+
+/// Exact DP for integer weights (weights are rounded toward +inf to stay
+/// conservative); intended for small instances (tests, repair on a handful
+/// of items).  `scale` converts fractional weights to integer grid points.
+[[nodiscard]] std::vector<std::int32_t> knapsack_exact(
+    std::span<const KnapsackItem> items, double capacity, double& total_value,
+    double scale = 100.0);
+
+}  // namespace qbp

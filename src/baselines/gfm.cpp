@@ -1,0 +1,139 @@
+#include "baselines/gfm.hpp"
+
+#include <cassert>
+#include <queue>
+#include <vector>
+
+#include "partition/cost.hpp"
+#include "util/timer.hpp"
+
+namespace qbp {
+
+namespace {
+
+struct Move {
+  std::int32_t component;
+  PartitionId from;
+  PartitionId to;
+};
+
+struct HeapEntry {
+  double gain;             // positive = objective decreases
+  std::int32_t component;
+  PartitionId target;
+  std::int64_t version;    // stamp of the component when pushed
+  bool operator<(const HeapEntry& other) const noexcept {
+    if (gain != other.gain) return gain < other.gain;
+    if (component != other.component) return component > other.component;
+    return target > other.target;
+  }
+};
+
+}  // namespace
+
+GfmResult solve_gfm(const PartitionProblem& problem, const Assignment& initial,
+                    const GfmOptions& options) {
+  assert(initial.is_complete());
+  assert(problem.is_feasible(initial) &&
+         "GFM requires a feasible starting solution (Section 5)");
+
+  const Timer timer;
+  const std::int32_t n = problem.num_components();
+  const std::int32_t m = problem.num_partitions();
+  const auto sizes = problem.netlist().sizes();
+  const auto& p = problem.linear_cost_matrix();
+  const auto& adjacency = problem.netlist().connection_matrix();
+
+  GfmResult result;
+  result.assignment = initial;
+  result.objective = problem.objective(initial);
+
+  Assignment& assignment = result.assignment;
+  CapacityLedger ledger(assignment, sizes, problem.topology().capacities());
+  std::vector<std::int64_t> version(static_cast<std::size_t>(n), 0);
+  std::vector<bool> locked(static_cast<std::size_t>(n), false);
+
+  const auto move_gain = [&](std::int32_t j, PartitionId target) {
+    return -move_delta_objective(problem.netlist(), problem.topology(), p,
+                                 problem.alpha(), problem.beta(), assignment, j,
+                                 target);
+  };
+  const auto move_feasible = [&](std::int32_t j, PartitionId target) {
+    if (!ledger.fits(target, sizes[static_cast<std::size_t>(j)])) return false;
+    return problem.timing().component_feasible_at(assignment, problem.topology(),
+                                                  j, target);
+  };
+
+  for (std::int32_t pass = 0; pass < options.max_passes; ++pass) {
+    std::fill(locked.begin(), locked.end(), false);
+    std::priority_queue<HeapEntry> heap;
+    const auto push_component = [&](std::int32_t j) {
+      for (PartitionId i = 0; i < m; ++i) {
+        if (i == assignment[j]) continue;
+        heap.push({move_gain(j, i), j, i, version[static_cast<std::size_t>(j)]});
+      }
+    };
+    for (std::int32_t j = 0; j < n; ++j) push_component(j);
+
+    std::vector<Move> applied;
+    double cumulative = 0.0;
+    double best_prefix_gain = 0.0;
+    std::size_t best_prefix_length = 0;
+
+    while (!heap.empty()) {
+      const HeapEntry entry = heap.top();
+      heap.pop();
+      const std::int32_t j = entry.component;
+      if (locked[static_cast<std::size_t>(j)]) continue;
+      if (entry.version != version[static_cast<std::size_t>(j)]) continue;
+      if (entry.target == assignment[j]) continue;
+      if (!move_feasible(j, entry.target)) continue;
+      // Gains were fresh at push time (version matches), but the ledger and
+      // neighbors may still race within this pop -- recompute to be exact.
+      const double gain = move_gain(j, entry.target);
+
+      const PartitionId from = assignment[j];
+      ledger.remove(from, sizes[static_cast<std::size_t>(j)]);
+      ledger.add(entry.target, sizes[static_cast<std::size_t>(j)]);
+      assignment.set(j, entry.target);
+      locked[static_cast<std::size_t>(j)] = true;
+      ++version[static_cast<std::size_t>(j)];
+      applied.push_back({j, from, entry.target});
+      ++result.moves_applied;
+
+      cumulative += gain;
+      if (cumulative > best_prefix_gain) {
+        best_prefix_gain = cumulative;
+        best_prefix_length = applied.size();
+      }
+
+      // Refresh the gain entries of unlocked neighbors.
+      for (const std::int32_t neighbor : adjacency.row_indices(j)) {
+        if (locked[static_cast<std::size_t>(neighbor)]) continue;
+        ++version[static_cast<std::size_t>(neighbor)];
+        push_component(neighbor);
+      }
+    }
+
+    // Roll back the suffix after the best prefix.
+    for (std::size_t k = applied.size(); k-- > best_prefix_length;) {
+      const Move& move = applied[k];
+      ledger.remove(move.to, sizes[static_cast<std::size_t>(move.component)]);
+      ledger.add(move.from, sizes[static_cast<std::size_t>(move.component)]);
+      assignment.set(move.component, move.from);
+      ++version[static_cast<std::size_t>(move.component)];
+    }
+    result.moves_kept += static_cast<std::int64_t>(best_prefix_length);
+    result.passes = pass + 1;
+
+    if (best_prefix_gain <= options.min_improvement) break;
+    result.objective -= best_prefix_gain;
+  }
+
+  // The incremental objective can accumulate float error; report exactly.
+  result.objective = problem.objective(result.assignment);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace qbp

@@ -1,0 +1,191 @@
+#include "baselines/gkl.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace qbp {
+
+namespace {
+
+struct Swap {
+  std::int32_t a;
+  std::int32_t b;
+};
+
+}  // namespace
+
+GklResult solve_gkl(const PartitionProblem& problem, const Assignment& initial,
+                    const GklOptions& options) {
+  assert(initial.is_complete());
+  assert(problem.is_feasible(initial) &&
+         "GKL requires a feasible starting solution (Section 5)");
+
+  const Timer timer;
+  const std::int32_t n = problem.num_components();
+  const std::int32_t m = problem.num_partitions();
+  const auto sizes = problem.netlist().sizes();
+  const auto& p = problem.linear_cost_matrix();
+  const auto& adjacency = problem.netlist().connection_matrix();
+  const auto& topology = problem.topology();
+  const double alpha = problem.alpha();
+  const double beta = problem.beta();
+
+  GklResult result;
+  result.assignment = initial;
+  Assignment& assignment = result.assignment;
+  CapacityLedger ledger(assignment, sizes, problem.topology().capacities());
+
+  // inc(j, i): quadratic cost of j's incident wires (both ordered
+  // directions) if j sat in partition i, all neighbors at their current
+  // partitions.
+  Matrix<double> inc(n, m, 0.0);
+  const auto rebuild_inc_row = [&](std::int32_t j) {
+    auto row = inc.row(j);
+    for (std::int32_t i = 0; i < m; ++i) row[static_cast<std::size_t>(i)] = 0.0;
+    const auto neighbors = adjacency.row_indices(j);
+    const auto wires = adjacency.row_values(j);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const PartitionId other = assignment[neighbors[k]];
+      for (std::int32_t i = 0; i < m; ++i) {
+        row[static_cast<std::size_t>(i)] +=
+            wires[k] * (topology.wire_cost(i, other) + topology.wire_cost(other, i));
+      }
+    }
+  };
+  for (std::int32_t j = 0; j < n; ++j) rebuild_inc_row(j);
+
+  // Exact objective change of swapping j1 (at p1) with j2 (at p2); O(1)
+  // given inc (see header: the shared-edge terms cancel except for the
+  // +2E correction).
+  const auto swap_delta = [&](std::int32_t j1, std::int32_t j2) {
+    const PartitionId p1 = assignment[j1];
+    const PartitionId p2 = assignment[j2];
+    const double w = adjacency.value_or(j1, j2, 0);
+    const double edge =
+        w * (topology.wire_cost(p1, p2) + topology.wire_cost(p2, p1));
+    double delta = beta * (inc(j1, p2) + inc(j2, p1) - inc(j1, p1) -
+                           inc(j2, p2) + 2.0 * edge);
+    if (!p.empty()) {
+      delta += alpha * (p(p2, j1) - p(p1, j1) + p(p1, j2) - p(p2, j2));
+    }
+    return delta;
+  };
+
+  const auto swap_feasible = [&](std::int32_t j1, std::int32_t j2) {
+    const PartitionId p1 = assignment[j1];
+    const PartitionId p2 = assignment[j2];
+    const double s1 = sizes[static_cast<std::size_t>(j1)];
+    const double s2 = sizes[static_cast<std::size_t>(j2)];
+    if (ledger.usage(p1) - s1 + s2 > ledger.capacity(p1) + CapacityLedger::kTolerance)
+      return false;
+    if (ledger.usage(p2) - s2 + s1 > ledger.capacity(p2) + CapacityLedger::kTolerance)
+      return false;
+    return problem.timing().component_feasible_at(assignment, topology, j1, p2,
+                                                  j2, p1) &&
+           problem.timing().component_feasible_at(assignment, topology, j2, p1,
+                                                  j1, p2);
+  };
+
+  const auto apply_swap = [&](std::int32_t j1, std::int32_t j2) {
+    const PartitionId p1 = assignment[j1];
+    const PartitionId p2 = assignment[j2];
+    const double s1 = sizes[static_cast<std::size_t>(j1)];
+    const double s2 = sizes[static_cast<std::size_t>(j2)];
+    ledger.remove(p1, s1);
+    ledger.add(p2, s1);
+    ledger.remove(p2, s2);
+    ledger.add(p1, s2);
+    assignment.set(j1, p2);
+    assignment.set(j2, p1);
+    // Every neighbor of a moved endpoint sees its inc row shift by the
+    // endpoint's relocation; this also fixes inc(j1, .) and inc(j2, .)
+    // because each is (usually) a neighbor of the other -- rebuild their
+    // rows outright to cover the non-adjacent case too.
+    for (const std::int32_t moved : {j1, j2}) {
+      const PartitionId from = moved == j1 ? p1 : p2;
+      const PartitionId to = moved == j1 ? p2 : p1;
+      const auto neighbors = adjacency.row_indices(moved);
+      const auto wires = adjacency.row_values(moved);
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        const std::int32_t other = neighbors[k];
+        if (other == j1 || other == j2) continue;  // rebuilt below
+        auto row = inc.row(other);
+        for (std::int32_t i = 0; i < m; ++i) {
+          row[static_cast<std::size_t>(i)] +=
+              wires[k] *
+              (topology.wire_cost(i, to) + topology.wire_cost(to, i) -
+               topology.wire_cost(i, from) - topology.wire_cost(from, i));
+        }
+      }
+    }
+    rebuild_inc_row(j1);
+    rebuild_inc_row(j2);
+  };
+
+  std::vector<bool> locked(static_cast<std::size_t>(n), false);
+
+  for (std::int32_t outer = 0; outer < options.max_outer_loops; ++outer) {
+    std::fill(locked.begin(), locked.end(), false);
+    std::vector<Swap> applied;
+    double cumulative = 0.0;
+    double best_prefix_gain = 0.0;
+    std::size_t best_prefix_length = 0;
+    std::int64_t stale = 0;
+
+    const std::int64_t swap_cap = options.max_swaps_per_pass >= 0
+                                      ? options.max_swaps_per_pass
+                                      : static_cast<std::int64_t>(n);
+    while (static_cast<std::int64_t>(applied.size()) < swap_cap) {
+      // Best feasible swap over all unlocked pairs in different partitions.
+      std::int32_t best_a = -1;
+      std::int32_t best_b = -1;
+      double best_delta = 0.0;
+      bool have_best = false;
+      for (std::int32_t a = 0; a < n; ++a) {
+        if (locked[static_cast<std::size_t>(a)]) continue;
+        for (std::int32_t b = a + 1; b < n; ++b) {
+          if (locked[static_cast<std::size_t>(b)]) continue;
+          if (assignment[a] == assignment[b]) continue;
+          const double delta = swap_delta(a, b);
+          if (have_best && delta >= best_delta) continue;
+          if (!swap_feasible(a, b)) continue;
+          best_delta = delta;
+          best_a = a;
+          best_b = b;
+          have_best = true;
+        }
+      }
+      if (!have_best) break;
+
+      apply_swap(best_a, best_b);
+      locked[static_cast<std::size_t>(best_a)] = true;
+      locked[static_cast<std::size_t>(best_b)] = true;
+      applied.push_back({best_a, best_b});
+      ++result.swaps_applied;
+      cumulative += -best_delta;
+      if (cumulative > best_prefix_gain) {
+        best_prefix_gain = cumulative;
+        best_prefix_length = applied.size();
+        stale = 0;
+      } else if (options.stale_window >= 0 && ++stale > options.stale_window) {
+        break;
+      }
+    }
+
+    // Roll back to the best prefix (swaps are involutions).
+    for (std::size_t k = applied.size(); k-- > best_prefix_length;) {
+      apply_swap(applied[k].a, applied[k].b);
+    }
+    result.swaps_kept += static_cast<std::int64_t>(best_prefix_length);
+    result.outer_loops = outer + 1;
+    if (best_prefix_gain <= options.min_improvement) break;
+  }
+
+  result.objective = problem.objective(result.assignment);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace qbp

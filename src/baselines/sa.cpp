@@ -1,0 +1,167 @@
+#include "baselines/sa.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "partition/cost.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace qbp {
+
+namespace {
+
+struct Proposal {
+  bool is_swap = false;
+  std::int32_t a = -1;
+  std::int32_t b = -1;          // swap partner
+  PartitionId target = -1;      // move target
+  double delta = 0.0;
+};
+
+}  // namespace
+
+SaResult solve_sa(const PartitionProblem& problem, const Assignment& initial,
+                  const SaOptions& options) {
+  assert(initial.is_complete());
+  assert(problem.is_feasible(initial) &&
+         "SA requires a feasible starting solution");
+
+  const Timer timer;
+  const std::int32_t n = problem.num_components();
+  const std::int32_t m = problem.num_partitions();
+  const auto sizes = problem.netlist().sizes();
+  const auto& p = problem.linear_cost_matrix();
+  const auto& topology = problem.topology();
+  Rng rng(options.seed);
+
+  Assignment current = initial;
+  CapacityLedger ledger(current, sizes, topology.capacities());
+
+  // Propose a feasible random move or swap; returns false when the draw is
+  // infeasible (counts as a rejected proposal, as usual for SA).
+  const auto propose = [&](Proposal& proposal) {
+    proposal.is_swap = rng.next_bool(options.swap_fraction);
+    if (proposal.is_swap) {
+      proposal.a = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      proposal.b = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (proposal.a == proposal.b) return false;
+      const PartitionId pa = current[proposal.a];
+      const PartitionId pb = current[proposal.b];
+      if (pa == pb) return false;
+      const double sa = sizes[static_cast<std::size_t>(proposal.a)];
+      const double sb = sizes[static_cast<std::size_t>(proposal.b)];
+      if (ledger.usage(pa) - sa + sb >
+          ledger.capacity(pa) + CapacityLedger::kTolerance) {
+        return false;
+      }
+      if (ledger.usage(pb) - sb + sa >
+          ledger.capacity(pb) + CapacityLedger::kTolerance) {
+        return false;
+      }
+      if (!problem.timing().component_feasible_at(current, topology, proposal.a,
+                                                  pb, proposal.b, pa) ||
+          !problem.timing().component_feasible_at(current, topology, proposal.b,
+                                                  pa, proposal.a, pb)) {
+        return false;
+      }
+      proposal.delta =
+          swap_delta_objective(problem.netlist(), topology, p, problem.alpha(),
+                               problem.beta(), current, proposal.a, proposal.b);
+    } else {
+      proposal.a = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      proposal.target =
+          static_cast<PartitionId>(rng.next_below(static_cast<std::uint64_t>(m)));
+      if (proposal.target == current[proposal.a]) return false;
+      if (!ledger.fits(proposal.target,
+                       sizes[static_cast<std::size_t>(proposal.a)])) {
+        return false;
+      }
+      if (!problem.timing().component_feasible_at(current, topology, proposal.a,
+                                                  proposal.target)) {
+        return false;
+      }
+      proposal.delta =
+          move_delta_objective(problem.netlist(), topology, p, problem.alpha(),
+                               problem.beta(), current, proposal.a,
+                               proposal.target);
+    }
+    return true;
+  };
+
+  const auto apply = [&](const Proposal& proposal) {
+    if (proposal.is_swap) {
+      const PartitionId pa = current[proposal.a];
+      const PartitionId pb = current[proposal.b];
+      const double sa = sizes[static_cast<std::size_t>(proposal.a)];
+      const double sb = sizes[static_cast<std::size_t>(proposal.b)];
+      ledger.remove(pa, sa);
+      ledger.add(pb, sa);
+      ledger.remove(pb, sb);
+      ledger.add(pa, sb);
+      current.set(proposal.a, pb);
+      current.set(proposal.b, pa);
+    } else {
+      const double size = sizes[static_cast<std::size_t>(proposal.a)];
+      ledger.remove(current[proposal.a], size);
+      ledger.add(proposal.target, size);
+      current.set(proposal.a, proposal.target);
+    }
+  };
+
+  // Calibrate T0 from the mean uphill delta of a feasibility-respecting
+  // random-walk sample: P(accept) = exp(-mean_uphill / T0) = target.
+  double mean_uphill = 0.0;
+  {
+    std::int32_t uphill_samples = 0;
+    Proposal probe;
+    for (std::int32_t trial = 0; trial < 4 * n && uphill_samples < n; ++trial) {
+      if (!propose(probe)) continue;
+      if (probe.delta > 0.0) {
+        mean_uphill += probe.delta;
+        ++uphill_samples;
+      }
+    }
+    mean_uphill = uphill_samples > 0 ? mean_uphill / uphill_samples : 1.0;
+  }
+  const double t0 =
+      mean_uphill / std::max(1e-12, -std::log(options.initial_acceptance));
+
+  SaResult result;
+  result.assignment = current;
+  result.objective = problem.objective(current);
+  double current_objective = result.objective;
+
+  const std::int64_t moves_per_step =
+      static_cast<std::int64_t>(options.moves_per_component) * n;
+  for (double temperature = t0; temperature > t0 * options.freeze_ratio;
+       temperature *= options.cooling) {
+    ++result.temperature_steps;
+    for (std::int64_t step = 0; step < moves_per_step; ++step) {
+      ++result.proposed;
+      Proposal proposal;
+      if (!propose(proposal)) continue;
+      const bool accept =
+          proposal.delta <= 0.0 ||
+          rng.next_double() < std::exp(-proposal.delta / temperature);
+      if (!accept) continue;
+      apply(proposal);
+      ++result.accepted;
+      current_objective += proposal.delta;
+      if (current_objective < result.objective) {
+        result.objective = current_objective;
+        result.assignment = current;
+      }
+    }
+  }
+
+  // Exact re-evaluation (incremental deltas accumulate float error).
+  result.objective = problem.objective(result.assignment);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace qbp

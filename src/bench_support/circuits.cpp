@@ -1,0 +1,79 @@
+#include "bench_support/circuits.hpp"
+
+#include <cassert>
+
+#include "netlist/generator.hpp"
+#include "timing/constraints.hpp"
+
+namespace qbp {
+
+const std::array<CircuitPreset, 7>& shihkuh_presets() {
+  static const std::array<CircuitPreset, 7> presets = {{
+      {"ckta", 339, 8200, 3464, 0xA1u},
+      {"cktb", 357, 3017, 1325, 0xB2u},
+      {"cktc", 545, 12141, 11545, 0xC3u},
+      {"cktd", 521, 6309, 6009, 0xD4u},
+      {"ckte", 380, 3831, 3760, 0xE5u},
+      {"cktf", 607, 4809, 4683, 0xF6u},
+      {"cktg", 472, 3376, 3376, 0x07u},
+  }};
+  return presets;
+}
+
+const CircuitPreset* find_preset(const std::string& name) {
+  for (const auto& preset : shihkuh_presets()) {
+    if (preset.name == name) return &preset;
+  }
+  return nullptr;
+}
+
+CircuitInstance make_circuit(const CircuitPreset& preset,
+                             const CircuitConfig& config) {
+  constexpr std::int32_t kGridSide = 4;
+  constexpr std::int32_t kPartitions = kGridSide * kGridSide;
+
+  RandomNetlistSpec spec;
+  spec.name = preset.name;
+  spec.num_components = preset.num_components;
+  spec.total_wires = preset.num_wires;
+  spec.num_slots = kPartitions;
+  spec.grid_width = kGridSide;
+  spec.locality = config.locality;
+  spec.seed = preset.seed;
+  GeneratedNetlist generated = generate_netlist(spec);
+
+  PartitionTopology topology =
+      PartitionTopology::grid(kGridSide, kGridSide, config.metric);
+  // Capacities: the hidden placement's usage plus headroom, so the hidden
+  // placement is C1-feasible by construction and the instance stays tight.
+  {
+    std::vector<double> usage(kPartitions, 0.0);
+    for (std::int32_t j = 0; j < preset.num_components; ++j) {
+      usage[static_cast<std::size_t>(
+          generated.hidden_slot[static_cast<std::size_t>(j)])] +=
+          generated.netlist.component_size(j);
+    }
+    std::vector<double> capacities(kPartitions, 0.0);
+    for (std::int32_t i = 0; i < kPartitions; ++i) {
+      capacities[static_cast<std::size_t>(i)] =
+          usage[static_cast<std::size_t>(i)] * (1.0 + config.capacity_slack);
+    }
+    topology.set_capacities(std::move(capacities));
+  }
+
+  TimingSpec timing_spec;
+  timing_spec.target_count = preset.num_timing_constraints;
+  timing_spec.seed = preset.seed ^ 0x7177u;
+  TimingConstraints timing = generate_timing_constraints(
+      generated.netlist, generated.hidden_slot, topology, timing_spec);
+
+  CircuitInstance instance{
+      PartitionProblem(std::move(generated.netlist), std::move(topology),
+                       std::move(timing)),
+      Assignment(std::move(generated.hidden_slot), kPartitions), preset};
+  assert(instance.problem.is_feasible(instance.hidden_placement) &&
+         "construction must guarantee a feasible reference placement");
+  return instance;
+}
+
+}  // namespace qbp

@@ -1,0 +1,128 @@
+#include "bench_support/experiment.hpp"
+
+#include <sstream>
+
+#include "core/initial.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace qbp {
+
+ExperimentRow run_experiment(const std::string& circuit_name,
+                             const PartitionProblem& problem,
+                             const ExperimentConfig& config) {
+  // Shared initial feasible solution via QBP with B = 0 (Section 5).
+  const InitialResult initial = make_initial(
+      problem, InitialStrategy::kQbpZeroWireCost, config.seed);
+  return run_experiment_from(circuit_name, problem, initial.assignment,
+                             initial.feasible, config);
+}
+
+ExperimentRow run_experiment_from(const std::string& circuit_name,
+                                  const PartitionProblem& problem,
+                                  const Assignment& start,
+                                  bool initial_feasible,
+                                  const ExperimentConfig& config) {
+  ExperimentRow row;
+  row.circuit = circuit_name;
+
+  struct {
+    Assignment assignment;
+    bool feasible;
+  } initial{start, initial_feasible && problem.is_feasible(start)};
+  if (!initial.feasible) {
+    log::warn("experiment ", circuit_name,
+              ": start is not fully feasible; GFM/GKL are skipped");
+  }
+  row.start_cost = problem.wirelength(initial.assignment);
+
+  const auto percent = [&](double final_cost) {
+    return row.start_cost > 0.0
+               ? (row.start_cost - final_cost) / row.start_cost * 100.0
+               : 0.0;
+  };
+
+  if (config.run_qbp) {
+    BurkardOptions options;
+    options.iterations = config.qbp_iterations;
+    options.penalty = config.penalty;
+    const Timer timer;
+    const BurkardResult qbp = solve_qbp(problem, initial.assignment, options);
+    row.qbp.cpu_seconds = timer.seconds();
+    const Assignment& chosen = qbp.found_feasible ? qbp.best_feasible : qbp.best;
+    row.qbp.final_cost = problem.wirelength(chosen);
+    row.qbp.feasible = qbp.found_feasible;
+    row.qbp.improvement_pct = percent(row.qbp.final_cost);
+  }
+
+  if (config.run_gfm && initial.feasible) {
+    const Timer timer;
+    const GfmResult gfm = solve_gfm(problem, initial.assignment);
+    row.gfm.cpu_seconds = timer.seconds();
+    row.gfm.final_cost = problem.wirelength(gfm.assignment);
+    row.gfm.feasible = problem.is_feasible(gfm.assignment);
+    row.gfm.improvement_pct = percent(row.gfm.final_cost);
+  }
+
+  if (config.run_gkl && initial.feasible) {
+    GklOptions options;
+    options.max_outer_loops = config.gkl_outer_loops;
+    const Timer timer;
+    const GklResult gkl = solve_gkl(problem, initial.assignment, options);
+    row.gkl.cpu_seconds = timer.seconds();
+    row.gkl.final_cost = problem.wirelength(gkl.assignment);
+    row.gkl.feasible = problem.is_feasible(gkl.assignment);
+    row.gkl.improvement_pct = percent(row.gkl.final_cost);
+  }
+
+  return row;
+}
+
+std::string format_table(const std::string& title,
+                         const std::vector<ExperimentRow>& rows) {
+  TextTable table({"circuits", "start", "QBP final", "(-%)", "cpu", "GFM final",
+                   "(-%)", "cpu", "GKL final", "(-%)", "cpu"});
+  table.set_alignment({TextTable::Align::kLeft});
+  for (const auto& row : rows) {
+    const auto cost = [](double value) {
+      return format_grouped(static_cast<long long>(value + 0.5));
+    };
+    table.add_row({row.circuit, cost(row.start_cost), cost(row.qbp.final_cost),
+                   format_double(row.qbp.improvement_pct, 1),
+                   format_double(row.qbp.cpu_seconds, 1),
+                   cost(row.gfm.final_cost),
+                   format_double(row.gfm.improvement_pct, 1),
+                   format_double(row.gfm.cpu_seconds, 1),
+                   cost(row.gkl.final_cost),
+                   format_double(row.gkl.improvement_pct, 1),
+                   format_double(row.gkl.cpu_seconds, 1)});
+  }
+  std::ostringstream out;
+  out << title << "\n" << table.render();
+  return out.str();
+}
+
+std::string rows_to_csv(const std::vector<ExperimentRow>& rows) {
+  std::ostringstream out;
+  out << "circuit,start,qbp_final,qbp_pct,qbp_cpu,qbp_feasible,"
+         "gfm_final,gfm_pct,gfm_cpu,gfm_feasible,"
+         "gkl_final,gkl_pct,gkl_cpu,gkl_feasible\n";
+  for (const auto& row : rows) {
+    const auto method = [&](const MethodOutcome& outcome) {
+      std::ostringstream cell;
+      cell << format_double(outcome.final_cost, 1) << ","
+           << format_double(outcome.improvement_pct, 2) << ","
+           << format_double(outcome.cpu_seconds, 3) << ","
+           << (outcome.feasible ? 1 : 0);
+      return cell.str();
+    };
+    out << row.circuit << "," << format_double(row.start_cost, 1) << ","
+        << method(row.qbp) << "," << method(row.gfm) << "," << method(row.gkl)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qbp

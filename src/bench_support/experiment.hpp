@@ -1,0 +1,71 @@
+// The Tables II / III protocol (paper Section 5), packaged for the benches:
+//
+//   * cost metric: total Manhattan wire length;
+//   * one shared initial feasible solution per circuit, produced by QBP
+//     with B = 0 ("this same initial solution is used for all three
+//     approaches");
+//   * QBP runs a fixed 100 iterations; GFM runs to convergence; GKL is cut
+//     off after 6 outer loops;
+//   * Table II drops the timing constraints, Table III keeps them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/gfm.hpp"
+#include "baselines/gkl.hpp"
+#include "bench_support/circuits.hpp"
+#include "core/burkard.hpp"
+
+namespace qbp {
+
+struct ExperimentConfig {
+  std::int32_t qbp_iterations = 100;
+  double penalty = kPaperPenalty;
+  std::int32_t gkl_outer_loops = 6;
+  /// Seed for the shared initial solution.
+  std::uint64_t seed = 1993;
+  bool run_qbp = true;
+  bool run_gfm = true;
+  bool run_gkl = true;
+};
+
+struct MethodOutcome {
+  double final_cost = 0.0;       // wirelength (each wire once)
+  double improvement_pct = 0.0;  // (start - final) / start * 100
+  double cpu_seconds = 0.0;
+  bool feasible = false;
+};
+
+struct ExperimentRow {
+  std::string circuit;
+  double start_cost = 0.0;
+  MethodOutcome qbp;
+  MethodOutcome gfm;
+  MethodOutcome gkl;
+};
+
+/// Run the three methods on one problem (timing constraints as present in
+/// `problem`; pass problem.without_timing() for the Table II variant).
+[[nodiscard]] ExperimentRow run_experiment(const std::string& circuit_name,
+                                           const PartitionProblem& problem,
+                                           const ExperimentConfig& config = {});
+
+/// As above, but from an explicit shared starting solution.  The paper uses
+/// the *same* initial solution for Tables II and III ("start" columns are
+/// identical), produced on the timing-constrained problem -- compute it
+/// once with make_initial on the full problem and pass it to both variants.
+[[nodiscard]] ExperimentRow run_experiment_from(const std::string& circuit_name,
+                                                const PartitionProblem& problem,
+                                                const Assignment& initial,
+                                                bool initial_feasible,
+                                                const ExperimentConfig& config);
+
+/// Render rows in the paper's table layout.
+[[nodiscard]] std::string format_table(const std::string& title,
+                                       const std::vector<ExperimentRow>& rows);
+
+/// Comma-separated dump for downstream plotting.
+[[nodiscard]] std::string rows_to_csv(const std::vector<ExperimentRow>& rows);
+
+}  // namespace qbp

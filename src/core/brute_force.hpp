@@ -1,0 +1,40 @@
+// Exact exhaustive solvers for tiny instances -- the test oracle behind the
+// embedding theorems and the heuristics' quality checks.  Enumerates all
+// M^N complete assignments; guarded to stay within a work budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/problem.hpp"
+
+namespace qbp {
+
+struct BruteForceResult {
+  Assignment best;
+  double value = 0.0;
+  /// False when no assignment satisfies the constraints (or none exists
+  /// within the enumeration budget, which asserts instead).
+  bool found = false;
+  /// Assignments satisfying the constraint set that was enforced.
+  std::int64_t feasible_count = 0;
+};
+
+/// Exact minimum of the *constrained* problem: the true objective over
+/// assignments satisfying C1, C2 (and C3 implicitly).
+[[nodiscard]] BruteForceResult brute_force_constrained(
+    const PartitionProblem& problem);
+
+/// Exact minimum of the *embedded* problem QBP(Qhat): the penalized value
+/// y^T Qhat y over assignments satisfying only C1 (and C3) -- timing enters
+/// through the penalty, exactly as the transformed problem of Section 3.2.
+[[nodiscard]] BruteForceResult brute_force_penalized(
+    const PartitionProblem& problem, double penalty);
+
+/// Exhaustively enumerate complete assignments, calling `visit` on each.
+/// Exposed for property tests.  Asserts M^N <= 2^24.
+void enumerate_assignments(std::int32_t num_components,
+                           std::int32_t num_partitions,
+                           const std::function<void(const Assignment&)>& visit);
+
+}  // namespace qbp

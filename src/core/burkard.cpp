@@ -1,0 +1,287 @@
+#include "core/burkard.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/qhat.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace qbp {
+
+namespace {
+
+/// Reshape a flat MN cost vector into the M x N matrix a GAP solve expects
+/// (cost(i, j) = flat[i + j * M]).
+Matrix<double> reshape_cost(const PartitionProblem& problem,
+                            const std::vector<double>& flat) {
+  const std::int32_t m = problem.num_partitions();
+  const std::int32_t n = problem.num_components();
+  Matrix<double> cost(m, n, 0.0);
+  for (std::int32_t j = 0; j < n; ++j) {
+    for (std::int32_t i = 0; i < m; ++i) {
+      cost(i, j) = flat[static_cast<std::size_t>(problem.flat_index(i, j))];
+    }
+  }
+  return cost;
+}
+
+/// Greedy descent on the penalized objective: per round, a best-move sweep
+/// over every (component, partition) pair, then a first-improvement swap
+/// sweep over connected pairs, constrained pairs and a random pair sample.
+/// Capacity C1 stays invariant throughout; timing enters via the penalty.
+void polish_iterate(const PartitionProblem& problem, const QhatMatrix& qhat,
+                    Assignment& u, std::int32_t max_sweeps,
+                    std::uint64_t sweep_seed) {
+  if (max_sweeps <= 0) return;
+  const std::int32_t n = problem.num_components();
+  const std::int32_t m = problem.num_partitions();
+  const auto sizes = problem.netlist().sizes();
+  CapacityLedger ledger(u, sizes, problem.topology().capacities());
+  constexpr double kEps = 1e-9;
+  Rng rng(sweep_seed);
+
+  const auto try_swap = [&](std::int32_t a, std::int32_t b) {
+    if (a == b || u[a] == u[b]) return false;
+    const double sa = sizes[static_cast<std::size_t>(a)];
+    const double sb = sizes[static_cast<std::size_t>(b)];
+    if (ledger.usage(u[a]) - sa + sb >
+        ledger.capacity(u[a]) + CapacityLedger::kTolerance) {
+      return false;
+    }
+    if (ledger.usage(u[b]) - sb + sa >
+        ledger.capacity(u[b]) + CapacityLedger::kTolerance) {
+      return false;
+    }
+    if (qhat.swap_delta_penalized(u, a, b) >= -kEps) return false;
+    const PartitionId pa = u[a];
+    const PartitionId pb = u[b];
+    ledger.remove(pa, sa);
+    ledger.add(pb, sa);
+    ledger.remove(pb, sb);
+    ledger.add(pa, sb);
+    u.set(a, pb);
+    u.set(b, pa);
+    return true;
+  };
+
+  const auto& adjacency = problem.netlist().connection_matrix();
+  for (std::int32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool improved = false;
+
+    // Move sweep: best capacity-feasible improving move per component.
+    for (std::int32_t j = 0; j < n; ++j) {
+      PartitionId best_target = -1;
+      double best_delta = -kEps;
+      for (PartitionId i = 0; i < m; ++i) {
+        if (i == u[j]) continue;
+        if (!ledger.fits(i, sizes[static_cast<std::size_t>(j)])) continue;
+        const double delta = qhat.move_delta_penalized(u, j, i);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_target = i;
+        }
+      }
+      if (best_target >= 0) {
+        ledger.remove(u[j], sizes[static_cast<std::size_t>(j)]);
+        ledger.add(best_target, sizes[static_cast<std::size_t>(j)]);
+        u.set(j, best_target);
+        improved = true;
+      }
+    }
+
+    // Swap sweep (the move class GKL uses): connected pairs, constrained
+    // pairs, and a random sample for pure capacity exchanges.
+    for (std::int32_t a = 0; a < n; ++a) {
+      for (const std::int32_t b : adjacency.row_indices(a)) {
+        if (b > a && try_swap(a, b)) improved = true;
+      }
+      for (const std::int32_t b : problem.timing().partners(a)) {
+        if (b > a && try_swap(a, b)) improved = true;
+      }
+    }
+    for (std::int32_t k = 0; k < n; ++k) {
+      const auto a = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto b = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (try_swap(a, b)) improved = true;
+    }
+
+    if (!improved) break;
+  }
+}
+
+}  // namespace
+
+BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initial,
+                        const BurkardOptions& options) {
+  assert(initial.num_components() == problem.num_components());
+  assert(initial.is_complete() && "the starting solution must satisfy C3");
+
+  const Timer timer;
+  const QhatMatrix qhat(problem, options.penalty);
+  const std::vector<double> omega = qhat.omega();  // STEP 2 bounds
+
+  GapProblem gap;
+  gap.sizes = problem.netlist().sizes();
+  gap.capacities = problem.topology().capacities();
+
+  BurkardResult result;
+  // STEP 2: u* <- u(1), z* <- u*^T Qhat u*.
+  Assignment u = initial;
+  result.best = u;
+  result.best_penalized = qhat.penalized_value(u);
+
+  const auto consider_feasible = [&](const Assignment& candidate) {
+    if (!problem.satisfies_capacity(candidate) ||
+        !problem.satisfies_timing(candidate)) {
+      return;
+    }
+    const double objective = problem.objective(candidate);
+    if (!result.found_feasible || objective < result.best_feasible_objective) {
+      result.found_feasible = true;
+      result.best_feasible = candidate;
+      result.best_feasible_objective = objective;
+    }
+  };
+  consider_feasible(u);
+
+  const std::int64_t flat_size = problem.flat_size();
+  std::vector<double> eta(static_cast<std::size_t>(flat_size), 0.0);
+  std::vector<double> h(static_cast<std::size_t>(flat_size), 0.0);  // STEP 1
+
+  for (std::int32_t k = 1; k <= options.iterations; ++k) {
+    // STEP 3: eta gather and xi.
+    qhat.eta(u, eta);
+    if (options.eta_includes_omega) {
+      for (std::int32_t j = 0; j < problem.num_components(); ++j) {
+        const std::int64_t r = problem.flat_index(u[j], j);
+        eta[static_cast<std::size_t>(r)] += omega[static_cast<std::size_t>(r)];
+      }
+    }
+    double xi = 0.0;
+    for (std::int32_t j = 0; j < problem.num_components(); ++j) {
+      xi += omega[static_cast<std::size_t>(problem.flat_index(u[j], j))];
+    }
+
+    // STEP 4: z = min_{u in S} eta . u  (a GAP; only the value is used).
+    gap.cost = reshape_cost(problem, eta);
+    const GapResult step4 = solve_gap(gap, options.gap_step4);
+    if (!step4.feasible) ++result.infeasible_inner_solves;
+    const double z = step4.cost;
+
+    // STEP 5: accumulate the normalized direction.
+    const double scale = 1.0 / std::max(1.0, std::abs(z - xi));
+    for (std::size_t r = 0; r < h.size(); ++r) h[r] += eta[r] * scale;
+
+    // STEP 6: u(k+1) = argmin_{u in S} h . u.
+    gap.cost = reshape_cost(problem, h);
+    const GapResult step6 = solve_gap(gap, options.gap_step6);
+    if (!step6.feasible) ++result.infeasible_inner_solves;
+    Assignment next(step6.agent_of_item, problem.num_partitions());
+
+    // Enhancement: polish the iterate into a penalized local minimum
+    // (capacity-preserving moves only) before evaluating it.
+    if (step6.feasible) {
+      polish_iterate(problem, qhat, next, options.polish_sweeps,
+                     0x9b1eu ^ static_cast<std::uint64_t>(k));
+    }
+
+    // STEP 7: incumbent update by penalized value; feasible incumbent is
+    // tracked separately (Theorem 2 certification needs C2 to hold).
+    const double penalized = qhat.penalized_value(next);
+    if (penalized < result.best_penalized) {
+      result.best_penalized = penalized;
+      result.best = next;
+    }
+    if (step6.feasible) consider_feasible(next);
+
+    if (options.record_history) result.history.push_back(result.best_penalized);
+    result.iterations_run = k;
+    u = std::move(next);
+
+    // Periodic restart: re-aim the line search at the (perturbed)
+    // incumbent so successive rounds explore different basins.
+    if (options.restart_period > 0 && k % options.restart_period == 0) {
+      std::fill(h.begin(), h.end(), 0.0);
+      u = result.found_feasible ? result.best_feasible : result.best;
+      if (options.restart_perturbation > 0.0) {
+        Rng kick_rng(0xfeedu ^ static_cast<std::uint64_t>(k));
+        const auto sizes = problem.netlist().sizes();
+        CapacityLedger ledger(u, sizes, problem.topology().capacities());
+        const auto kicks = static_cast<std::int32_t>(
+            options.restart_perturbation * problem.num_components());
+        for (std::int32_t kick = 0; kick < kicks; ++kick) {
+          const auto j = static_cast<std::int32_t>(kick_rng.next_below(
+              static_cast<std::uint64_t>(problem.num_components())));
+          const auto target = static_cast<PartitionId>(kick_rng.next_below(
+              static_cast<std::uint64_t>(problem.num_partitions())));
+          if (target == u[j] ||
+              !ledger.fits(target, sizes[static_cast<std::size_t>(j)])) {
+            continue;
+          }
+          ledger.remove(u[j], sizes[static_cast<std::size_t>(j)]);
+          ledger.add(target, sizes[static_cast<std::size_t>(j)]);
+          u.set(j, target);
+        }
+        // Descend from the kicked point (iterated local search): the kick
+        // only diversifies if the following descent happens before the
+        // global field re-absorbs it.
+        polish_iterate(problem, qhat, u, options.polish_sweeps,
+                       0x15edu ^ static_cast<std::uint64_t>(k));
+        const double kicked = qhat.penalized_value(u);
+        if (kicked < result.best_penalized) {
+          result.best_penalized = kicked;
+          result.best = u;
+        }
+        consider_feasible(u);
+      }
+    }
+
+    log::debug("burkard iter ", k, ": penalized incumbent ",
+               result.best_penalized, ", step-4 z = ", z);
+
+    if (options.time_budget_seconds > 0.0 &&
+        timer.seconds() >= options.time_budget_seconds) {
+      break;
+    }
+  }
+
+  result.seconds = timer.seconds();
+  return result;
+}
+
+BurkardResult solve_qbp_multistart(const PartitionProblem& problem,
+                                   std::int32_t starts, std::uint64_t seed,
+                                   const BurkardOptions& options) {
+  assert(starts >= 1);
+  const Timer timer;
+  Rng rng(seed);
+  BurkardResult best;
+  bool have_best = false;
+  for (std::int32_t attempt = 0; attempt < starts; ++attempt) {
+    Assignment start(problem.num_components(), problem.num_partitions());
+    for (std::int32_t j = 0; j < problem.num_components(); ++j) {
+      start.set(j, static_cast<PartitionId>(rng.next_below(
+                       static_cast<std::uint64_t>(problem.num_partitions()))));
+    }
+    BurkardResult candidate = solve_qbp(problem, start, options);
+    const bool better =
+        !have_best ||
+        (candidate.found_feasible &&
+         (!best.found_feasible ||
+          candidate.best_feasible_objective < best.best_feasible_objective)) ||
+        (!candidate.found_feasible && !best.found_feasible &&
+         candidate.best_penalized < best.best_penalized);
+    if (better) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  best.seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace qbp

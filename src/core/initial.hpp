@@ -1,0 +1,45 @@
+// Initial-solution construction.
+//
+// Section 5 of the paper: "For GFM and GKL, an initial feasible solution is
+// needed ... The fastest way to obtain a initial feasible solution is to
+// use QBP algorithm with matrix B set to all zeros.  This will generate an
+// initial feasible solution in a few iterations.  This same initial
+// solution is used for all three approaches."  kQbpZeroWireCost implements
+// exactly that; the other strategies exist for the initial-robustness
+// ablation ("QBP maintained the same kind of good results from any
+// arbitrary initial solution").
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace qbp {
+
+enum class InitialStrategy {
+  /// Uniform random partition per component; may violate C1 and C2.
+  kRandom,
+  /// Random order, random choice among partitions that keep C1 and C2
+  /// satisfied against already-placed components; falls back to max-slack.
+  kRandomFeasible,
+  /// Biggest components first into the partition with the most remaining
+  /// slack (capacity-driven, timing-checked).
+  kGreedyBalanced,
+  /// The paper's method: a short QBP run on the instance with B = 0.
+  kQbpZeroWireCost,
+};
+
+struct InitialResult {
+  Assignment assignment;
+  /// C1 and C2 both hold.
+  bool feasible = false;
+};
+
+/// Build a starting assignment; deterministic in `seed`.
+/// `qbp_iterations` only applies to kQbpZeroWireCost ("a few iterations").
+[[nodiscard]] InitialResult make_initial(const PartitionProblem& problem,
+                                         InitialStrategy strategy,
+                                         std::uint64_t seed,
+                                         std::int32_t qbp_iterations = 12);
+
+}  // namespace qbp

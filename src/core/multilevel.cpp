@@ -1,0 +1,192 @@
+#include "core/multilevel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace qbp {
+
+CoarseProblem coarsen(const PartitionProblem& problem,
+                      const CoarsenOptions& options) {
+  const std::int32_t n = problem.num_components();
+  const auto& adjacency = problem.netlist().connection_matrix();
+  const auto sizes = problem.netlist().sizes();
+
+  double max_capacity = 0.0;
+  for (const double c : problem.topology().capacities()) {
+    max_capacity = std::max(max_capacity, c);
+  }
+  const double size_limit = max_capacity * options.max_cluster_capacity_fraction;
+
+  // Heavy-edge matching in random visit order.
+  Rng rng(options.seed);
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<std::int32_t>(order));
+
+  std::vector<std::int32_t> mate(static_cast<std::size_t>(n), -1);
+  for (const std::int32_t j : order) {
+    if (mate[static_cast<std::size_t>(j)] != -1) continue;
+    const auto neighbors = adjacency.row_indices(j);
+    const auto weights = adjacency.row_values(j);
+    std::int32_t best = -1;
+    std::int32_t best_weight = 0;
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const std::int32_t other = neighbors[k];
+      if (mate[static_cast<std::size_t>(other)] != -1) continue;
+      if (sizes[static_cast<std::size_t>(j)] +
+              sizes[static_cast<std::size_t>(other)] >
+          size_limit) {
+        continue;
+      }
+      if (weights[k] > best_weight ||
+          (weights[k] == best_weight && best >= 0 && other < best)) {
+        best_weight = weights[k];
+        best = other;
+      }
+    }
+    if (best >= 0) {
+      mate[static_cast<std::size_t>(j)] = best;
+      mate[static_cast<std::size_t>(best)] = j;
+    }
+  }
+
+  // Assign cluster ids: matched pairs share one, singletons get their own.
+  CoarseProblem coarse;
+  coarse.cluster_of.assign(static_cast<std::size_t>(n), -1);
+  std::int32_t next_cluster = 0;
+  for (std::int32_t j = 0; j < n; ++j) {
+    if (coarse.cluster_of[static_cast<std::size_t>(j)] != -1) continue;
+    coarse.cluster_of[static_cast<std::size_t>(j)] = next_cluster;
+    const std::int32_t partner = mate[static_cast<std::size_t>(j)];
+    if (partner >= 0) coarse.cluster_of[static_cast<std::size_t>(partner)] = next_cluster;
+    ++next_cluster;
+  }
+  coarse.num_clusters = next_cluster;
+
+  // Coarse netlist: sizes add, wires re-accumulate between clusters.
+  Netlist coarse_netlist(problem.netlist().name() + ".coarse");
+  {
+    std::vector<double> cluster_size(static_cast<std::size_t>(next_cluster), 0.0);
+    for (std::int32_t j = 0; j < n; ++j) {
+      cluster_size[static_cast<std::size_t>(
+          coarse.cluster_of[static_cast<std::size_t>(j)])] +=
+          sizes[static_cast<std::size_t>(j)];
+    }
+    for (std::int32_t c = 0; c < next_cluster; ++c) {
+      coarse_netlist.add_component("cl" + std::to_string(c),
+                                   cluster_size[static_cast<std::size_t>(c)]);
+    }
+  }
+  const_cast<Netlist&>(problem.netlist()).finalize();
+  for (const WireBundle& bundle : problem.netlist().bundles()) {
+    const std::int32_t ca = coarse.cluster_of[static_cast<std::size_t>(bundle.a)];
+    const std::int32_t cb = coarse.cluster_of[static_cast<std::size_t>(bundle.b)];
+    if (ca != cb) coarse_netlist.add_wires(ca, cb, bundle.multiplicity);
+  }
+  coarse_netlist.finalize();
+
+  // Coarse timing: tightest bound across each cluster pair; intra-cluster
+  // constraints vanish (co-location has zero delay).
+  TimingConstraints coarse_timing(next_cluster);
+  problem.timing().matrix().for_each(
+      [&](std::int32_t j1, std::int32_t j2, double bound) {
+        if (j1 >= j2) return;
+        const std::int32_t c1 = coarse.cluster_of[static_cast<std::size_t>(j1)];
+        const std::int32_t c2 = coarse.cluster_of[static_cast<std::size_t>(j2)];
+        if (c1 != c2) coarse_timing.add(c1, c2, bound);
+      });
+
+  // Coarse linear term: the cost of a cluster at partition i is the sum of
+  // its members' costs there.
+  Matrix<double> coarse_p;
+  const auto& p = problem.linear_cost_matrix();
+  if (!p.empty()) {
+    coarse_p = Matrix<double>(problem.num_partitions(), next_cluster, 0.0);
+    for (PartitionId i = 0; i < problem.num_partitions(); ++i) {
+      for (std::int32_t j = 0; j < n; ++j) {
+        coarse_p(i, coarse.cluster_of[static_cast<std::size_t>(j)]) += p(i, j);
+      }
+    }
+  }
+
+  coarse.problem = PartitionProblem(std::move(coarse_netlist),
+                                    problem.topology(), std::move(coarse_timing),
+                                    std::move(coarse_p), problem.alpha(),
+                                    problem.beta());
+  return coarse;
+}
+
+Assignment uncoarsen(const CoarseProblem& coarse,
+                     const Assignment& coarse_assignment) {
+  assert(coarse_assignment.num_components() == coarse.num_clusters);
+  Assignment fine(static_cast<std::int32_t>(coarse.cluster_of.size()),
+                  coarse_assignment.num_partitions());
+  for (std::size_t j = 0; j < coarse.cluster_of.size(); ++j) {
+    fine.set(static_cast<std::int32_t>(j),
+             coarse_assignment[coarse.cluster_of[j]]);
+  }
+  return fine;
+}
+
+MultilevelResult solve_qbp_multilevel(const PartitionProblem& problem,
+                                      const Assignment& initial,
+                                      const MultilevelOptions& options) {
+  const Timer timer;
+  MultilevelResult result;
+
+  // Build the coarsening hierarchy.  `levels` points into `coarse_levels`,
+  // so the storage must never reallocate.
+  std::vector<const PartitionProblem*> levels{&problem};
+  std::vector<CoarseProblem> coarse_levels;
+  coarse_levels.reserve(static_cast<std::size_t>(std::max(options.max_levels, 0)));
+  result.level_sizes.push_back(problem.num_components());
+  for (std::int32_t level = 0; level < options.max_levels; ++level) {
+    CoarsenOptions coarsen_options = options.coarsen;
+    coarsen_options.seed = options.coarsen.seed + static_cast<unsigned>(level);
+    CoarseProblem next = coarsen(*levels.back(), coarsen_options);
+    if (next.num_clusters >=
+        static_cast<std::int32_t>(options.min_shrink *
+                                  levels.back()->num_components())) {
+      break;  // diminishing returns
+    }
+    coarse_levels.push_back(std::move(next));
+    levels.push_back(&coarse_levels.back().problem);
+    result.level_sizes.push_back(coarse_levels.back().num_clusters);
+  }
+  result.levels_used = static_cast<std::int32_t>(coarse_levels.size());
+
+  // Project the seed assignment down to the coarsest level.
+  Assignment seed = initial;
+  for (const CoarseProblem& coarse : coarse_levels) {
+    Assignment projected(coarse.num_clusters,
+                         coarse.problem.num_partitions());
+    for (std::size_t j = 0; j < coarse.cluster_of.size(); ++j) {
+      // First member wins; members of a cluster usually agree after the
+      // previous level's refinement anyway.
+      const std::int32_t cluster = coarse.cluster_of[j];
+      if (projected[cluster] == Assignment::kUnassigned) {
+        projected.set(cluster, seed[static_cast<std::int32_t>(j)]);
+      }
+    }
+    seed = std::move(projected);
+  }
+
+  // Solve coarsest, then refine upward.
+  BurkardResult run = solve_qbp(*levels.back(), seed, options.coarse_solver);
+  for (std::size_t level = coarse_levels.size(); level-- > 0;) {
+    const Assignment& coarse_best =
+        run.found_feasible ? run.best_feasible : run.best;
+    const Assignment projected = uncoarsen(coarse_levels[level], coarse_best);
+    run = solve_qbp(*levels[level], projected, options.refine_solver);
+  }
+
+  result.finest = std::move(run);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace qbp

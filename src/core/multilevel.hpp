@@ -1,0 +1,83 @@
+// Multilevel QBP partitioning (extension beyond the paper).
+//
+// The paper's heuristic scales to hundreds of components; the standard way
+// to push it further (and the direction the field took after 1993) is a
+// multilevel scheme:
+//
+//   1. COARSEN: heavy-edge matching merges strongly-connected component
+//      pairs into clusters (sizes add, wires re-accumulate between
+//      clusters, timing constraints keep the tightest bound across the cut
+//      pairs; intra-cluster constraints vanish -- co-location has delay
+//      D(i,i) = 0, so merging can never violate a pairwise bound).
+//   2. SOLVE the coarse PP with the Burkard heuristic (cheap: fewer
+//      components, same partitions).
+//   3. UNCOARSEN: every component inherits its cluster's partition.
+//   4. REFINE: a short Burkard run on the full problem from the projected
+//      assignment.
+//
+// One coarsening level usually halves the component count; `max_levels`
+// controls the depth of the V-cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/burkard.hpp"
+#include "core/problem.hpp"
+
+namespace qbp {
+
+struct CoarseProblem {
+  PartitionProblem problem;
+  /// cluster_of[fine_component] = coarse component id.
+  std::vector<std::int32_t> cluster_of;
+  std::int32_t num_clusters = 0;
+};
+
+struct CoarsenOptions {
+  /// A pair may merge only if the merged size fits the largest partition
+  /// times this factor (guards against unplaceable super-components).
+  double max_cluster_capacity_fraction = 0.5;
+  /// Deterministic tie-breaking seed for the matching order.
+  std::uint64_t seed = 1;
+};
+
+/// One level of heavy-edge-matching coarsening.  Unmatched components
+/// become singleton clusters.  num_clusters < N whenever any wire connects
+/// two mergeable components.
+[[nodiscard]] CoarseProblem coarsen(const PartitionProblem& problem,
+                                    const CoarsenOptions& options = {});
+
+/// Project a coarse assignment back to the fine components.
+[[nodiscard]] Assignment uncoarsen(const CoarseProblem& coarse,
+                                   const Assignment& coarse_assignment);
+
+struct MultilevelOptions {
+  std::int32_t max_levels = 2;
+  /// Stop coarsening when a level shrinks the problem by less than this.
+  double min_shrink = 0.9;
+  /// Burkard budget on the coarsest problem.
+  BurkardOptions coarse_solver;
+  /// Burkard budget for each refinement level (runs from the projection).
+  BurkardOptions refine_solver;
+  CoarsenOptions coarsen;
+
+  MultilevelOptions() {
+    coarse_solver.iterations = 80;
+    refine_solver.iterations = 30;
+  }
+};
+
+struct MultilevelResult {
+  BurkardResult finest;             // the final refinement run's result
+  std::int32_t levels_used = 0;     // coarsening levels actually applied
+  std::vector<std::int32_t> level_sizes;  // component count per level, fine->coarse
+  double seconds = 0.0;
+};
+
+/// Full V-cycle from `initial` (used only to seed the coarsest solve).
+[[nodiscard]] MultilevelResult solve_qbp_multilevel(
+    const PartitionProblem& problem, const Assignment& initial,
+    const MultilevelOptions& options = {});
+
+}  // namespace qbp

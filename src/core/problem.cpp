@@ -1,0 +1,146 @@
+#include "core/problem.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "partition/cost.hpp"
+
+namespace qbp {
+
+PartitionProblem::PartitionProblem(Netlist netlist, PartitionTopology topology,
+                                   TimingConstraints timing, Matrix<double> p,
+                                   double alpha, double beta)
+    : netlist_(std::move(netlist)),
+      topology_(std::move(topology)),
+      timing_(std::move(timing)),
+      p_(std::move(p)),
+      alpha_(alpha),
+      beta_(beta) {
+  netlist_.finalize();
+}
+
+std::vector<std::uint8_t> PartitionProblem::to_y(const Assignment& assignment) const {
+  assert(assignment.num_components() == num_components());
+  assert(assignment.is_complete());
+  std::vector<std::uint8_t> y(static_cast<std::size_t>(flat_size()), 0);
+  for (std::int32_t j = 0; j < num_components(); ++j) {
+    y[static_cast<std::size_t>(flat_index(assignment[j], j))] = 1;
+  }
+  return y;
+}
+
+Assignment PartitionProblem::from_y(const std::vector<std::uint8_t>& y) const {
+  assert(static_cast<std::int64_t>(y.size()) == flat_size());
+  Assignment assignment(num_components(), num_partitions());
+  for (std::int64_t r = 0; r < flat_size(); ++r) {
+    if (y[static_cast<std::size_t>(r)] != 0) {
+      assert(assignment[component_of(r)] == Assignment::kUnassigned &&
+             "y has more than one 1 in a component column (violates C3)");
+      assignment.set(component_of(r), partition_of(r));
+    }
+  }
+  assert(assignment.is_complete() && "y misses a component (violates C3)");
+  return assignment;
+}
+
+bool PartitionProblem::satisfies_capacity(const Assignment& assignment) const {
+  return qbp::satisfies_capacity(assignment, netlist_.sizes(),
+                                 topology_.capacities());
+}
+
+bool PartitionProblem::satisfies_timing(const Assignment& assignment) const {
+  return timing_.is_feasible(assignment, topology_);
+}
+
+bool PartitionProblem::is_feasible(const Assignment& assignment) const {
+  return assignment.is_complete() && satisfies_capacity(assignment) &&
+         satisfies_timing(assignment);
+}
+
+double PartitionProblem::objective(const Assignment& assignment) const {
+  return qbp::objective(netlist_, topology_, p_, alpha_, beta_, assignment);
+}
+
+double PartitionProblem::wirelength(const Assignment& assignment) const {
+  return qbp::wirelength(netlist_, topology_, assignment);
+}
+
+PartitionProblem PartitionProblem::normalized() const {
+  const std::int32_t m = num_partitions();
+  Matrix<double> scaled_b(m, m, 0.0);
+  Matrix<double> delay(m, m, 0.0);
+  for (std::int32_t i1 = 0; i1 < m; ++i1) {
+    for (std::int32_t i2 = 0; i2 < m; ++i2) {
+      scaled_b(i1, i2) = beta_ * topology_.wire_cost(i1, i2);
+      delay(i1, i2) = topology_.delay(i1, i2);
+    }
+  }
+  Matrix<double> scaled_p = p_;
+  if (!scaled_p.empty()) {
+    for (std::int32_t i = 0; i < scaled_p.rows(); ++i) {
+      for (std::int32_t j = 0; j < scaled_p.cols(); ++j) {
+        scaled_p(i, j) *= alpha_;
+      }
+    }
+  }
+  return PartitionProblem(
+      netlist_,
+      PartitionTopology::custom(std::move(scaled_b), std::move(delay),
+                                topology_.capacities()),
+      timing_, std::move(scaled_p), 1.0, 1.0);
+}
+
+PartitionProblem PartitionProblem::with_zero_wire_cost() const {
+  const std::int32_t m = num_partitions();
+  Matrix<double> zero_b(m, m, 0.0);
+  Matrix<double> delay(m, m, 0.0);
+  for (std::int32_t i1 = 0; i1 < m; ++i1) {
+    for (std::int32_t i2 = 0; i2 < m; ++i2) delay(i1, i2) = topology_.delay(i1, i2);
+  }
+  return PartitionProblem(
+      netlist_,
+      PartitionTopology::custom(std::move(zero_b), std::move(delay),
+                                topology_.capacities()),
+      timing_, p_, alpha_, beta_);
+}
+
+PartitionProblem PartitionProblem::without_timing() const {
+  return PartitionProblem(netlist_, topology_,
+                          TimingConstraints(num_components()), p_, alpha_, beta_);
+}
+
+std::string PartitionProblem::validate() const {
+  if (auto message = netlist_.validate(); !message.empty()) {
+    return "netlist: " + message;
+  }
+  if (auto message = topology_.validate(); !message.empty()) {
+    return "topology: " + message;
+  }
+  if (timing_.num_components() != num_components()) {
+    return "timing constraints sized for a different component count";
+  }
+  if (!p_.empty()) {
+    if (p_.rows() != num_partitions() || p_.cols() != num_components()) {
+      return "linear cost matrix P is not M x N";
+    }
+    for (std::int32_t i = 0; i < p_.rows(); ++i) {
+      for (std::int32_t j = 0; j < p_.cols(); ++j) {
+        if (p_(i, j) < 0.0) {
+          std::ostringstream out;
+          out << "P(" << i << ", " << j
+              << ") is negative; the QBP linearization assumes a "
+                 "non-negative cost matrix (Section 4.1)";
+          return out.str();
+        }
+      }
+    }
+  }
+  if (alpha_ < 0.0 || beta_ < 0.0) return "alpha and beta must be non-negative";
+  if (netlist_.total_size() > topology_.total_capacity()) {
+    return "total component size exceeds total capacity; no feasible "
+           "assignment exists";
+  }
+  return {};
+}
+
+}  // namespace qbp

@@ -1,0 +1,302 @@
+#include "core/qhat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "partition/cost.hpp"
+
+namespace qbp {
+
+QhatMatrix::QhatMatrix(const PartitionProblem& problem, double penalty)
+    : problem_(&problem), penalty_(penalty) {
+  assert(penalty > 0.0);
+}
+
+bool QhatMatrix::violates(PartitionId i1, std::int32_t j1, PartitionId i2,
+                          std::int32_t j2) const {
+  if (j1 == j2) return false;
+  const double bound = problem_->timing().max_delay(j1, j2);
+  return problem_->topology().delay(i1, i2) > bound;
+}
+
+double QhatMatrix::entry(std::int64_t r1, std::int64_t r2) const {
+  const PartitionId i1 = problem_->partition_of(r1);
+  const std::int32_t j1 = problem_->component_of(r1);
+  const PartitionId i2 = problem_->partition_of(r2);
+  const std::int32_t j2 = problem_->component_of(r2);
+
+  if (violates(i1, j1, i2, j2)) return penalty_;
+  if (j1 == j2) {
+    // Same component: only the diagonal carries cost (the linear term);
+    // off-diagonal same-column pairs can never be jointly active under C3.
+    return r1 == r2 ? problem_->alpha() * problem_->linear_cost(i1, j1) : 0.0;
+  }
+  const auto wires = problem_->netlist().connection_matrix().value_or(j1, j2, 0);
+  if (wires == 0) return 0.0;
+  return problem_->beta() * wires * problem_->topology().wire_cost(i1, i2);
+}
+
+std::int64_t QhatMatrix::ordered_violations(const Assignment& assignment) const {
+  std::int64_t count = 0;
+  problem_->timing().matrix().for_each(
+      [&](std::int32_t j1, std::int32_t j2, double bound) {
+        const PartitionId p1 = assignment[j1];
+        const PartitionId p2 = assignment[j2];
+        if (p1 == Assignment::kUnassigned || p2 == Assignment::kUnassigned) return;
+        if (problem_->topology().delay(p1, p2) > bound) ++count;
+      });
+  return count;
+}
+
+double QhatMatrix::penalized_value(const Assignment& assignment) const {
+  // y^T Qhat y = true objective + penalty for every ordered violating pair
+  // - the wire term those violating pairs would otherwise have contributed.
+  double value = problem_->objective(assignment);
+  const auto& adjacency = problem_->netlist().connection_matrix();
+  problem_->timing().matrix().for_each(
+      [&](std::int32_t j1, std::int32_t j2, double bound) {
+        const PartitionId p1 = assignment[j1];
+        const PartitionId p2 = assignment[j2];
+        if (p1 == Assignment::kUnassigned || p2 == Assignment::kUnassigned) return;
+        if (problem_->topology().delay(p1, p2) > bound) {
+          const auto wires = adjacency.value_or(j1, j2, 0);
+          value += penalty_ - problem_->beta() * wires *
+                                  problem_->topology().wire_cost(p1, p2);
+        }
+      });
+  return value;
+}
+
+double QhatMatrix::move_delta_penalized(const Assignment& assignment,
+                                        std::int32_t component,
+                                        PartitionId target) const {
+  const PartitionId source = assignment[component];
+  if (source == target) return 0.0;
+  const auto& topology = problem_->topology();
+  const auto& adjacency = problem_->netlist().connection_matrix();
+
+  // Penalty contribution of every ordered violating pair involving
+  // `component` if it sat in partition `i` (each violating direction
+  // replaces its wire term with the flat penalty).
+  const auto violation_contribution = [&](PartitionId i) {
+    const auto partners = problem_->timing().partners(component);
+    const auto bounds = problem_->timing().bounds(component);
+    double total = 0.0;
+    for (std::size_t k = 0; k < partners.size(); ++k) {
+      const PartitionId other = assignment[partners[k]];
+      if (other == Assignment::kUnassigned) continue;
+      const double wire_scale =
+          problem_->beta() * adjacency.value_or(component, partners[k], 0);
+      if (topology.delay(i, other) > bounds[k]) {
+        total += penalty_ - wire_scale * topology.wire_cost(i, other);
+      }
+      if (topology.delay(other, i) > bounds[k]) {
+        total += penalty_ - wire_scale * topology.wire_cost(other, i);
+      }
+    }
+    return total;
+  };
+
+  return move_delta_objective(problem_->netlist(), topology,
+                              problem_->linear_cost_matrix(), problem_->alpha(),
+                              problem_->beta(), assignment, component, target) +
+         violation_contribution(target) - violation_contribution(source);
+}
+
+double QhatMatrix::swap_delta_penalized(const Assignment& assignment,
+                                        std::int32_t component_a,
+                                        std::int32_t component_b) const {
+  const PartitionId pa = assignment[component_a];
+  const PartitionId pb = assignment[component_b];
+  if (pa == pb) return 0.0;
+  const auto& topology = problem_->topology();
+  const auto& adjacency = problem_->netlist().connection_matrix();
+  const double alpha = problem_->alpha();
+  const double beta = problem_->beta();
+
+  // Penalized cost incident to `component` when it sits in partition `i`,
+  // with the swap partner's position overridable: linear term + both
+  // ordered wire terms per neighbor, with the penalty replacing a wire term
+  // whenever that direction violates its constraint.
+  const auto incident = [&](std::int32_t component, PartitionId i,
+                            std::int32_t partner, PartitionId partner_at) {
+    double total = alpha * problem_->linear_cost(i, component);
+    const auto neighbors = adjacency.row_indices(component);
+    const auto wires = adjacency.row_values(component);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const std::int32_t other = neighbors[k];
+      const PartitionId at = other == partner ? partner_at : assignment[other];
+      const double bound = problem_->timing().max_delay(component, other);
+      const double scale = beta * wires[k];
+      total += topology.delay(i, at) > bound
+                   ? penalty_
+                   : scale * topology.wire_cost(i, at);
+      total += topology.delay(at, i) > bound
+                   ? penalty_
+                   : scale * topology.wire_cost(at, i);
+    }
+    // Constrained but unconnected partners still contribute penalties.
+    const auto partners = problem_->timing().partners(component);
+    const auto bounds = problem_->timing().bounds(component);
+    for (std::size_t k = 0; k < partners.size(); ++k) {
+      const std::int32_t other = partners[k];
+      if (adjacency.contains(component, other)) continue;  // handled above
+      const PartitionId at = other == partner ? partner_at : assignment[other];
+      if (topology.delay(i, at) > bounds[k]) total += penalty_;
+      if (topology.delay(at, i) > bounds[k]) total += penalty_;
+    }
+    return total;
+  };
+
+  // The (a, b) pair's own contribution is counted by both incident() calls;
+  // subtract it once per state.
+  const auto pair_contribution = [&](PartitionId at_a, PartitionId at_b) {
+    const double bound = problem_->timing().max_delay(component_a, component_b);
+    const double scale =
+        beta * adjacency.value_or(component_a, component_b, 0);
+    double total = 0.0;
+    total += topology.delay(at_a, at_b) > bound
+                 ? penalty_
+                 : scale * topology.wire_cost(at_a, at_b);
+    total += topology.delay(at_b, at_a) > bound
+                 ? penalty_
+                 : scale * topology.wire_cost(at_b, at_a);
+    return total;
+  };
+
+  const double before = incident(component_a, pa, component_b, pb) +
+                        incident(component_b, pb, component_a, pa) -
+                        pair_contribution(pa, pb);
+  const double after = incident(component_a, pb, component_b, pa) +
+                       incident(component_b, pa, component_a, pb) -
+                       pair_contribution(pb, pa);
+  return after - before;
+}
+
+void QhatMatrix::eta(const Assignment& u, std::span<double> eta) const {
+  const std::int32_t m = problem_->num_partitions();
+  const std::int32_t n = problem_->num_components();
+  assert(static_cast<std::int64_t>(eta.size()) == problem_->flat_size());
+  assert(u.is_complete());
+
+  std::fill(eta.begin(), eta.end(), 0.0);
+  const auto& adjacency = problem_->netlist().connection_matrix();
+  const auto& topology = problem_->topology();
+  const double beta = problem_->beta();
+
+  for (std::int32_t j2 = 0; j2 < n; ++j2) {
+    double* column = eta.data() + problem_->flat_index(0, j2);
+
+    // Wire blocks: sum over neighbors j1 of beta * a * B(u(j1), i2).
+    const auto neighbors = adjacency.row_indices(j2);
+    const auto wires = adjacency.row_values(j2);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const PartitionId from = u[neighbors[k]];
+      const double scale = beta * wires[k];
+      const auto b_row = topology.wire_cost().row(from);
+      for (std::int32_t i2 = 0; i2 < m; ++i2) {
+        column[i2] += scale * b_row[static_cast<std::size_t>(i2)];
+      }
+    }
+
+    // Constraint blocks: where D(u(j1), i2) > Dc(j1, j2) the Qhat entry is
+    // the flat penalty, replacing the wire term accumulated above.
+    const auto partners = problem_->timing().partners(j2);
+    const auto bounds = problem_->timing().bounds(j2);
+    for (std::size_t k = 0; k < partners.size(); ++k) {
+      const std::int32_t j1 = partners[k];
+      const PartitionId from = u[j1];
+      const double bound = bounds[k];
+      const auto wire = adjacency.value_or(j1, j2, 0);
+      for (std::int32_t i2 = 0; i2 < m; ++i2) {
+        if (topology.delay(from, i2) > bound) {
+          column[i2] += penalty_ - beta * wire * topology.wire_cost(from, i2);
+        }
+      }
+    }
+
+    // Diagonal: q-hat(r, r) = alpha * p contributes when u_r = 1.
+    column[u[j2]] += problem_->alpha() * problem_->linear_cost(u[j2], j2);
+  }
+}
+
+std::vector<double> QhatMatrix::omega() const {
+  const std::int32_t m = problem_->num_partitions();
+  const std::int32_t n = problem_->num_components();
+  std::vector<double> omega(static_cast<std::size_t>(problem_->flat_size()), 0.0);
+
+  const auto& adjacency = problem_->netlist().connection_matrix();
+  const auto& topology = problem_->topology();
+  const double beta = problem_->beta();
+
+  // Worst-case wire cost from partition i1 to anywhere.
+  std::vector<double> max_b(static_cast<std::size_t>(m), 0.0);
+  for (std::int32_t i1 = 0; i1 < m; ++i1) {
+    for (std::int32_t i2 = 0; i2 < m; ++i2) {
+      max_b[static_cast<std::size_t>(i1)] =
+          std::max(max_b[static_cast<std::size_t>(i1)], topology.wire_cost(i1, i2));
+    }
+  }
+
+  for (std::int32_t j1 = 0; j1 < n; ++j1) {
+    const auto neighbors = adjacency.row_indices(j1);
+    const auto wires = adjacency.row_values(j1);
+    const auto partners = problem_->timing().partners(j1);
+    for (PartitionId i1 = 0; i1 < m; ++i1) {
+      // Under C3 every other component contributes exactly one entry of its
+      // M-block; bound each block's max.  Constrained pairs can hit the
+      // penalty; connected pairs can hit beta * a * max_b.
+      double bound = problem_->alpha() * problem_->linear_cost(i1, j1);
+      std::size_t wire_at = 0;
+      std::size_t partner_at = 0;
+      while (wire_at < neighbors.size() || partner_at < partners.size()) {
+        const std::int32_t next_wire = wire_at < neighbors.size()
+                                           ? neighbors[wire_at]
+                                           : problem_->num_components();
+        const std::int32_t next_partner = partner_at < partners.size()
+                                              ? partners[partner_at]
+                                              : problem_->num_components();
+        if (next_wire < next_partner) {
+          bound += beta * wires[wire_at] * max_b[static_cast<std::size_t>(i1)];
+          ++wire_at;
+        } else if (next_partner < next_wire) {
+          bound += penalty_;
+          ++partner_at;
+        } else {
+          bound += std::max(penalty_, beta * wires[wire_at] *
+                                          max_b[static_cast<std::size_t>(i1)]);
+          ++wire_at;
+          ++partner_at;
+        }
+      }
+      omega[static_cast<std::size_t>(problem_->flat_index(i1, j1))] = bound;
+    }
+  }
+  return omega;
+}
+
+std::int64_t QhatMatrix::nominal_nonzeros() const {
+  const auto m = static_cast<std::int64_t>(problem_->num_partitions());
+  const std::int64_t wire_entries =
+      static_cast<std::int64_t>(problem_->netlist().connection_matrix().nonzeros()) *
+      m * m;
+  const std::int64_t constraint_entries =
+      static_cast<std::int64_t>(problem_->timing().matrix().nonzeros()) * m * m;
+  return wire_entries + constraint_entries + problem_->flat_size();
+}
+
+Matrix<double> QhatMatrix::materialize() const {
+  const std::int64_t size = problem_->flat_size();
+  assert(size <= 4096 && "materialize() is for tiny test instances only");
+  Matrix<double> dense(static_cast<std::int32_t>(size),
+                       static_cast<std::int32_t>(size), 0.0);
+  for (std::int64_t r1 = 0; r1 < size; ++r1) {
+    for (std::int64_t r2 = 0; r2 < size; ++r2) {
+      dense(static_cast<std::int32_t>(r1), static_cast<std::int32_t>(r2)) =
+          entry(r1, r2);
+    }
+  }
+  return dense;
+}
+
+}  // namespace qbp

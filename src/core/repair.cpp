@@ -1,0 +1,107 @@
+#include "core/repair.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qbp {
+
+namespace {
+
+/// Violated-constraint count of `component` if it sat in `target`.
+std::int32_t conflicts_at(const PartitionProblem& problem,
+                          const Assignment& assignment, std::int32_t component,
+                          PartitionId target) {
+  const auto partners = problem.timing().partners(component);
+  const auto bounds = problem.timing().bounds(component);
+  std::int32_t conflicts = 0;
+  for (std::size_t k = 0; k < partners.size(); ++k) {
+    const PartitionId other = assignment[partners[k]];
+    if (other == Assignment::kUnassigned) continue;
+    if (problem.topology().delay(target, other) > bounds[k] ||
+        problem.topology().delay(other, target) > bounds[k]) {
+      ++conflicts;
+    }
+  }
+  return conflicts;
+}
+
+}  // namespace
+
+RepairResult repair_timing(const PartitionProblem& problem,
+                           const Assignment& start, const RepairOptions& options) {
+  assert(start.is_complete());
+  const std::int32_t n = problem.num_components();
+  const std::int32_t m = problem.num_partitions();
+  const auto sizes = problem.netlist().sizes();
+
+  RepairResult result;
+  result.assignment = start;
+  Assignment& assignment = result.assignment;
+  CapacityLedger ledger(assignment, sizes, problem.topology().capacities());
+  Rng rng(options.seed);
+
+  const std::int64_t budget =
+      options.max_moves >= 0 ? options.max_moves
+                             : 200 * static_cast<std::int64_t>(n);
+
+  std::vector<std::int32_t> conflicted;
+  std::vector<PartitionId> best_targets;
+  while (result.moves < budget) {
+    // Components currently involved in at least one violated constraint.
+    conflicted.clear();
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (problem.timing().partners(j).empty()) continue;
+      if (conflicts_at(problem, assignment, j, assignment[j]) > 0) {
+        conflicted.push_back(j);
+      }
+    }
+    if (conflicted.empty()) break;
+
+    const std::int32_t j = conflicted[rng.pick_index(conflicted)];
+    const std::int32_t current_conflicts =
+        conflicts_at(problem, assignment, j, assignment[j]);
+
+    // Best capacity-feasible target by conflict count (<= current; sideways
+    // allowed so the walk can escape plateaus), random tie-break.  With
+    // probability `noise` take any capacity-feasible target instead.
+    best_targets.clear();
+    if (rng.next_bool(options.noise)) {
+      for (PartitionId i = 0; i < m; ++i) {
+        if (i != assignment[j] &&
+            ledger.fits(i, sizes[static_cast<std::size_t>(j)])) {
+          best_targets.push_back(i);
+        }
+      }
+    } else {
+      std::int32_t best_conflicts = current_conflicts;
+      for (PartitionId i = 0; i < m; ++i) {
+        if (i == assignment[j]) continue;
+        if (!ledger.fits(i, sizes[static_cast<std::size_t>(j)])) continue;
+        const std::int32_t conflicts = conflicts_at(problem, assignment, j, i);
+        if (conflicts < best_conflicts) {
+          best_conflicts = conflicts;
+          best_targets.assign(1, i);
+        } else if (conflicts == best_conflicts) {
+          best_targets.push_back(i);
+        }
+      }
+    }
+    if (best_targets.empty()) {
+      ++result.moves;  // stuck on this component this round; try another
+      continue;
+    }
+    const PartitionId target = best_targets[rng.pick_index(best_targets)];
+    ledger.remove(assignment[j], sizes[static_cast<std::size_t>(j)]);
+    ledger.add(target, sizes[static_cast<std::size_t>(j)]);
+    assignment.set(j, target);
+    ++result.moves;
+  }
+
+  result.feasible = problem.satisfies_capacity(assignment) &&
+                    problem.satisfies_timing(assignment);
+  return result;
+}
+
+}  // namespace qbp

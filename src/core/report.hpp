@@ -1,0 +1,53 @@
+// Human-readable quality report for a solved assignment: the summary a
+// designer reads after a partitioning run -- per-partition utilization,
+// cut-wire distribution by routing distance, timing-slack statistics, and
+// the two objective terms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace qbp {
+
+struct PartitionUsage {
+  PartitionId partition = 0;
+  double usage = 0.0;
+  double capacity = 0.0;
+  std::int32_t components = 0;
+};
+
+struct SolutionReport {
+  // Objective breakdown.
+  double wirelength = 0.0;       // each wire once
+  double quadratic_term = 0.0;   // paper's ordered double sum
+  double linear_term = 0.0;
+  double objective = 0.0;        // alpha * linear + beta * quadratic
+
+  // Constraint status.
+  bool capacity_ok = false;
+  bool timing_ok = false;
+  std::int64_t timing_violations = 0;  // violated unordered pairs
+
+  // Structure.
+  std::vector<PartitionUsage> partitions;
+  /// wires_at_distance[d] = wire count routed at delay-matrix distance d
+  /// (index capped at the max distance found; [0] = intra-partition).
+  std::vector<std::int64_t> wires_at_distance;
+  /// Minimum slack over satisfied constraints: min (Dc - D); negative when
+  /// violations exist.
+  double min_timing_slack = 0.0;
+  /// Constraints with zero slack (met exactly) -- the critical set.
+  std::int64_t critical_constraints = 0;
+};
+
+/// Build the report; `assignment` must be complete.
+[[nodiscard]] SolutionReport make_report(const PartitionProblem& problem,
+                                         const Assignment& assignment);
+
+/// Multi-line rendering for terminals / logs.
+[[nodiscard]] std::string to_string(const SolutionReport& report);
+
+}  // namespace qbp

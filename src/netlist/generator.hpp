@@ -1,0 +1,64 @@
+// Synthetic netlist generator.
+//
+// The paper evaluates on 7 proprietary industrial circuits (ckta..cktg,
+// Table I) whose raw data is not available.  This generator produces
+// MCNC-style synthetic circuits matched to the published statistics:
+//   - component count N and total wire count (sum of multiplicities),
+//   - component sizes spanning about two orders of magnitude ("different
+//     sizes ranging about 2 orders of magnitude in the same circuit"),
+//   - sparse, locality-biased connectivity.
+//
+// Locality is produced with a *hidden placement*: every component is
+// assigned to one of `num_slots` slots arranged on a grid, wires prefer
+// endpoints whose slots are close, and the hidden placement is returned to
+// the caller.  Downstream, workload::make_circuit uses the hidden placement
+// to (a) size partition capacities so a feasible solution exists by
+// construction and (b) derive timing constraints that the hidden placement
+// satisfies -- mirroring how the paper's constraints are "driven by system
+// cycle time" on circuits that do fit their target module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+
+struct RandomNetlistSpec {
+  std::string name = "random";
+  std::int32_t num_components = 100;
+  /// Target total wire count (sum of bundle multiplicities); the generator
+  /// hits this exactly.  Must be >= num_components - 1 (a spanning tree is
+  /// laid first so no component is isolated).
+  std::int64_t total_wires = 500;
+  /// Hidden placement slots; normally equals the number of partitions the
+  /// circuit will later be partitioned into.
+  std::int32_t num_slots = 16;
+  /// Grid width for the slot array (slots are laid row-major); 4 x 4 for the
+  /// paper's 16-partition experiments.
+  std::int32_t grid_width = 4;
+  /// Probability that a wire is "local": its second endpoint is drawn from
+  /// slots at Manhattan distance <= 1 of the first endpoint's slot.
+  double locality = 0.65;
+  /// Component size distribution: log-normal(log(size_median), size_sigma),
+  /// clamped to [size_median / size_span, size_median * size_span].
+  double size_median = 2.5;
+  double size_sigma = 0.85;
+  double size_span = 10.0;  // => max/min ratio ~ size_span^2 = 100x
+  std::uint64_t seed = 1;
+};
+
+struct GeneratedNetlist {
+  Netlist netlist;
+  /// Hidden slot of each component (size N, values in [0, num_slots)).
+  std::vector<std::int32_t> hidden_slot;
+  RandomNetlistSpec spec;
+};
+
+/// Generate a netlist; deterministic in `spec.seed`.
+[[nodiscard]] GeneratedNetlist generate_netlist(const RandomNetlistSpec& spec);
+
+}  // namespace qbp

@@ -1,0 +1,100 @@
+#include "netlist/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace qbp {
+
+namespace {
+ParseResult fail(int line_number, std::string_view what) {
+  std::ostringstream out;
+  out << "line " << line_number << ": " << what;
+  return {false, out.str()};
+}
+}  // namespace
+
+ParseResult read_netlist(std::istream& in, Netlist& out) {
+  out = Netlist{};
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view text = line;
+    if (const auto hash = text.find('#'); hash != std::string_view::npos) {
+      text = text.substr(0, hash);
+    }
+    const auto fields = split_whitespace(text);
+    if (fields.empty()) continue;
+
+    const std::string_view keyword = fields[0];
+    if (keyword == "circuit") {
+      if (fields.size() != 2) return fail(line_number, "expected: circuit <name>");
+      out.set_name(std::string(fields[1]));
+    } else if (keyword == "component") {
+      if (fields.size() != 3) {
+        return fail(line_number, "expected: component <name> <size>");
+      }
+      double size = 0.0;
+      if (!parse_double(fields[2], size) || !(size > 0.0)) {
+        return fail(line_number, "component size must be a positive number");
+      }
+      out.add_component(std::string(fields[1]), size);
+    } else if (keyword == "wire") {
+      if (fields.size() != 4) {
+        return fail(line_number, "expected: wire <a> <b> <multiplicity>");
+      }
+      long long a = 0;
+      long long b = 0;
+      long long mult = 0;
+      if (!parse_int(fields[1], a) || !parse_int(fields[2], b) ||
+          !parse_int(fields[3], mult)) {
+        return fail(line_number, "wire fields must be integers");
+      }
+      if (a < 0 || a >= out.num_components() || b < 0 ||
+          b >= out.num_components()) {
+        return fail(line_number, "wire endpoint out of range");
+      }
+      if (a == b) return fail(line_number, "wire endpoints must differ");
+      if (mult <= 0) return fail(line_number, "wire multiplicity must be positive");
+      out.add_wires(static_cast<ComponentId>(a), static_cast<ComponentId>(b),
+                    static_cast<std::int32_t>(mult));
+    } else {
+      return fail(line_number, "unknown keyword '" + std::string(keyword) + "'");
+    }
+  }
+  return {};
+}
+
+ParseResult read_netlist_file(const std::string& path, Netlist& out) {
+  std::ifstream in(path);
+  if (!in) return {false, "cannot open '" + path + "' for reading"};
+  return read_netlist(in, out);
+}
+
+void write_netlist(std::ostream& out, const Netlist& netlist) {
+  const_cast<Netlist&>(netlist).finalize();
+  out << "# qbpart netlist\n";
+  out << "circuit " << (netlist.name().empty() ? "unnamed" : netlist.name())
+      << "\n";
+  for (const auto& component : netlist.components()) {
+    out << "component " << component.name << " "
+        << format_double(component.size, 6) << "\n";
+  }
+  for (const auto& bundle : netlist.bundles()) {
+    out << "wire " << bundle.a << " " << bundle.b << " " << bundle.multiplicity
+        << "\n";
+  }
+}
+
+bool write_netlist_file(const std::string& path, const Netlist& netlist) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_netlist(out, netlist);
+  return static_cast<bool>(out);
+}
+
+}  // namespace qbp

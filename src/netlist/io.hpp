@@ -1,0 +1,40 @@
+// Plain-text netlist format (".qn").
+//
+// Grammar (line oriented, '#' starts a comment):
+//   circuit <name>
+//   component <name> <size>
+//   wire <component_index_a> <component_index_b> <multiplicity>
+//
+// Component indices refer to the order of `component` lines (0-based).  The
+// format is deliberately minimal -- it exists so generated circuits can be
+// persisted, diffed, and fed to the example binaries, not to compete with
+// EDIF/Bookshelf.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace qbp {
+
+/// Result of a parse; on failure `ok` is false and `message` holds a
+/// line-numbered diagnostic.
+struct ParseResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Parse a netlist from a stream; on failure `out` is left unspecified.
+[[nodiscard]] ParseResult read_netlist(std::istream& in, Netlist& out);
+
+/// Parse from a file path.
+[[nodiscard]] ParseResult read_netlist_file(const std::string& path, Netlist& out);
+
+/// Serialize in canonical form (finalized bundles, sorted).
+void write_netlist(std::ostream& out, const Netlist& netlist);
+
+/// Write to a file path; returns false if the file cannot be opened.
+[[nodiscard]] bool write_netlist_file(const std::string& path, const Netlist& netlist);
+
+}  // namespace qbp

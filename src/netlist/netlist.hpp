@@ -1,0 +1,113 @@
+// Circuit netlist: components with silicon-area sizes, connected by wire
+// bundles.
+//
+// The paper's input "I. Descriptions of the Circuit" maps onto this type:
+//   - J, the set of N components, with sizes s_j           -> components()
+//   - A, the N x N interconnection matrix a_{j1 j2}        -> connection_matrix()
+// Wires are physically undirected; a bundle between (a, b) with multiplicity
+// w contributes a_{ab} = a_{ba} = w, matching the symmetric A of the paper's
+// Section 3.3 example ("five wires connecting a and b" => A[a][b] =
+// A[b][a] = 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace qbp {
+
+using ComponentId = std::int32_t;
+
+struct Component {
+  std::string name;
+  /// Silicon area demand (the paper's s_j); arbitrary positive real.
+  double size = 1.0;
+};
+
+/// A bundle of `multiplicity` parallel wires between two distinct components.
+struct WireBundle {
+  ComponentId a = 0;
+  ComponentId b = 0;
+  std::int32_t multiplicity = 1;
+
+  friend bool operator==(const WireBundle&, const WireBundle&) = default;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Append a component; returns its id (dense, 0-based).
+  ComponentId add_component(std::string component_name, double size);
+
+  /// Add `multiplicity` wires between distinct components a and b.
+  /// Repeated calls for the same pair accumulate.
+  void add_wires(ComponentId a, ComponentId b, std::int32_t multiplicity = 1);
+
+  [[nodiscard]] std::int32_t num_components() const noexcept {
+    return static_cast<std::int32_t>(components_.size());
+  }
+
+  [[nodiscard]] const Component& component(ComponentId id) const noexcept {
+    return components_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+
+  [[nodiscard]] double component_size(ComponentId id) const noexcept {
+    return components_[static_cast<std::size_t>(id)].size;
+  }
+
+  /// All component sizes as a dense vector (the paper's s vector).
+  [[nodiscard]] std::vector<double> sizes() const;
+
+  /// Sum of all component sizes.
+  [[nodiscard]] double total_size() const noexcept;
+
+  /// Raw bundles as added (duplicates possible until finalize()).
+  [[nodiscard]] const std::vector<WireBundle>& bundles() const noexcept {
+    return bundles_;
+  }
+
+  /// Total wire count Sum of multiplicities over unordered pairs -- the
+  /// "# of wires" column of the paper's Table I.
+  [[nodiscard]] std::int64_t total_wires() const noexcept;
+
+  /// Number of distinct connected unordered pairs.
+  [[nodiscard]] std::int64_t num_connected_pairs() const;
+
+  /// Merge duplicate bundles and sort them; idempotent.  connection_matrix()
+  /// and neighbor queries call this lazily, but callers mutating a shared
+  /// netlist may want to invoke it explicitly.
+  void finalize();
+
+  /// The symmetric interconnection matrix A (CSR, both directions stored).
+  /// Built lazily and cached; invalidated by add_wires().
+  [[nodiscard]] const Csr<std::int32_t>& connection_matrix() const;
+
+  /// Degree (number of distinct neighbors) of a component.
+  [[nodiscard]] std::int32_t degree(ComponentId id) const;
+
+  /// Basic structural validation: ids in range, no self-loops,
+  /// positive sizes and multiplicities.  Returns an empty string when valid,
+  /// else a human-readable description of the first problem found.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Component> components_;
+  mutable std::vector<WireBundle> bundles_;
+  mutable bool bundles_dirty_ = false;
+  mutable bool adjacency_dirty_ = true;
+  mutable Csr<std::int32_t> adjacency_;
+};
+
+}  // namespace qbp

@@ -1,0 +1,84 @@
+#include "partition/assignment.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace qbp {
+
+bool Assignment::is_complete() const noexcept {
+  for (const PartitionId p : partition_of_) {
+    if (p == kUnassigned) return false;
+  }
+  return true;
+}
+
+std::vector<std::int32_t> Assignment::members_of(PartitionId partition) const {
+  std::vector<std::int32_t> members;
+  for (std::int32_t j = 0; j < num_components(); ++j) {
+    if (partition_of_[static_cast<std::size_t>(j)] == partition) {
+      members.push_back(j);
+    }
+  }
+  return members;
+}
+
+CapacityLedger::CapacityLedger(const Assignment& assignment,
+                               std::span<const double> sizes,
+                               std::span<const double> capacities)
+    : usage_(capacities.size(), 0.0),
+      capacity_(capacities.begin(), capacities.end()) {
+  assert(static_cast<std::size_t>(assignment.num_components()) == sizes.size());
+  for (std::int32_t j = 0; j < assignment.num_components(); ++j) {
+    const PartitionId p = assignment[j];
+    if (p != Assignment::kUnassigned) {
+      usage_[static_cast<std::size_t>(p)] += sizes[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+std::int32_t CapacityLedger::violations() const noexcept {
+  std::int32_t count = 0;
+  for (std::size_t i = 0; i < usage_.size(); ++i) {
+    if (usage_[i] > capacity_[i] + kTolerance) ++count;
+  }
+  return count;
+}
+
+double CapacityLedger::total_overflow() const noexcept {
+  double overflow = 0.0;
+  for (std::size_t i = 0; i < usage_.size(); ++i) {
+    if (usage_[i] > capacity_[i]) overflow += usage_[i] - capacity_[i];
+  }
+  return overflow;
+}
+
+bool satisfies_capacity(const Assignment& assignment,
+                        std::span<const double> sizes,
+                        std::span<const double> capacities) {
+  if (!assignment.is_complete()) return false;
+  const CapacityLedger ledger(assignment, sizes, capacities);
+  return ledger.violations() == 0;
+}
+
+std::string capacity_report(const Assignment& assignment,
+                            std::span<const double> sizes,
+                            std::span<const double> capacities) {
+  const CapacityLedger ledger(assignment, sizes, capacities);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const auto partition = static_cast<PartitionId>(i);
+    out << "partition " << i << ": "
+        << format_double(ledger.usage(partition), 2) << " / "
+        << format_double(ledger.capacity(partition), 2)
+        << (ledger.usage(partition) >
+                    ledger.capacity(partition) + CapacityLedger::kTolerance
+                ? "  OVERFLOW"
+                : "")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qbp

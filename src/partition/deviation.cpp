@@ -1,0 +1,46 @@
+#include "partition/deviation.hpp"
+
+#include <cassert>
+
+namespace qbp {
+
+Matrix<double> deviation_cost_matrix(const PartitionTopology& topology,
+                                     std::span<const double> sizes,
+                                     const Assignment& initial) {
+  const std::int32_t m = topology.num_partitions();
+  const std::int32_t n = initial.num_components();
+  assert(static_cast<std::size_t>(n) == sizes.size());
+  assert(initial.is_complete());
+  Matrix<double> p(m, n, 0.0);
+  for (std::int32_t j = 0; j < n; ++j) {
+    const PartitionId home = initial[j];
+    for (PartitionId i = 0; i < m; ++i) {
+      p(i, j) = sizes[static_cast<std::size_t>(j)] * topology.slot_distance(i, home);
+    }
+  }
+  return p;
+}
+
+double total_deviation(const PartitionTopology& topology,
+                       std::span<const double> sizes, const Assignment& initial,
+                       const Assignment& current) {
+  assert(initial.num_components() == current.num_components());
+  double total = 0.0;
+  for (std::int32_t j = 0; j < current.num_components(); ++j) {
+    total += sizes[static_cast<std::size_t>(j)] *
+             topology.slot_distance(current[j], initial[j]);
+  }
+  return total;
+}
+
+std::int32_t components_moved(const Assignment& initial,
+                              const Assignment& current) {
+  assert(initial.num_components() == current.num_components());
+  std::int32_t moved = 0;
+  for (std::int32_t j = 0; j < current.num_components(); ++j) {
+    if (initial[j] != current[j]) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace qbp

@@ -1,0 +1,94 @@
+#include "partition/topology.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace qbp {
+
+PartitionTopology PartitionTopology::grid(std::int32_t rows, std::int32_t cols,
+                                          CostKind cost_kind, double capacity) {
+  assert(rows >= 1 && cols >= 1);
+  const std::int32_t m = rows * cols;
+  PartitionTopology topo;
+  topo.grid_cols_ = cols;
+  topo.capacities_.assign(static_cast<std::size_t>(m), capacity);
+  topo.b_ = Matrix<double>(m, m, 0.0);
+  topo.d_ = Matrix<double>(m, m, 0.0);
+  for (std::int32_t i1 = 0; i1 < m; ++i1) {
+    for (std::int32_t i2 = 0; i2 < m; ++i2) {
+      const double dist = std::abs(i1 % cols - i2 % cols) +
+                          std::abs(i1 / cols - i2 / cols);
+      topo.d_(i1, i2) = dist;
+      switch (cost_kind) {
+        case CostKind::kUnit: topo.b_(i1, i2) = i1 == i2 ? 0.0 : 1.0; break;
+        case CostKind::kManhattan: topo.b_(i1, i2) = dist; break;
+        case CostKind::kQuadratic: topo.b_(i1, i2) = dist * dist; break;
+      }
+    }
+  }
+  return topo;
+}
+
+PartitionTopology PartitionTopology::custom(Matrix<double> wire_cost,
+                                            Matrix<double> delay,
+                                            std::vector<double> capacities) {
+  const auto m = static_cast<std::int32_t>(capacities.size());
+  assert(wire_cost.rows() == m && wire_cost.cols() == m);
+  assert(delay.rows() == m && delay.cols() == m);
+  (void)m;
+  PartitionTopology topo;
+  topo.b_ = std::move(wire_cost);
+  topo.d_ = std::move(delay);
+  topo.capacities_ = std::move(capacities);
+  topo.grid_cols_ = 0;
+  return topo;
+}
+
+void PartitionTopology::set_capacities(std::vector<double> capacities) {
+  assert(static_cast<std::int32_t>(capacities.size()) == num_partitions());
+  capacities_ = std::move(capacities);
+}
+
+double PartitionTopology::total_capacity() const noexcept {
+  double total = 0.0;
+  for (double c : capacities_) total += c;
+  return total;
+}
+
+double PartitionTopology::slot_distance(PartitionId i1, PartitionId i2) const noexcept {
+  if (grid_cols_ > 0) {
+    return std::abs(grid_x(i1) - grid_x(i2)) + std::abs(grid_y(i1) - grid_y(i2));
+  }
+  return d_(i1, i2);
+}
+
+std::string PartitionTopology::validate() const {
+  const std::int32_t m = num_partitions();
+  if (b_.rows() != m || b_.cols() != m) return "wire-cost matrix B is not M x M";
+  if (d_.rows() != m || d_.cols() != m) return "delay matrix D is not M x M";
+  for (std::int32_t i = 0; i < m; ++i) {
+    if (capacities_[static_cast<std::size_t>(i)] < 0.0) {
+      std::ostringstream out;
+      out << "partition " << i << " has negative capacity";
+      return out.str();
+    }
+    if (b_(i, i) != 0.0) {
+      std::ostringstream out;
+      out << "B(" << i << ", " << i << ") must be zero (intra-partition wires are free)";
+      return out.str();
+    }
+    if (d_(i, i) != 0.0) {
+      std::ostringstream out;
+      out << "D(" << i << ", " << i << ") must be zero";
+      return out.str();
+    }
+    for (std::int32_t i2 = 0; i2 < m; ++i2) {
+      if (b_(i, i2) < 0.0) return "B has a negative entry";
+      if (d_(i, i2) < 0.0) return "D has a negative entry";
+    }
+  }
+  return {};
+}
+
+}  // namespace qbp

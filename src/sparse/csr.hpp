@@ -1,0 +1,196 @@
+// Compressed-sparse-row matrix.
+//
+// This is the backbone of the paper's Section 4.3 speedup: the MN x MN cost
+// matrix Q-hat is never materialized; instead the connection matrix A and
+// the timing-constraint matrix Dc are stored in CSR form and Q-hat entries
+// are generated on demand (see core/qhat.hpp).  For a circuit like cktf
+// (N=607, M=16) the dense Q-hat would hold (MN)^2 ~ 94 million entries while
+// the CSR inputs hold a few thousand.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qbp {
+
+/// One stored entry of a sparse matrix (row-major triplet).
+template <typename T>
+struct Triplet {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  T value{};
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+template <typename T>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are combined by
+  /// addition (the natural semantics for wire multiplicities).
+  /// Entries whose value combines to T{} are kept -- callers that want
+  /// pruning call `prune()` explicitly, because a stored zero can be
+  /// meaningful (e.g. a timing constraint of zero slack).
+  static Csr from_triplets(std::int32_t rows, std::int32_t cols,
+                           std::vector<Triplet<T>> triplets);
+
+  [[nodiscard]] std::int32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int32_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  /// Column indices of stored entries in `row`, ascending.
+  [[nodiscard]] std::span<const std::int32_t> row_indices(std::int32_t row) const noexcept {
+    assert(row >= 0 && row < rows_);
+    return {col_index_.data() + row_start_[row],
+            static_cast<std::size_t>(row_start_[row + 1] - row_start_[row])};
+  }
+
+  /// Values of stored entries in `row`, parallel to row_indices().
+  [[nodiscard]] std::span<const T> row_values(std::int32_t row) const noexcept {
+    assert(row >= 0 && row < rows_);
+    return {values_.data() + row_start_[row],
+            static_cast<std::size_t>(row_start_[row + 1] - row_start_[row])};
+  }
+
+  /// Stored value at (row, col), or `fallback` when the entry is absent.
+  [[nodiscard]] T value_or(std::int32_t row, std::int32_t col, T fallback) const noexcept {
+    const auto cols_span = row_indices(row);
+    const auto it = std::lower_bound(cols_span.begin(), cols_span.end(), col);
+    if (it == cols_span.end() || *it != col) return fallback;
+    return values_[static_cast<std::size_t>(
+        row_start_[row] + (it - cols_span.begin()))];
+  }
+
+  [[nodiscard]] bool contains(std::int32_t row, std::int32_t col) const noexcept {
+    const auto cols_span = row_indices(row);
+    return std::binary_search(cols_span.begin(), cols_span.end(), col);
+  }
+
+  /// Transposed copy (used to walk the columns of A in the eta gather).
+  [[nodiscard]] Csr transposed() const;
+
+  /// Symmetrized copy: S = this + this^T (entry-wise addition).
+  [[nodiscard]] Csr symmetrized() const;
+
+  /// Copy with all T{}-valued entries removed.
+  [[nodiscard]] Csr pruned() const;
+
+  /// Sum of all stored values.
+  [[nodiscard]] T sum() const noexcept {
+    T total{};
+    for (const T& v : values_) total += v;
+    return total;
+  }
+
+  /// Sum of absolute values of all stored entries (used by the Theorem 1
+  /// penalty bound U > 2 * sum |q|).
+  [[nodiscard]] double abs_sum() const noexcept {
+    double total = 0;
+    for (const T& v : values_) total += v < T{} ? -static_cast<double>(v)
+                                                : static_cast<double>(v);
+    return total;
+  }
+
+  /// Visit every stored entry as (row, col, value).
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    for (std::int32_t r = 0; r < rows_; ++r) {
+      for (std::int64_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+        visit(r, col_index_[static_cast<std::size_t>(k)],
+              values_[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+
+  friend bool operator==(const Csr& a, const Csr& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_start_ == b.row_start_ && a.col_index_ == b.col_index_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::vector<std::int64_t> row_start_;  // size rows_+1
+  std::vector<std::int32_t> col_index_;  // size nnz
+  std::vector<T> values_;                // size nnz
+};
+
+template <typename T>
+Csr<T> Csr<T>::from_triplets(std::int32_t rows, std::int32_t cols,
+                             std::vector<Triplet<T>> triplets) {
+  assert(rows >= 0 && cols >= 0);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet<T>& a, const Triplet<T>& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Combine duplicates by addition.
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < triplets.size(); ++k) {
+    assert(triplets[k].row >= 0 && triplets[k].row < rows);
+    assert(triplets[k].col >= 0 && triplets[k].col < cols);
+    if (out > 0 && triplets[out - 1].row == triplets[k].row &&
+        triplets[out - 1].col == triplets[k].col) {
+      triplets[out - 1].value += triplets[k].value;
+    } else {
+      triplets[out++] = triplets[k];
+    }
+  }
+  triplets.resize(out);
+
+  Csr matrix;
+  matrix.rows_ = rows;
+  matrix.cols_ = cols;
+  matrix.row_start_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  matrix.col_index_.reserve(triplets.size());
+  matrix.values_.reserve(triplets.size());
+  for (const auto& t : triplets) {
+    ++matrix.row_start_[static_cast<std::size_t>(t.row) + 1];
+    matrix.col_index_.push_back(t.col);
+    matrix.values_.push_back(t.value);
+  }
+  for (std::int32_t r = 0; r < rows; ++r) {
+    matrix.row_start_[static_cast<std::size_t>(r) + 1] +=
+        matrix.row_start_[static_cast<std::size_t>(r)];
+  }
+  return matrix;
+}
+
+template <typename T>
+Csr<T> Csr<T>::transposed() const {
+  std::vector<Triplet<T>> triplets;
+  triplets.reserve(nonzeros());
+  for_each([&](std::int32_t r, std::int32_t c, const T& v) {
+    triplets.push_back({c, r, v});
+  });
+  return from_triplets(cols_, rows_, std::move(triplets));
+}
+
+template <typename T>
+Csr<T> Csr<T>::symmetrized() const {
+  assert(rows_ == cols_);
+  std::vector<Triplet<T>> triplets;
+  triplets.reserve(2 * nonzeros());
+  for_each([&](std::int32_t r, std::int32_t c, const T& v) {
+    triplets.push_back({r, c, v});
+    triplets.push_back({c, r, v});
+  });
+  return from_triplets(rows_, cols_, std::move(triplets));
+}
+
+template <typename T>
+Csr<T> Csr<T>::pruned() const {
+  std::vector<Triplet<T>> triplets;
+  triplets.reserve(nonzeros());
+  for_each([&](std::int32_t r, std::int32_t c, const T& v) {
+    if (!(v == T{})) triplets.push_back({r, c, v});
+  });
+  return from_triplets(rows_, cols_, std::move(triplets));
+}
+
+}  // namespace qbp

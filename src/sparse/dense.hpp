@@ -1,0 +1,101 @@
+// Row-major dense matrix.
+//
+// Used for the small M x M partition matrices (B, D), the M x N linear cost
+// matrix P, and -- in tests only -- for materializing Q-hat on tiny
+// instances to validate the implicit representation against the paper's
+// worked example (Section 3.3).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qbp {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::int32_t rows, std::int32_t cols, T fill = T{})
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Build from nested initializer-style data; every row must have `cols`
+  /// entries.  Convenient for writing the paper's example matrices in tests.
+  static Matrix from_rows(const std::vector<std::vector<T>>& rows) {
+    const std::int32_t r = static_cast<std::int32_t>(rows.size());
+    const std::int32_t c = r > 0 ? static_cast<std::int32_t>(rows.front().size()) : 0;
+    Matrix matrix(r, c);
+    for (std::int32_t i = 0; i < r; ++i) {
+      assert(static_cast<std::int32_t>(rows[static_cast<std::size_t>(i)].size()) == c);
+      for (std::int32_t j = 0; j < c; ++j) {
+        matrix(i, j) = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      }
+    }
+    return matrix;
+  }
+
+  [[nodiscard]] std::int32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int32_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(std::int32_t row, std::int32_t col) noexcept {
+    assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return data_[static_cast<std::size_t>(row) * cols_ + col];
+  }
+
+  [[nodiscard]] const T& operator()(std::int32_t row, std::int32_t col) const noexcept {
+    assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return data_[static_cast<std::size_t>(row) * cols_ + col];
+  }
+
+  [[nodiscard]] std::span<T> row(std::int32_t r) noexcept {
+    assert(r >= 0 && r < rows_);
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  [[nodiscard]] std::span<const T> row(std::int32_t r) const noexcept {
+    assert(r >= 0 && r < rows_);
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix result(cols_, rows_);
+    for (std::int32_t r = 0; r < rows_; ++r) {
+      for (std::int32_t c = 0; c < cols_; ++c) result(c, r) = (*this)(r, c);
+    }
+    return result;
+  }
+
+  /// True when the matrix equals its transpose (requires square shape).
+  [[nodiscard]] bool is_symmetric() const noexcept {
+    if (rows_ != cols_) return false;
+    for (std::int32_t r = 0; r < rows_; ++r) {
+      for (std::int32_t c = r + 1; c < cols_; ++c) {
+        if (!((*this)(r, c) == (*this)(c, r))) return false;
+      }
+    }
+    return true;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace qbp

@@ -1,0 +1,130 @@
+// Timing constraints: the paper's sparse Dc matrix and the C2 check
+//
+//   D(A(j1), A(j2)) <= Dc(j1, j2)   for all j1, j2
+//
+// Dc entries are symmetric maximum routing delays between component pairs;
+// an absent entry means "no constraint" (Dc = infinity).  Section 5:
+// "Strictly speaking, the total number of Timing Constraints should be N^2
+// ... We discarded these [vacuous] constraints and only list the total
+// number of critical constraints" -- this container stores exactly that
+// critical subset.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "partition/assignment.hpp"
+#include "partition/topology.hpp"
+#include "sparse/csr.hpp"
+
+namespace qbp {
+
+class TimingConstraints {
+ public:
+  static constexpr double kUnconstrained = std::numeric_limits<double>::infinity();
+
+  TimingConstraints() = default;
+  explicit TimingConstraints(std::int32_t num_components)
+      : num_components_(num_components) {}
+
+  [[nodiscard]] std::int32_t num_components() const noexcept {
+    return num_components_;
+  }
+
+  /// Add (or tighten) a symmetric constraint between distinct components.
+  /// Multiple adds for a pair keep the minimum (tightest) bound.
+  void add(ComponentId j1, ComponentId j2, double max_delay);
+
+  /// Number of constrained unordered pairs -- the paper's "# of Timing
+  /// Constraints" column in Table I.
+  [[nodiscard]] std::int64_t count() const;
+
+  [[nodiscard]] bool empty() const { return count() == 0; }
+
+  /// Max routing delay allowed between j1 and j2 (kUnconstrained if no
+  /// constraint was added for the pair).
+  [[nodiscard]] double max_delay(ComponentId j1, ComponentId j2) const;
+
+  /// The symmetric sparse Dc matrix (both directions stored).
+  [[nodiscard]] const Csr<double>& matrix() const;
+
+  /// Components constrained against `j`, with their bounds.
+  [[nodiscard]] std::span<const std::int32_t> partners(ComponentId j) const {
+    return matrix().row_indices(j);
+  }
+  [[nodiscard]] std::span<const double> bounds(ComponentId j) const {
+    return matrix().row_values(j);
+  }
+
+  /// C2 check for a complete assignment; counts violated unordered pairs.
+  [[nodiscard]] std::int64_t violations(const Assignment& assignment,
+                                        const PartitionTopology& topology) const;
+
+  [[nodiscard]] bool is_feasible(const Assignment& assignment,
+                                 const PartitionTopology& topology) const {
+    return violations(assignment, topology) == 0;
+  }
+
+  /// Would every constraint involving `component` hold if it sat in
+  /// `target` (all other components as in `assignment`)?  O(degree in Dc).
+  /// Constraints against unassigned partners are ignored.
+  [[nodiscard]] bool component_feasible_at(const Assignment& assignment,
+                                           const PartitionTopology& topology,
+                                           ComponentId component,
+                                           PartitionId target) const;
+
+  /// As above but with one partner's partition overridden -- used when
+  /// evaluating a pairwise swap.
+  [[nodiscard]] bool component_feasible_at(const Assignment& assignment,
+                                           const PartitionTopology& topology,
+                                           ComponentId component,
+                                           PartitionId target,
+                                           ComponentId override_component,
+                                           PartitionId override_partition) const;
+
+ private:
+  std::int32_t num_components_ = 0;
+  // Accumulated (j1 < j2) constraints before finalization.
+  mutable std::vector<Triplet<double>> pending_;
+  mutable bool dirty_ = false;
+  mutable Csr<double> matrix_;
+
+  void rebuild() const;
+};
+
+/// Configuration for synthesizing a critical-constraint set.
+struct TimingSpec {
+  /// Exact number of constrained unordered pairs to produce.
+  std::int64_t target_count = 0;
+  /// Cycle time as a multiple of the critical path: T = (1 + cycle_slack) * CP.
+  double cycle_slack = 0.15;
+  /// Intrinsic component delays are uniform in [delay_min, delay_max].
+  double delay_min = 1.0;
+  double delay_max = 10.0;
+  /// Probability of routing-delay margin 1 / 2 / 3 above the reference
+  /// placement's delay (must sum to 1); smaller margins = tighter problem.
+  /// Bounds are floored at 1 (a 0 bound would force co-location).
+  double margin_p1 = 0.35;
+  double margin_p2 = 0.40;
+  double margin_p3 = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Synthesize `spec.target_count` critical constraints for `netlist`.
+///
+/// Pairs are ranked by timing criticality (longest path through the
+/// connection, from a TimingGraph built with the given seed); the most
+/// critical connected pairs are constrained first, then 2-hop pairs if the
+/// target exceeds the number of connected pairs.  Every constraint is set to
+/// D(reference(j1), reference(j2)) + margin, so `reference` (the generator's
+/// hidden placement) is timing-feasible by construction and the instance is
+/// guaranteed to be satisfiable.
+[[nodiscard]] TimingConstraints generate_timing_constraints(
+    const Netlist& netlist, std::span<const std::int32_t> reference,
+    const PartitionTopology& topology, const TimingSpec& spec);
+
+}  // namespace qbp

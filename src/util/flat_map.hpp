@@ -1,0 +1,92 @@
+// Sorted-vector associative container for small integer-keyed maps.
+//
+// The sparse rows of the connection matrix A and of the timing-constraint
+// matrix Dc have a handful of entries each; a sorted std::vector beats node
+// containers by a wide margin there (cache locality, no per-node
+// allocation).  Only the operations the library needs are provided.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace qbp {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using Entry = std::pair<Key, Value>;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+  using iterator = typename std::vector<Entry>::iterator;
+
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t capacity) { entries_.reserve(capacity); }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return entries_.end(); }
+  [[nodiscard]] iterator begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return entries_.end(); }
+
+  /// Value reference for `key`, default-constructed and inserted if absent.
+  Value& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, Entry{key, Value{}})->second;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  [[nodiscard]] const Value* find(const Key& key) const noexcept {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return &it->second;
+    return nullptr;
+  }
+
+  [[nodiscard]] Value* find(const Key& key) noexcept {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return &it->second;
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Value for `key`, or `fallback` if absent.
+  [[nodiscard]] Value value_or(const Key& key, Value fallback) const noexcept {
+    const Value* found = find(key);
+    return found != nullptr ? *found : fallback;
+  }
+
+  /// Remove `key` if present; returns true when something was erased.
+  bool erase(const Key& key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const noexcept {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const Entry& entry, const Key& probe) { return entry.first < probe; });
+  }
+  [[nodiscard]] iterator lower_bound(const Key& key) noexcept {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const Entry& entry, const Key& probe) { return entry.first < probe; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace qbp

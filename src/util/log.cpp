@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace qbp::log {
+
+namespace {
+Level g_level = Level::kWarn;
+
+constexpr const char* prefix(Level level) noexcept {
+  switch (level) {
+    case Level::kError: return "[error] ";
+    case Level::kWarn: return "[warn ] ";
+    case Level::kInfo: return "[info ] ";
+    case Level::kDebug: return "[debug] ";
+    case Level::kSilent: break;
+  }
+  return "";
+}
+}  // namespace
+
+void set_level(Level level) noexcept { g_level = level; }
+
+Level level() noexcept { return g_level; }
+
+bool enabled(Level lvl) noexcept {
+  return static_cast<int>(lvl) <= static_cast<int>(g_level) &&
+         lvl != Level::kSilent;
+}
+
+void write(Level lvl, std::string_view message) {
+  if (!enabled(lvl)) return;
+  std::FILE* sink = (lvl == Level::kError || lvl == Level::kWarn) ? stderr : stdout;
+  std::fprintf(sink, "%s%.*s\n", prefix(lvl), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace qbp::log

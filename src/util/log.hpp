@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The solvers are libraries first: they never print unless the caller raises
+// the global level.  Benches and examples set `Level::kInfo` (or kDebug) to
+// narrate convergence.  Not thread-safe by design -- the library is
+// single-threaded, matching the 1993 algorithms.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace qbp::log {
+
+enum class Level : int { kSilent = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+/// Global verbosity; defaults to kWarn.
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+[[nodiscard]] bool enabled(Level level) noexcept;
+
+/// Emit one line at `level` (no-op if below the global level).
+void write(Level level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void emit(Level level, Args&&... args) {
+  if (!enabled(level)) return;
+  std::ostringstream out;
+  (out << ... << args);
+  write(level, out.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void error(Args&&... args) {
+  detail::emit(Level::kError, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  detail::emit(Level::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  detail::emit(Level::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void debug(Args&&... args) {
+  detail::emit(Level::kDebug, std::forward<Args>(args)...);
+}
+
+}  // namespace qbp::log

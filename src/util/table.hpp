@@ -1,0 +1,42 @@
+// Plain-text table rendering for the experiment harness.
+//
+// Renders the same row/column structure as the paper's Tables I-III so that
+// `bench_table2` output can be eyeballed against the original side by side.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbp {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Per-column alignment; defaults to right-aligned for all columns.
+  void set_alignment(std::vector<Align> alignment);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Render with single-space-padded `|` separators and a header rule.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace qbp

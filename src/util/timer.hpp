@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the experiment harness.
+//
+// The paper reports "CPU time in seconds on DECstation 5000/125"; absolute
+// numbers are not reproducible across hardware, so the harness reports
+// wall-clock seconds on the host and, for the tables, the *ratios* between
+// methods (see EXPERIMENTS.md).
+#pragma once
+
+#include <chrono>
+
+namespace qbp {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last reset.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qbp

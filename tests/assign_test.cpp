@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "assign/gap.hpp"
+#include "assign/knapsack.hpp"
+#include "assign/lap.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+namespace {
+
+// ------------------------------------------------------------ knapsack ----
+
+TEST(Knapsack, UpperBoundDominatesExact) {
+  const std::vector<KnapsackItem> items{{10, 5}, {6, 4}, {7, 3}};
+  double exact_value = 0.0;
+  (void)knapsack_exact(items, 8.0, exact_value, 1.0);
+  EXPECT_GE(knapsack_upper_bound(items, 8.0), exact_value - 1e-9);
+}
+
+TEST(Knapsack, ExactSolvesClassicInstance) {
+  // Capacity 10: best is items 0+2 (values 10 + 7 = 17, weights 5 + 3).
+  const std::vector<KnapsackItem> items{{10, 5}, {6, 4}, {7, 3}};
+  double value = 0.0;
+  const auto chosen = knapsack_exact(items, 10.0, value, 1.0);
+  EXPECT_DOUBLE_EQ(value, 17.0);
+  EXPECT_EQ(chosen, (std::vector<std::int32_t>{0, 2}));
+}
+
+TEST(Knapsack, GreedyIsFeasibleAndPositive) {
+  const std::vector<KnapsackItem> items{{4, 2}, {3, 2}, {5, 4}, {1, 1}};
+  double value = 0.0;
+  const auto chosen = knapsack_greedy(items, 5.0, value);
+  double weight = 0.0;
+  for (const auto k : chosen) weight += items[k].weight;
+  EXPECT_LE(weight, 5.0);
+  EXPECT_GT(value, 0.0);
+}
+
+TEST(Knapsack, GreedyTakesBestSingleWhenPackIsWorse) {
+  // Density favors small items but one big item dominates.
+  const std::vector<KnapsackItem> items{{3, 1}, {100, 10}};
+  double value = 0.0;
+  const auto chosen = knapsack_greedy(items, 10.0, value);
+  EXPECT_DOUBLE_EQ(value, 100.0);
+  EXPECT_EQ(chosen, (std::vector<std::int32_t>{1}));
+}
+
+TEST(Knapsack, ZeroCapacity) {
+  const std::vector<KnapsackItem> items{{5, 1}};
+  double value = -1.0;
+  EXPECT_TRUE(knapsack_exact(items, 0.0, value).empty());
+  EXPECT_DOUBLE_EQ(value, 0.0);
+  EXPECT_DOUBLE_EQ(knapsack_upper_bound(items, 0.0), 0.0);
+}
+
+TEST(Knapsack, FractionalWeightsRoundedConservatively) {
+  const std::vector<KnapsackItem> items{{5, 0.51}, {5, 0.51}};
+  double value = 0.0;
+  // Capacity 1.0 holds only one item (0.51 * 2 > 1.0).
+  const auto chosen = knapsack_exact(items, 1.0, value, 100.0);
+  EXPECT_EQ(chosen.size(), 1u);
+  EXPECT_DOUBLE_EQ(value, 5.0);
+}
+
+// ----------------------------------------------------------------- lap ----
+
+double brute_force_lap(const Matrix<double>& cost) {
+  const std::int32_t n = cost.rows();
+  std::vector<std::int32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (std::int32_t r = 0; r < n; ++r) total += cost(r, perm[r]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Lap, SolvesHandExample) {
+  const auto cost = Matrix<double>::from_rows({{4, 1, 3}, {2, 0, 5}, {3, 2, 2}});
+  const auto result = solve_lap(cost);
+  EXPECT_DOUBLE_EQ(result.cost, 5.0);  // 1 + 2 + 2
+  EXPECT_EQ(result.col_of_row[0], 1);
+  EXPECT_EQ(result.col_of_row[1], 0);
+  EXPECT_EQ(result.col_of_row[2], 2);
+}
+
+TEST(Lap, AssignmentIsInjective) {
+  Rng rng(5);
+  Matrix<double> cost(6, 6, 0.0);
+  for (std::int32_t r = 0; r < 6; ++r) {
+    for (std::int32_t c = 0; c < 6; ++c) cost(r, c) = rng.next_double(0, 10);
+  }
+  const auto result = solve_lap(cost);
+  std::vector<bool> used(6, false);
+  for (const auto col : result.col_of_row) {
+    ASSERT_GE(col, 0);
+    EXPECT_FALSE(used[col]);
+    used[col] = true;
+  }
+}
+
+class LapRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LapRandomSweep, MatchesBruteForceOnRandomSquare) {
+  Rng rng(GetParam());
+  const std::int32_t n = 2 + static_cast<std::int32_t>(rng.next_below(5));
+  Matrix<double> cost(n, n, 0.0);
+  for (std::int32_t r = 0; r < n; ++r) {
+    for (std::int32_t c = 0; c < n; ++c) {
+      cost(r, c) = static_cast<double>(rng.next_int(0, 20));
+    }
+  }
+  EXPECT_NEAR(solve_lap(cost).cost, brute_force_lap(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LapRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Lap, RectangularRowsLeqCols) {
+  const auto cost = Matrix<double>::from_rows({{9, 1, 9, 9}, {9, 9, 9, 2}});
+  const auto result = solve_lap(cost);
+  EXPECT_DOUBLE_EQ(result.cost, 3.0);
+  EXPECT_EQ(result.row_of_col[1], 0);
+  EXPECT_EQ(result.row_of_col[3], 1);
+  EXPECT_EQ(result.row_of_col[0], -1);
+}
+
+TEST(Lap, NegativeCostsHandled) {
+  const auto cost = Matrix<double>::from_rows({{-5, 0}, {0, -3}});
+  EXPECT_DOUBLE_EQ(solve_lap(cost).cost, -8.0);
+}
+
+// ----------------------------------------------------------------- gap ----
+
+GapProblem random_gap(std::int32_t m, std::int32_t n, double slack,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  GapProblem problem;
+  problem.cost = Matrix<double>(m, n, 0.0);
+  for (std::int32_t i = 0; i < m; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      problem.cost(i, j) = static_cast<double>(rng.next_int(0, 30));
+    }
+  }
+  problem.sizes.resize(n);
+  double total = 0.0;
+  for (auto& size : problem.sizes) {
+    size = rng.next_double(0.5, 2.0);
+    total += size;
+  }
+  problem.capacities.assign(m, total / m * slack);
+  return problem;
+}
+
+/// Exhaustive GAP optimum (m^n enumeration).
+double brute_force_gap(const GapProblem& problem, bool& feasible) {
+  const std::int32_t m = problem.cost.rows();
+  const std::int32_t n = problem.cost.cols();
+  std::vector<std::int32_t> assignment(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+  feasible = false;
+  while (true) {
+    if (gap_feasible(problem, assignment)) {
+      feasible = true;
+      best = std::min(best, gap_cost(problem, assignment));
+    }
+    std::int32_t j = 0;
+    while (j < n) {
+      if (++assignment[j] < m) break;
+      assignment[j] = 0;
+      ++j;
+    }
+    if (j == n) break;
+  }
+  return best;
+}
+
+TEST(Gap, FeasibleOnEasyInstance) {
+  const auto problem = random_gap(4, 20, 1.8, 1);
+  const auto result = solve_gap(problem);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(gap_feasible(problem, result.agent_of_item));
+  EXPECT_DOUBLE_EQ(result.cost, gap_cost(problem, result.agent_of_item));
+}
+
+TEST(Gap, EveryItemAssigned) {
+  const auto problem = random_gap(3, 15, 2.0, 2);
+  const auto result = solve_gap(problem);
+  ASSERT_EQ(result.agent_of_item.size(), 15u);
+  for (const auto agent : result.agent_of_item) {
+    EXPECT_GE(agent, 0);
+    EXPECT_LT(agent, 3);
+  }
+}
+
+class GapQualitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GapQualitySweep, WithinFactorOfBruteForceOptimum) {
+  const auto problem = random_gap(3, 7, 1.7, GetParam());
+  bool exists = false;
+  const double optimum = brute_force_gap(problem, exists);
+  ASSERT_TRUE(exists);
+  GapOptions options;
+  options.swap_improvement = true;
+  const auto result = solve_gap(problem, options);
+  ASSERT_TRUE(result.feasible);
+  // A decent MTHG implementation should be within 30% on tiny instances
+  // (usually exact); this guards against gross regressions.
+  EXPECT_LE(result.cost, optimum * 1.3 + 5.0);
+  EXPECT_GE(result.cost, optimum - 1e-9);
+}
+
+TEST_P(GapQualitySweep, FeasibleWheneverBruteForceIsTight) {
+  // slack 1.25: tight but feasible instances.
+  const auto problem = random_gap(3, 7, 1.25, GetParam() ^ 0x99);
+  bool exists = false;
+  (void)brute_force_gap(problem, exists);
+  if (!exists) GTEST_SKIP() << "instance infeasible";
+  GapOptions options;
+  options.swap_improvement = true;
+  const auto result = solve_gap(problem, options);
+  EXPECT_TRUE(result.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapQualitySweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Gap, RepairsOverflowWhenConstructionFails) {
+  // One big item per agent fits only in a specific arrangement; greedy
+  // construction by cost alone would overflow.
+  GapProblem problem;
+  problem.cost = Matrix<double>::from_rows({{0.0, 0.0}, {10.0, 10.0}});
+  problem.sizes = {1.0, 1.0};
+  problem.capacities = {1.0, 1.0};
+  const auto result = solve_gap(problem);
+  EXPECT_TRUE(result.feasible);
+  // One item must take the expensive agent.
+  EXPECT_DOUBLE_EQ(result.cost, 10.0);
+}
+
+TEST(Gap, InfeasibleInstanceReported) {
+  GapProblem problem;
+  problem.cost = Matrix<double>(2, 3, 1.0);
+  problem.sizes = {1.0, 1.0, 1.0};
+  problem.capacities = {0.5, 0.5};  // nothing fits anywhere
+  const auto result = solve_gap(problem);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.agent_of_item.size(), 3u);  // still complete (C3)
+}
+
+TEST(Gap, DeterministicAcrossRuns) {
+  const auto problem = random_gap(4, 30, 1.5, 77);
+  const auto a = solve_gap(problem);
+  const auto b = solve_gap(problem);
+  EXPECT_EQ(a.agent_of_item, b.agent_of_item);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(Gap, ImprovementPassesNeverWorsen) {
+  const auto problem = random_gap(4, 25, 1.6, 31);
+  GapOptions no_improve;
+  no_improve.improvement_passes = 0;
+  GapOptions improve;
+  improve.improvement_passes = 4;
+  improve.swap_improvement = true;
+  const auto base = solve_gap(problem, no_improve);
+  const auto better = solve_gap(problem, improve);
+  if (base.feasible && better.feasible) {
+    EXPECT_LE(better.cost, base.cost + 1e-9);
+  }
+}
+
+TEST(Gap, HonorsZeroCapacityAgent) {
+  GapProblem problem;
+  problem.cost = Matrix<double>::from_rows({{0.0, 0.0}, {5.0, 5.0}});
+  problem.sizes = {1.0, 1.0};
+  problem.capacities = {0.0, 2.0};  // agent 0 is closed despite cheap costs
+  const auto result = solve_gap(problem);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.agent_of_item[0], 1);
+  EXPECT_EQ(result.agent_of_item[1], 1);
+}
+
+}  // namespace
+}  // namespace qbp

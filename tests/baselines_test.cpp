@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gfm.hpp"
+#include "baselines/gkl.hpp"
+#include "core/brute_force.hpp"
+#include "core/initial.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+namespace {
+
+/// A tiny instance together with a feasible start, or nullopt-ish skip.
+struct Fixture {
+  PartitionProblem problem;
+  Assignment start;
+  bool ok = false;
+};
+
+Fixture make_fixture(std::uint64_t seed, double capacity_factor = 1.8) {
+  auto spec = test::TinySpec{};
+  spec.num_components = 8;
+  spec.num_partitions = 3;
+  spec.capacity_factor = capacity_factor;
+  spec.seed = seed;
+  Fixture fixture{test::make_tiny_problem(spec), Assignment{}, false};
+  const auto initial = make_initial(fixture.problem,
+                                    InitialStrategy::kQbpZeroWireCost, seed);
+  fixture.start = initial.assignment;
+  fixture.ok = initial.feasible;
+  return fixture;
+}
+
+// ----------------------------------------------------------------- GFM ----
+
+class GfmSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GfmSweep, NeverWorsensAndStaysFeasible) {
+  auto fixture = make_fixture(GetParam());
+  if (!fixture.ok) GTEST_SKIP() << "no feasible start";
+  const double start_cost = fixture.problem.objective(fixture.start);
+  const auto result = solve_gfm(fixture.problem, fixture.start);
+  EXPECT_LE(result.objective, start_cost + 1e-9);
+  EXPECT_TRUE(fixture.problem.is_feasible(result.assignment));
+  EXPECT_NEAR(result.objective, fixture.problem.objective(result.assignment),
+              1e-9);
+  EXPECT_GE(result.passes, 1);
+}
+
+TEST_P(GfmSweep, DeterministicAcrossRuns) {
+  auto fixture = make_fixture(GetParam());
+  if (!fixture.ok) GTEST_SKIP();
+  const auto a = solve_gfm(fixture.problem, fixture.start);
+  const auto b = solve_gfm(fixture.problem, fixture.start);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GfmSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Gfm, FindsObviousImprovement) {
+  // Two heavily-connected components far apart, everything else empty.
+  Netlist netlist;
+  netlist.add_component("a", 1.0);
+  netlist.add_component("b", 1.0);
+  netlist.add_wires(0, 1, 10);
+  auto topo = PartitionTopology::grid(1, 4, CostKind::kManhattan, 3.0);
+  const PartitionProblem problem(std::move(netlist), std::move(topo),
+                                 TimingConstraints(2));
+  Assignment start(2, 4);
+  start.set(0, 0);
+  start.set(1, 3);
+  const auto result = solve_gfm(problem, start);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);  // co-located
+}
+
+TEST(Gfm, RespectsCapacityDuringMoves) {
+  // Co-locating would be ideal but capacity forbids it.
+  Netlist netlist;
+  netlist.add_component("a", 1.0);
+  netlist.add_component("b", 1.0);
+  netlist.add_wires(0, 1, 10);
+  auto topo = PartitionTopology::grid(1, 4, CostKind::kManhattan, 1.0);
+  const PartitionProblem problem(std::move(netlist), std::move(topo),
+                                 TimingConstraints(2));
+  Assignment start(2, 4);
+  start.set(0, 0);
+  start.set(1, 3);
+  const auto result = solve_gfm(problem, start);
+  EXPECT_TRUE(problem.satisfies_capacity(result.assignment));
+  // Best legal: adjacent partitions, cost 2 * 10 * 1.
+  EXPECT_DOUBLE_EQ(result.objective, 20.0);
+}
+
+TEST(Gfm, RespectsTimingDuringMoves) {
+  // Moving a next to b would help wirelength but violates a constraint to c.
+  Netlist netlist;
+  netlist.add_component("a", 1.0);
+  netlist.add_component("b", 1.0);
+  netlist.add_component("c", 1.0);
+  netlist.add_wires(0, 1, 10);
+  auto topo = PartitionTopology::grid(1, 4, CostKind::kManhattan, 3.0);
+  TimingConstraints timing(3);
+  timing.add(0, 2, 1.0);  // a must stay within distance 1 of c
+  const PartitionProblem problem(std::move(netlist), std::move(topo),
+                                 std::move(timing));
+  Assignment start(3, 4);
+  start.set(0, 0);  // a
+  start.set(1, 3);  // b (far)
+  start.set(2, 0);  // c
+  const auto result = solve_gfm(problem, start);
+  EXPECT_TRUE(problem.is_feasible(result.assignment));
+  // a can reach partition 1 at most (distance 1 from c at 0) unless c moves
+  // too; either way the a-c constraint must hold.
+  EXPECT_LE(problem.topology().delay(result.assignment[0], result.assignment[2]),
+            1.0);
+}
+
+TEST(Gfm, StopsAfterMaxPasses) {
+  auto fixture = make_fixture(3);
+  if (!fixture.ok) GTEST_SKIP();
+  GfmOptions options;
+  options.max_passes = 1;
+  const auto result = solve_gfm(fixture.problem, fixture.start, options);
+  EXPECT_EQ(result.passes, 1);
+}
+
+// ----------------------------------------------------------------- GKL ----
+
+class GklSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GklSweep, NeverWorsensAndStaysFeasible) {
+  auto fixture = make_fixture(GetParam());
+  if (!fixture.ok) GTEST_SKIP();
+  const double start_cost = fixture.problem.objective(fixture.start);
+  const auto result = solve_gkl(fixture.problem, fixture.start);
+  EXPECT_LE(result.objective, start_cost + 1e-9);
+  EXPECT_TRUE(fixture.problem.is_feasible(result.assignment));
+  EXPECT_LE(result.outer_loops, 6);
+}
+
+TEST_P(GklSweep, DeterministicAcrossRuns) {
+  auto fixture = make_fixture(GetParam());
+  if (!fixture.ok) GTEST_SKIP();
+  const auto a = solve_gkl(fixture.problem, fixture.start);
+  const auto b = solve_gkl(fixture.problem, fixture.start);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GklSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Gkl, SwapsPreserveCapacityExactly) {
+  // Sizes differ: swaps must respect the tighter bin.
+  Netlist netlist;
+  netlist.add_component("big", 2.0);
+  netlist.add_component("small", 1.0);
+  netlist.add_wires(0, 1, 1);
+  auto topo = PartitionTopology::grid(1, 2, CostKind::kManhattan);
+  topo.set_capacities({2.0, 1.0});  // big fits only in partition 0
+  const PartitionProblem problem(std::move(netlist), std::move(topo),
+                                 TimingConstraints(2));
+  Assignment start(2, 2);
+  start.set(0, 0);
+  start.set(1, 1);
+  const auto result = solve_gkl(problem, start);
+  // The only swap would put `big` (2.0) into capacity-1 partition: illegal.
+  EXPECT_EQ(result.assignment, start);
+  EXPECT_TRUE(problem.satisfies_capacity(result.assignment));
+}
+
+TEST(Gkl, PairedSwapEscapesWhereSingleMovesCannot) {
+  // Two tight partitions, each full; improving requires a simultaneous
+  // exchange -- exactly GKL's move class.
+  Netlist netlist;
+  netlist.add_component("a", 1.0);
+  netlist.add_component("b", 1.0);
+  netlist.add_component("c", 1.0);
+  netlist.add_component("d", 1.0);
+  netlist.add_wires(0, 2, 5);  // a-c want to be together
+  netlist.add_wires(1, 3, 5);  // b-d want to be together
+  auto topo = PartitionTopology::grid(1, 2, CostKind::kManhattan, 2.0);
+  const PartitionProblem problem(std::move(netlist), std::move(topo),
+                                 TimingConstraints(4));
+  Assignment start(4, 2);
+  start.set(0, 0);
+  start.set(1, 0);
+  start.set(2, 1);
+  start.set(3, 1);
+  const auto result = solve_gkl(problem, start);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+  EXPECT_GE(result.swaps_kept, 1);
+}
+
+TEST(Gkl, HonorsOuterLoopCutoff) {
+  auto fixture = make_fixture(5);
+  if (!fixture.ok) GTEST_SKIP();
+  GklOptions options;
+  options.max_outer_loops = 2;
+  const auto result = solve_gkl(fixture.problem, fixture.start, options);
+  EXPECT_LE(result.outer_loops, 2);
+}
+
+TEST(Gkl, TimingGuardsSwaps) {
+  // Swapping would reduce wirelength but break a timing constraint.
+  Netlist netlist;
+  netlist.add_component("a", 1.0);
+  netlist.add_component("b", 1.0);
+  netlist.add_wires(0, 1, 1);
+  auto topo = PartitionTopology::grid(1, 3, CostKind::kManhattan, 1.0);
+  TimingConstraints timing(2);
+  timing.add(0, 1, 2.0);
+  const PartitionProblem problem(std::move(netlist), std::move(topo),
+                                 std::move(timing));
+  Assignment start(2, 3);
+  start.set(0, 0);
+  start.set(1, 2);
+  ASSERT_TRUE(problem.is_feasible(start));
+  const auto result = solve_gkl(problem, start);
+  EXPECT_TRUE(problem.is_feasible(result.assignment));
+}
+
+// --------------------------------------------- cross-method comparison ----
+
+class MethodComparison : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MethodComparison, AllMethodsBeatOrMatchTheStart) {
+  auto fixture = make_fixture(GetParam(), /*capacity_factor=*/2.0);
+  if (!fixture.ok) GTEST_SKIP();
+  const double start_cost = fixture.problem.objective(fixture.start);
+  const auto gfm = solve_gfm(fixture.problem, fixture.start);
+  const auto gkl = solve_gkl(fixture.problem, fixture.start);
+  EXPECT_LE(gfm.objective, start_cost + 1e-9);
+  EXPECT_LE(gkl.objective, start_cost + 1e-9);
+  // Both remain violation-free ("guarantee that the final solution will be
+  // violation-free").
+  EXPECT_TRUE(fixture.problem.is_feasible(gfm.assignment));
+  EXPECT_TRUE(fixture.problem.is_feasible(gkl.assignment));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MethodComparison,
+                         ::testing::Values(2u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace qbp

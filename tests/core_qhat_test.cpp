@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/embedding.hpp"
+#include "core/qhat.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+namespace {
+
+// -------------------------------------------- the Section 3.3 example ----
+
+TEST(QhatPaperExample, ReproducesTheWorkedMatrix) {
+  const auto problem = test::make_paper_example();
+  const QhatMatrix qhat(problem, 50.0);
+
+  // The paper's 12 x 12 matrix with p = 0 (no linear term in the example's
+  // numeric entries).  Layout: rows/cols (a,1..4), (b,1..4), (c,1..4).
+  const auto expected = Matrix<double>::from_rows({
+      {0, 0, 0, 0, /**/ 0, 5, 5, 50, /**/ 0, 0, 0, 0},
+      {0, 0, 0, 0, /**/ 5, 0, 50, 5, /**/ 0, 0, 0, 0},
+      {0, 0, 0, 0, /**/ 5, 50, 0, 5, /**/ 0, 0, 0, 0},
+      {0, 0, 0, 0, /**/ 50, 5, 5, 0, /**/ 0, 0, 0, 0},
+      {0, 5, 5, 50, /**/ 0, 0, 0, 0, /**/ 0, 2, 2, 50},
+      {5, 0, 50, 5, /**/ 0, 0, 0, 0, /**/ 2, 0, 50, 2},
+      {5, 50, 0, 5, /**/ 0, 0, 0, 0, /**/ 2, 50, 0, 2},
+      {50, 5, 5, 0, /**/ 0, 0, 0, 0, /**/ 50, 2, 2, 0},
+      {0, 0, 0, 0, /**/ 0, 2, 2, 50, /**/ 0, 0, 0, 0},
+      {0, 0, 0, 0, /**/ 2, 0, 50, 2, /**/ 0, 0, 0, 0},
+      {0, 0, 0, 0, /**/ 2, 50, 0, 2, /**/ 0, 0, 0, 0},
+      {0, 0, 0, 0, /**/ 50, 2, 2, 0, /**/ 0, 0, 0, 0},
+  });
+  EXPECT_EQ(qhat.materialize(), expected);
+}
+
+TEST(QhatPaperExample, DiagonalCarriesLinearCosts) {
+  // Same example but with a non-trivial P: the paper's matrix shows
+  // p_{1a} .. p_{4c} on the diagonal.
+  Matrix<double> p(4, 3, 0.0);
+  double value = 1.0;
+  for (std::int32_t j = 0; j < 3; ++j) {
+    for (PartitionId i = 0; i < 4; ++i) p(i, j) = value++;
+  }
+  const auto base = test::make_paper_example();
+  const PartitionProblem problem(base.netlist(), base.topology(), base.timing(),
+                                 p);
+  const QhatMatrix qhat(problem, 50.0);
+  for (std::int32_t j = 0; j < 3; ++j) {
+    for (PartitionId i = 0; i < 4; ++i) {
+      const auto r = problem.flat_index(i, j);
+      EXPECT_DOUBLE_EQ(qhat.entry(r, r), p(i, j));
+    }
+  }
+}
+
+TEST(QhatPaperExample, TimingViolationEntryExplained) {
+  // Section 3.3: "the entry at row (a,2) and column (b,3) ... D(2,3) = 2
+  // which exceeds Dc(a,b) = 1.  Therefore we set it to a high cost 50."
+  const auto problem = test::make_paper_example();
+  const QhatMatrix qhat(problem, 50.0);
+  const auto r1 = problem.flat_index(1, 0);  // (a, 2) 0-based partition 1
+  const auto r2 = problem.flat_index(2, 1);  // (b, 3)
+  EXPECT_DOUBLE_EQ(qhat.entry(r1, r2), 50.0);
+}
+
+// -------------------------------------------------- generic semantics ----
+
+class QhatSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QhatSweep, PenalizedValueMatchesDenseQuadraticForm) {
+  auto spec = test::TinySpec{};
+  spec.num_components = 5;
+  spec.num_partitions = 3;
+  spec.with_linear_term = true;
+  spec.seed = GetParam();
+  const auto problem = test::make_tiny_problem(spec);
+  const QhatMatrix qhat(problem, 50.0);
+  const auto dense = qhat.materialize();
+
+  Rng rng(GetParam() ^ 0x5555);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto assignment = test::random_complete(
+        problem.num_components(), problem.num_partitions(), rng);
+    const auto y = problem.to_y(assignment);
+    double direct = 0.0;
+    for (std::int32_t r1 = 0; r1 < dense.rows(); ++r1) {
+      for (std::int32_t r2 = 0; r2 < dense.cols(); ++r2) {
+        direct += y[static_cast<std::size_t>(r1)] *
+                  y[static_cast<std::size_t>(r2)] * dense(r1, r2);
+      }
+    }
+    EXPECT_NEAR(qhat.penalized_value(assignment), direct, 1e-9);
+  }
+}
+
+TEST_P(QhatSweep, PenalizedEqualsTrueObjectiveOnFeasibleAssignments) {
+  // Lemma 1 in action: Q coincides with Qhat over the feasible region, so
+  // y^T Qhat y == y^T Q y whenever y has no timing violations.
+  const auto problem = test::make_tiny_problem({.seed = GetParam()});
+  const QhatMatrix qhat(problem, 50.0);
+  Rng rng(GetParam() ^ 0x1234);
+  int feasible_seen = 0;
+  for (int trial = 0; trial < 200 && feasible_seen < 10; ++trial) {
+    const auto assignment = test::random_complete(
+        problem.num_components(), problem.num_partitions(), rng);
+    if (!problem.satisfies_timing(assignment)) continue;
+    ++feasible_seen;
+    EXPECT_NEAR(qhat.penalized_value(assignment), problem.objective(assignment),
+                1e-9);
+    EXPECT_EQ(qhat.ordered_violations(assignment), 0);
+  }
+  EXPECT_GT(feasible_seen, 0);
+}
+
+TEST_P(QhatSweep, PenalizedExceedsObjectiveOnViolatingAssignments) {
+  const auto problem = test::make_tiny_problem({.seed = GetParam()});
+  const QhatMatrix qhat(problem, 50.0);
+  Rng rng(GetParam() ^ 0x4321);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto assignment = test::random_complete(
+        problem.num_components(), problem.num_partitions(), rng);
+    const auto violations = qhat.ordered_violations(assignment);
+    if (violations == 0) continue;
+    EXPECT_GT(qhat.penalized_value(assignment), problem.objective(assignment));
+  }
+}
+
+TEST_P(QhatSweep, EtaMatchesDenseColumnGather) {
+  auto spec = test::TinySpec{};
+  spec.num_components = 5;
+  spec.num_partitions = 3;
+  spec.with_linear_term = true;
+  spec.seed = GetParam();
+  const auto problem = test::make_tiny_problem(spec);
+  const QhatMatrix qhat(problem, 50.0);
+  const auto dense = qhat.materialize();
+
+  Rng rng(GetParam() ^ 0xaaaa);
+  const auto u = test::random_complete(problem.num_components(),
+                                       problem.num_partitions(), rng);
+  const auto y = problem.to_y(u);
+  std::vector<double> eta(static_cast<std::size_t>(problem.flat_size()));
+  qhat.eta(u, eta);
+  for (std::int64_t s = 0; s < problem.flat_size(); ++s) {
+    double expected = 0.0;
+    for (std::int64_t r = 0; r < problem.flat_size(); ++r) {
+      expected += y[static_cast<std::size_t>(r)] *
+                  dense(static_cast<std::int32_t>(r), static_cast<std::int32_t>(s));
+    }
+    EXPECT_NEAR(eta[static_cast<std::size_t>(s)], expected, 1e-9)
+        << "column " << s;
+  }
+}
+
+TEST_P(QhatSweep, OmegaUpperBoundsRowActivity) {
+  // Equation (2): omega_r >= sum_s qhat_{rs} y_s for every y in S.
+  const auto problem = test::make_tiny_problem({.seed = GetParam()});
+  const QhatMatrix qhat(problem, 50.0);
+  const auto dense = qhat.materialize();
+  const auto omega = qhat.omega();
+
+  Rng rng(GetParam() ^ 0xbbbb);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto assignment = test::random_complete(
+        problem.num_components(), problem.num_partitions(), rng);
+    const auto y = problem.to_y(assignment);
+    for (std::int64_t r = 0; r < problem.flat_size(); ++r) {
+      double row_activity = 0.0;
+      for (std::int64_t s = 0; s < problem.flat_size(); ++s) {
+        row_activity += dense(static_cast<std::int32_t>(r),
+                              static_cast<std::int32_t>(s)) *
+                        y[static_cast<std::size_t>(s)];
+      }
+      EXPECT_GE(omega[static_cast<std::size_t>(r)], row_activity - 1e-9);
+    }
+  }
+}
+
+TEST_P(QhatSweep, MoveDeltaPenalizedMatchesRecomputation) {
+  auto spec = test::TinySpec{};
+  spec.with_linear_term = true;
+  spec.seed = GetParam();
+  const auto problem = test::make_tiny_problem(spec);
+  const QhatMatrix qhat(problem, 50.0);
+  Rng rng(GetParam() ^ 0xcccc);
+  Assignment assignment = test::random_complete(problem.num_components(),
+                                                problem.num_partitions(), rng);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto j = static_cast<std::int32_t>(
+        rng.next_below(problem.num_components()));
+    const auto target = static_cast<PartitionId>(
+        rng.next_below(problem.num_partitions()));
+    const double before = qhat.penalized_value(assignment);
+    const double delta = qhat.move_delta_penalized(assignment, j, target);
+    Assignment moved = assignment;
+    moved.set(j, target);
+    EXPECT_NEAR(delta, qhat.penalized_value(moved) - before, 1e-9);
+    assignment = moved;
+  }
+}
+
+TEST_P(QhatSweep, SwapDeltaPenalizedMatchesRecomputation) {
+  auto spec = test::TinySpec{};
+  spec.with_linear_term = true;
+  spec.seed = GetParam();
+  const auto problem = test::make_tiny_problem(spec);
+  const QhatMatrix qhat(problem, 50.0);
+  Rng rng(GetParam() ^ 0xdddd);
+  Assignment assignment = test::random_complete(problem.num_components(),
+                                                problem.num_partitions(), rng);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto a = static_cast<std::int32_t>(
+        rng.next_below(problem.num_components()));
+    const auto b = static_cast<std::int32_t>(
+        rng.next_below(problem.num_components()));
+    if (a == b) continue;
+    const double before = qhat.penalized_value(assignment);
+    const double delta = qhat.swap_delta_penalized(assignment, a, b);
+    Assignment swapped = assignment;
+    swapped.set(a, assignment[b]);
+    swapped.set(b, assignment[a]);
+    EXPECT_NEAR(delta, qhat.penalized_value(swapped) - before, 1e-9);
+    assignment = swapped;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QhatSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 21u, 22u));
+
+// ---------------------------------------------------------- embedding ----
+
+TEST(Embedding, AnalysisComputesAbsSum) {
+  const auto problem = test::make_paper_example();
+  // sum(A) over ordered pairs = 2*(5+2) = 14; sum(B) = 16 (4x4 Manhattan
+  // grid distances: 8 ones + 4 twos = 8 + 8).
+  const auto analysis = analyze_embedding(problem, 50.0);
+  EXPECT_DOUBLE_EQ(analysis.abs_sum, 14.0 * 16.0);
+  EXPECT_DOUBLE_EQ(analysis.theorem1_threshold, 2.0 * 14.0 * 16.0);
+  EXPECT_FALSE(analysis.provably_exact);  // 50 < 448
+}
+
+TEST(Embedding, Theorem1PenaltyExceedsThreshold) {
+  const auto problem = test::make_paper_example();
+  const double u = theorem1_penalty(problem);
+  EXPECT_GT(u, analyze_embedding(problem, 0.0).theorem1_threshold);
+  EXPECT_TRUE(analyze_embedding(problem, u).provably_exact);
+}
+
+TEST(Embedding, NominalNonzerosFarBelowDense) {
+  const auto problem = test::make_tiny_problem({});
+  const QhatMatrix qhat(problem, 50.0);
+  const double dense_entries = static_cast<double>(problem.flat_size()) *
+                               static_cast<double>(problem.flat_size());
+  EXPECT_LE(static_cast<double>(qhat.nominal_nonzeros()), dense_entries);
+}
+
+}  // namespace
+}  // namespace qbp

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "bench_support/circuits.hpp"
+#include "core/initial.hpp"
+#include "core/multilevel.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+namespace {
+
+PartitionProblem medium_problem(std::uint64_t seed) {
+  auto spec = test::TinySpec{};
+  spec.num_components = 40;
+  spec.num_partitions = 4;
+  spec.wire_probability = 0.15;
+  spec.constraint_probability = 0.05;
+  spec.capacity_factor = 1.6;
+  spec.seed = seed;
+  return test::make_tiny_problem(spec);
+}
+
+// ------------------------------------------------------------ coarsen ----
+
+class CoarsenSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoarsenSweep, ClusterMapIsValidAndShrinks) {
+  const auto problem = medium_problem(GetParam());
+  const auto coarse = coarsen(problem);
+  ASSERT_EQ(coarse.cluster_of.size(),
+            static_cast<std::size_t>(problem.num_components()));
+  for (const auto cluster : coarse.cluster_of) {
+    EXPECT_GE(cluster, 0);
+    EXPECT_LT(cluster, coarse.num_clusters);
+  }
+  EXPECT_LT(coarse.num_clusters, problem.num_components());
+  // Matching merges at most pairs: at least ceil(N/2) clusters.
+  EXPECT_GE(coarse.num_clusters, problem.num_components() / 2);
+}
+
+TEST_P(CoarsenSweep, PreservesTotalSize) {
+  const auto problem = medium_problem(GetParam());
+  const auto coarse = coarsen(problem);
+  EXPECT_NEAR(coarse.problem.netlist().total_size(),
+              problem.netlist().total_size(), 1e-9);
+}
+
+TEST_P(CoarsenSweep, PreservesCrossClusterWires) {
+  const auto problem = medium_problem(GetParam());
+  const auto coarse = coarsen(problem);
+  // Every coarse wire count equals the sum of fine wires between the two
+  // clusters; total coarse wires = fine wires minus intra-cluster wires.
+  std::int64_t intra = 0;
+  for (const WireBundle& bundle : problem.netlist().bundles()) {
+    if (coarse.cluster_of[bundle.a] == coarse.cluster_of[bundle.b]) {
+      intra += bundle.multiplicity;
+    }
+  }
+  EXPECT_EQ(coarse.problem.netlist().total_wires(),
+            problem.netlist().total_wires() - intra);
+}
+
+TEST_P(CoarsenSweep, ObjectiveMatchesOnClusterRespectingAssignments) {
+  // For an assignment where every cluster is co-located, the coarse and
+  // fine objectives agree exactly (intra-cluster wires cost zero).
+  const auto problem = medium_problem(GetParam());
+  const auto coarse = coarsen(problem);
+  Rng rng(GetParam() ^ 0x11);
+  const auto coarse_assignment = test::random_complete(
+      coarse.num_clusters, problem.num_partitions(), rng);
+  const auto fine_assignment = uncoarsen(coarse, coarse_assignment);
+  EXPECT_NEAR(coarse.problem.objective(coarse_assignment),
+              problem.objective(fine_assignment), 1e-9);
+}
+
+TEST_P(CoarsenSweep, FeasibilityProjectsDownward) {
+  // Coarse-feasible => fine-feasible under uncoarsening (tightest-bound
+  // constraint transfer + zero intra-cluster delay + additive sizes).
+  const auto problem = medium_problem(GetParam());
+  const auto coarse = coarsen(problem);
+  Rng rng(GetParam() ^ 0x22);
+  int checked = 0;
+  for (int trial = 0; trial < 300 && checked < 5; ++trial) {
+    const auto coarse_assignment = test::random_complete(
+        coarse.num_clusters, problem.num_partitions(), rng);
+    if (!coarse.problem.is_feasible(coarse_assignment)) continue;
+    ++checked;
+    EXPECT_TRUE(problem.is_feasible(uncoarsen(coarse, coarse_assignment)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoarsenSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Coarsen, RespectsSizeLimit) {
+  const auto problem = medium_problem(3);
+  CoarsenOptions options;
+  options.max_cluster_capacity_fraction = 1e-9;  // nothing may merge
+  const auto coarse = coarsen(problem, options);
+  EXPECT_EQ(coarse.num_clusters, problem.num_components());
+}
+
+TEST(Coarsen, DeterministicInSeed) {
+  const auto problem = medium_problem(4);
+  const auto a = coarsen(problem);
+  const auto b = coarsen(problem);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+}
+
+// ---------------------------------------------------------- multilevel ----
+
+class MultilevelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultilevelSweep, ProducesFeasibleSolutions) {
+  const auto problem = medium_problem(GetParam());
+  const auto initial =
+      make_initial(problem, InitialStrategy::kGreedyBalanced, GetParam());
+  MultilevelOptions options;
+  options.coarse_solver.iterations = 40;
+  options.refine_solver.iterations = 15;
+  const auto result = solve_qbp_multilevel(problem, initial.assignment, options);
+  EXPECT_GE(result.levels_used, 1);
+  EXPECT_EQ(result.level_sizes.front(), problem.num_components());
+  if (result.finest.found_feasible) {
+    EXPECT_TRUE(problem.is_feasible(result.finest.best_feasible));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultilevelSweep,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(Multilevel, WorksOnPresetCircuit) {
+  const auto instance = make_circuit(*find_preset("cktb"));
+  const auto initial = make_initial(instance.problem,
+                                    InitialStrategy::kQbpZeroWireCost, 1993);
+  MultilevelOptions options;
+  options.coarse_solver.iterations = 40;
+  options.refine_solver.iterations = 20;
+  const auto result =
+      solve_qbp_multilevel(instance.problem, initial.assignment, options);
+  ASSERT_TRUE(result.finest.found_feasible);
+  EXPECT_TRUE(instance.problem.is_feasible(result.finest.best_feasible));
+  // Hierarchy really coarsened.
+  ASSERT_GE(result.level_sizes.size(), 2u);
+  EXPECT_LT(result.level_sizes[1], result.level_sizes[0]);
+}
+
+}  // namespace
+}  // namespace qbp

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/problem_io.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+namespace {
+
+// --------------------------------------------------------- round trips ----
+
+TEST(ProblemIo, GridProblemRoundTrip) {
+  const auto original = test::make_paper_example();
+  std::ostringstream out;
+  write_problem(out, original);
+
+  PartitionProblem parsed;
+  std::istringstream in(out.str());
+  const auto result = read_problem(in, parsed);
+  ASSERT_TRUE(result.ok) << result.message;
+
+  EXPECT_EQ(parsed.num_components(), 3);
+  EXPECT_EQ(parsed.num_partitions(), 4);
+  EXPECT_EQ(parsed.netlist().bundles(), original.netlist().bundles());
+  EXPECT_EQ(parsed.topology().wire_cost(), original.topology().wire_cost());
+  EXPECT_EQ(parsed.topology().delay(), original.topology().delay());
+  EXPECT_EQ(parsed.topology().capacities(), original.topology().capacities());
+  EXPECT_EQ(parsed.timing().matrix(), original.timing().matrix());
+  // The grid header survives the round trip (written as `topology grid`).
+  EXPECT_NE(out.str().find("topology grid 2 2 manhattan"), std::string::npos);
+}
+
+class ProblemIoSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProblemIoSweep, RandomProblemRoundTripPreservesSemantics) {
+  auto spec = test::TinySpec{};
+  spec.with_linear_term = true;
+  spec.seed = GetParam();
+  const auto original = test::make_tiny_problem(spec);
+
+  std::ostringstream out;
+  write_problem(out, original);
+  PartitionProblem parsed;
+  std::istringstream in(out.str());
+  const auto result = read_problem(in, parsed);
+  ASSERT_TRUE(result.ok) << result.message;
+
+  // Semantics: identical objective and feasibility on random assignments.
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto assignment = test::random_complete(
+        original.num_components(), original.num_partitions(), rng);
+    // The text format stores 6 decimals; error accumulates over ~N entries.
+    EXPECT_NEAR(parsed.objective(assignment), original.objective(assignment),
+                1e-4);
+    EXPECT_EQ(parsed.is_feasible(assignment), original.is_feasible(assignment));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProblemIoSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(ProblemIo, CustomTopologyRoundTrip) {
+  Netlist netlist;
+  netlist.add_component("a", 1.0);
+  netlist.add_component("b", 2.0);
+  netlist.add_wires(0, 1, 4);
+  auto b = Matrix<double>::from_rows({{0, 3}, {5, 0}});   // asymmetric B
+  auto d = Matrix<double>::from_rows({{0, 1}, {2, 0}});   // asymmetric D
+  const PartitionProblem original(
+      std::move(netlist),
+      PartitionTopology::custom(b, d, {4.0, 4.0}), TimingConstraints(2));
+
+  std::ostringstream out;
+  write_problem(out, original);
+  EXPECT_NE(out.str().find("topology custom 2"), std::string::npos);
+
+  PartitionProblem parsed;
+  std::istringstream in(out.str());
+  const auto result = read_problem(in, parsed);
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_EQ(parsed.topology().wire_cost(), b);
+  EXPECT_EQ(parsed.topology().delay(), d);
+}
+
+TEST(ProblemIo, AlphaBetaSurvive) {
+  auto spec = test::TinySpec{};
+  spec.with_linear_term = true;
+  const auto base = test::make_tiny_problem(spec);
+  const PartitionProblem original(base.netlist(), base.topology(),
+                                  base.timing(), base.linear_cost_matrix(),
+                                  2.0, 0.5);
+  std::ostringstream out;
+  write_problem(out, original);
+  PartitionProblem parsed;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(read_problem(in, parsed).ok);
+  EXPECT_DOUBLE_EQ(parsed.alpha(), 2.0);
+  EXPECT_DOUBLE_EQ(parsed.beta(), 0.5);
+}
+
+// --------------------------------------------------------- net parsing ----
+
+TEST(ProblemIo, NetLinesExpandAsClique) {
+  std::istringstream in(
+      "problem nets\n"
+      "topology grid 1 2 manhattan\n"
+      "capacities 10 10\n"
+      "component a 1\ncomponent b 1\ncomponent c 1\n"
+      "net 2 0 1 2\n");
+  PartitionProblem parsed;
+  ASSERT_TRUE(read_problem(in, parsed).ok);
+  EXPECT_EQ(parsed.netlist().connection_matrix().value_or(0, 1, 0), 2);
+  EXPECT_EQ(parsed.netlist().connection_matrix().value_or(0, 2, 0), 2);
+  EXPECT_EQ(parsed.netlist().connection_matrix().value_or(1, 2, 0), 2);
+}
+
+TEST(ProblemIo, NetstarLinesExpandAsStar) {
+  std::istringstream in(
+      "problem nets\n"
+      "topology grid 1 2 manhattan\n"
+      "capacities 10 10\n"
+      "component a 1\ncomponent b 1\ncomponent c 1\n"
+      "netstar 1 0 1 2\n");
+  PartitionProblem parsed;
+  ASSERT_TRUE(read_problem(in, parsed).ok);
+  EXPECT_EQ(parsed.netlist().connection_matrix().value_or(0, 1, 0), 1);
+  EXPECT_EQ(parsed.netlist().connection_matrix().value_or(0, 2, 0), 1);
+  EXPECT_EQ(parsed.netlist().connection_matrix().value_or(1, 2, 0), 0);
+}
+
+// ------------------------------------------------------------- errors ----
+
+TEST(ProblemIo, MissingTopologyRejected) {
+  std::istringstream in("problem x\ncomponent a 1\n");
+  PartitionProblem parsed;
+  const auto result = read_problem(in, parsed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("topology"), std::string::npos);
+}
+
+TEST(ProblemIo, MissingCapacitiesRejected) {
+  std::istringstream in("topology grid 1 2 manhattan\ncomponent a 1\n");
+  PartitionProblem parsed;
+  EXPECT_FALSE(read_problem(in, parsed).ok);
+}
+
+TEST(ProblemIo, IncompleteCustomMatrixRejected) {
+  std::istringstream in(
+      "topology custom 2\n"
+      "bcost 0 0 1\n"
+      "delay 0 0 1\n"
+      "capacities 1 1\n"
+      "component a 0.5\n");
+  PartitionProblem parsed;
+  const auto result = read_problem(in, parsed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("row 1"), std::string::npos);
+}
+
+TEST(ProblemIo, WireBeforeComponentsRejected) {
+  std::istringstream in(
+      "topology grid 1 2 manhattan\ncapacities 5 5\nwire 0 1 1\n");
+  PartitionProblem parsed;
+  EXPECT_FALSE(read_problem(in, parsed).ok);
+}
+
+TEST(ProblemIo, BadConstraintRejected) {
+  std::istringstream in(
+      "topology grid 1 2 manhattan\ncapacities 5 5\n"
+      "component a 1\ncomponent b 1\nconstraint 0 0 1\n");
+  PartitionProblem parsed;
+  EXPECT_FALSE(read_problem(in, parsed).ok);
+}
+
+TEST(ProblemIo, NegativeLinearRejected) {
+  std::istringstream in(
+      "topology grid 1 2 manhattan\ncapacities 5 5\n"
+      "component a 1\nlinear 0 0 -3\n");
+  PartitionProblem parsed;
+  EXPECT_FALSE(read_problem(in, parsed).ok);
+}
+
+TEST(ProblemIo, OverfullProblemRejectedByValidate) {
+  std::istringstream in(
+      "topology grid 1 2 manhattan\ncapacities 1 1\ncomponent a 5\n");
+  PartitionProblem parsed;
+  const auto result = read_problem(in, parsed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("inconsistent"), std::string::npos);
+}
+
+// -------------------------------------------------------- assignments ----
+
+TEST(AssignmentIo, RoundTrip) {
+  Assignment assignment(4, 3);
+  assignment.set(0, 2);
+  assignment.set(1, 0);
+  assignment.set(2, 1);
+  assignment.set(3, 2);
+  std::ostringstream out;
+  write_assignment(out, assignment);
+
+  Assignment parsed;
+  std::istringstream in(out.str());
+  const auto result = read_assignment(in, 4, 3, parsed);
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_EQ(parsed, assignment);
+}
+
+TEST(AssignmentIo, RejectsDuplicateAssignment) {
+  std::istringstream in("assign 0 1\nassign 0 2\nassign 1 0\n");
+  Assignment parsed;
+  EXPECT_FALSE(read_assignment(in, 2, 3, parsed).ok);
+}
+
+TEST(AssignmentIo, RejectsMissingComponent) {
+  std::istringstream in("assign 0 1\n");
+  Assignment parsed;
+  const auto result = read_assignment(in, 2, 3, parsed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("misses"), std::string::npos);
+}
+
+TEST(AssignmentIo, RejectsOutOfRange) {
+  std::istringstream in("assign 0 9\n");
+  Assignment parsed;
+  EXPECT_FALSE(read_assignment(in, 1, 3, parsed).ok);
+}
+
+}  // namespace
+}  // namespace qbp

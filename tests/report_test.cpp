@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "assign/gap.hpp"
+#include "core/report.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+namespace {
+
+// -------------------------------------------------------------- report ----
+
+TEST(Report, ObjectiveBreakdownConsistent) {
+  auto spec = test::TinySpec{};
+  spec.with_linear_term = true;
+  spec.seed = 4;
+  const auto problem = test::make_tiny_problem(spec);
+  Rng rng(1);
+  const auto assignment = test::random_complete(problem.num_components(),
+                                                problem.num_partitions(), rng);
+  const auto report = make_report(problem, assignment);
+  EXPECT_NEAR(report.objective,
+              problem.alpha() * report.linear_term +
+                  problem.beta() * report.quadratic_term,
+              1e-9);
+  EXPECT_NEAR(report.objective, problem.objective(assignment), 1e-9);
+  EXPECT_NEAR(report.quadratic_term, 2.0 * report.wirelength, 1e-9);
+}
+
+TEST(Report, PartitionUsageSumsToTotalSize) {
+  const auto problem = test::make_tiny_problem({.seed = 5});
+  Rng rng(2);
+  const auto assignment = test::random_complete(problem.num_components(),
+                                                problem.num_partitions(), rng);
+  const auto report = make_report(problem, assignment);
+  double usage_total = 0.0;
+  std::int32_t component_total = 0;
+  for (const auto& usage : report.partitions) {
+    usage_total += usage.usage;
+    component_total += usage.components;
+  }
+  EXPECT_NEAR(usage_total, problem.netlist().total_size(), 1e-9);
+  EXPECT_EQ(component_total, problem.num_components());
+}
+
+TEST(Report, WireHistogramSumsToTotalWires) {
+  const auto problem = test::make_tiny_problem({.seed = 6});
+  Rng rng(3);
+  const auto assignment = test::random_complete(problem.num_components(),
+                                                problem.num_partitions(), rng);
+  const auto report = make_report(problem, assignment);
+  std::int64_t wires = 0;
+  for (const auto count : report.wires_at_distance) wires += count;
+  EXPECT_EQ(wires, problem.netlist().total_wires());
+}
+
+TEST(Report, TimingFieldsMatchCheckers) {
+  const auto problem = test::make_tiny_problem({.seed = 7});
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto assignment = test::random_complete(problem.num_components(),
+                                                  problem.num_partitions(), rng);
+    const auto report = make_report(problem, assignment);
+    EXPECT_EQ(report.timing_ok, problem.satisfies_timing(assignment));
+    EXPECT_EQ(report.timing_violations,
+              problem.timing().violations(assignment, problem.topology()));
+    EXPECT_EQ(report.capacity_ok, problem.satisfies_capacity(assignment));
+    if (report.timing_violations > 0) {
+      EXPECT_LT(report.min_timing_slack, 0.0);
+    } else {
+      EXPECT_GE(report.min_timing_slack, 0.0);
+    }
+  }
+}
+
+TEST(Report, RenderMentionsKeyFields) {
+  const auto problem = test::make_paper_example(/*capacity=*/1.0);
+  Assignment good(3, 4);
+  good.set(0, 0);
+  good.set(1, 1);
+  good.set(2, 3);
+  const auto report = make_report(problem, good);
+  const auto text = to_string(report);
+  EXPECT_NE(text.find("objective"), std::string::npos);
+  EXPECT_NE(text.find("partition utilization"), std::string::npos);
+  EXPECT_NE(text.find("wires by routing distance"), std::string::npos);
+  EXPECT_EQ(text.find("VIOLATED"), std::string::npos);
+}
+
+TEST(Report, RenderFlagsViolations) {
+  const auto problem = test::make_paper_example(/*capacity=*/1.0);
+  Assignment crowded(3, 4);
+  for (std::int32_t j = 0; j < 3; ++j) crowded.set(j, 0);
+  const auto text = to_string(make_report(problem, crowded));
+  EXPECT_NE(text.find("VIOLATED"), std::string::npos);
+}
+
+// ----------------------------------------------------- gap lower bound ----
+
+class GapBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GapBoundSweep, LowerBoundsTheOptimum) {
+  Rng rng(GetParam());
+  const std::int32_t m = 3;
+  const std::int32_t n = 7;
+  GapProblem problem;
+  problem.cost = Matrix<double>(m, n, 0.0);
+  for (std::int32_t i = 0; i < m; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      problem.cost(i, j) = static_cast<double>(rng.next_int(0, 30));
+    }
+  }
+  problem.sizes.resize(n);
+  double total = 0.0;
+  for (auto& size : problem.sizes) {
+    size = rng.next_double(0.5, 2.0);
+    total += size;
+  }
+  problem.capacities.assign(m, total / m * 1.5);
+
+  // Exhaustive optimum.
+  std::vector<std::int32_t> assignment(n, 0);
+  double optimum = std::numeric_limits<double>::infinity();
+  bool feasible = false;
+  while (true) {
+    if (gap_feasible(problem, assignment)) {
+      feasible = true;
+      optimum = std::min(optimum, gap_cost(problem, assignment));
+    }
+    std::int32_t j = 0;
+    while (j < n) {
+      if (++assignment[j] < m) break;
+      assignment[j] = 0;
+      ++j;
+    }
+    if (j == n) break;
+  }
+  if (!feasible) GTEST_SKIP();
+
+  const double bound = gap_lower_bound(problem);
+  EXPECT_LE(bound, optimum + 1e-6);
+  // And it should not be vacuous: at least the capacity-free bound.
+  double relax = 0.0;
+  for (std::int32_t j = 0; j < n; ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::int32_t i = 0; i < m; ++i) best = std::min(best, problem.cost(i, j));
+    relax += best;
+  }
+  EXPECT_GE(bound, relax - 1e-6);
+}
+
+TEST_P(GapBoundSweep, HeuristicWithinReasonableGapOfBound) {
+  Rng rng(GetParam() ^ 0xbeef);
+  const std::int32_t m = 4;
+  const std::int32_t n = 30;
+  GapProblem problem;
+  problem.cost = Matrix<double>(m, n, 0.0);
+  for (std::int32_t i = 0; i < m; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      problem.cost(i, j) = static_cast<double>(rng.next_int(1, 40));
+    }
+  }
+  problem.sizes.resize(n);
+  double total = 0.0;
+  for (auto& size : problem.sizes) {
+    size = rng.next_double(0.5, 2.0);
+    total += size;
+  }
+  problem.capacities.assign(m, total / m * 1.6);
+
+  GapOptions options;
+  options.swap_improvement = true;
+  const auto result = solve_gap(problem, options);
+  ASSERT_TRUE(result.feasible);
+  const double bound = gap_lower_bound(problem, 120);
+  EXPECT_GE(result.cost, bound - 1e-6);
+  // Loose sanity margin: MTHG on benign random instances sits well within
+  // 2x of the Lagrangian bound.
+  EXPECT_LE(result.cost, std::max(bound * 2.0, bound + 40.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapBoundSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace qbp

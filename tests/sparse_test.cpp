@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "util/rng.hpp"
+
+namespace qbp {
+namespace {
+
+// ---------------------------------------------------------------- Csr ----
+
+Csr<int> make_example() {
+  // 3 x 4:
+  //   [ 1 0 2 0 ]
+  //   [ 0 0 0 3 ]
+  //   [ 4 0 0 0 ]
+  return Csr<int>::from_triplets(
+      3, 4, {{0, 0, 1}, {0, 2, 2}, {1, 3, 3}, {2, 0, 4}});
+}
+
+TEST(Csr, ShapeAndNonzeros) {
+  const auto matrix = make_example();
+  EXPECT_EQ(matrix.rows(), 3);
+  EXPECT_EQ(matrix.cols(), 4);
+  EXPECT_EQ(matrix.nonzeros(), 4u);
+}
+
+TEST(Csr, RowAccessSortedByColumn) {
+  const auto matrix = Csr<int>::from_triplets(1, 5, {{0, 4, 1}, {0, 1, 2}, {0, 3, 3}});
+  const auto cols = matrix.row_indices(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(cols[1], 3);
+  EXPECT_EQ(cols[2], 4);
+  const auto values = matrix.row_values(0);
+  EXPECT_EQ(values[0], 2);
+  EXPECT_EQ(values[1], 3);
+  EXPECT_EQ(values[2], 1);
+}
+
+TEST(Csr, DuplicateTripletsCombineByAddition) {
+  const auto matrix = Csr<int>::from_triplets(2, 2, {{0, 1, 3}, {0, 1, 4}});
+  EXPECT_EQ(matrix.nonzeros(), 1u);
+  EXPECT_EQ(matrix.value_or(0, 1, 0), 7);
+}
+
+TEST(Csr, ValueOrFallback) {
+  const auto matrix = make_example();
+  EXPECT_EQ(matrix.value_or(0, 0, -1), 1);
+  EXPECT_EQ(matrix.value_or(0, 1, -1), -1);
+  EXPECT_EQ(matrix.value_or(2, 3, -1), -1);
+}
+
+TEST(Csr, Contains) {
+  const auto matrix = make_example();
+  EXPECT_TRUE(matrix.contains(1, 3));
+  EXPECT_FALSE(matrix.contains(1, 0));
+}
+
+TEST(Csr, EmptyRows) {
+  const auto matrix = Csr<int>::from_triplets(3, 3, {{0, 0, 1}});
+  EXPECT_TRUE(matrix.row_indices(1).empty());
+  EXPECT_TRUE(matrix.row_indices(2).empty());
+}
+
+TEST(Csr, Transposed) {
+  const auto matrix = make_example();
+  const auto t = matrix.transposed();
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.value_or(0, 0, 0), 1);
+  EXPECT_EQ(t.value_or(0, 2, 0), 4);
+  EXPECT_EQ(t.value_or(3, 1, 0), 3);
+  EXPECT_EQ(t.nonzeros(), matrix.nonzeros());
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const auto matrix = make_example();
+  EXPECT_EQ(matrix.transposed().transposed(), matrix);
+}
+
+TEST(Csr, SymmetrizedAddsTranspose) {
+  const auto matrix = Csr<int>::from_triplets(2, 2, {{0, 1, 5}});
+  const auto sym = matrix.symmetrized();
+  EXPECT_EQ(sym.value_or(0, 1, 0), 5);
+  EXPECT_EQ(sym.value_or(1, 0, 0), 5);
+}
+
+TEST(Csr, SymmetrizedDoublesDiagonal) {
+  const auto matrix = Csr<int>::from_triplets(2, 2, {{0, 0, 3}});
+  EXPECT_EQ(matrix.symmetrized().value_or(0, 0, 0), 6);
+}
+
+TEST(Csr, PrunedDropsZeros) {
+  const auto matrix = Csr<int>::from_triplets(2, 2, {{0, 0, 1}, {0, 1, -1}, {1, 1, 1}});
+  // Add a cancelling duplicate so one stored entry becomes zero.
+  const auto with_zero =
+      Csr<int>::from_triplets(2, 2, {{0, 1, 1}, {0, 1, -1}, {1, 1, 2}});
+  EXPECT_EQ(with_zero.nonzeros(), 2u);  // zero-valued entry is kept
+  EXPECT_EQ(with_zero.pruned().nonzeros(), 1u);
+  (void)matrix;
+}
+
+TEST(Csr, SumAndAbsSum) {
+  const auto matrix = Csr<double>::from_triplets(2, 2, {{0, 0, 1.5}, {1, 0, -2.5}});
+  EXPECT_DOUBLE_EQ(matrix.sum(), -1.0);
+  EXPECT_DOUBLE_EQ(matrix.abs_sum(), 4.0);
+}
+
+TEST(Csr, ForEachVisitsAllEntriesInRowMajorOrder) {
+  const auto matrix = make_example();
+  std::vector<std::pair<int, int>> visited;
+  matrix.for_each([&](std::int32_t r, std::int32_t c, int) {
+    visited.emplace_back(r, c);
+  });
+  const std::vector<std::pair<int, int>> expected{{0, 0}, {0, 2}, {1, 3}, {2, 0}};
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const auto matrix = Csr<int>::from_triplets(0, 0, {});
+  EXPECT_EQ(matrix.rows(), 0);
+  EXPECT_EQ(matrix.nonzeros(), 0u);
+  EXPECT_EQ(matrix.sum(), 0);
+}
+
+TEST(Csr, LargeRandomRoundTrip) {
+  Rng rng(77);
+  std::vector<Triplet<double>> triplets;
+  for (int k = 0; k < 500; ++k) {
+    triplets.push_back({static_cast<std::int32_t>(rng.next_below(40)),
+                        static_cast<std::int32_t>(rng.next_below(40)),
+                        rng.next_double(0.1, 2.0)});
+  }
+  const auto matrix = Csr<double>::from_triplets(40, 40, triplets);
+  // Sum is invariant under transposition and duplicate combination.
+  EXPECT_NEAR(matrix.sum(), matrix.transposed().sum(), 1e-9);
+  double triplet_sum = 0.0;
+  for (const auto& t : triplets) triplet_sum += t.value;
+  EXPECT_NEAR(matrix.sum(), triplet_sum, 1e-9);
+}
+
+// ------------------------------------------------------------- Matrix ----
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix<double> matrix(2, 3, 1.5);
+  EXPECT_EQ(matrix.rows(), 2);
+  EXPECT_EQ(matrix.cols(), 3);
+  EXPECT_DOUBLE_EQ(matrix(1, 2), 1.5);
+  matrix(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(matrix(1, 2), -4.0);
+}
+
+TEST(Matrix, FromRows) {
+  const auto matrix = Matrix<int>::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(matrix.rows(), 3);
+  EXPECT_EQ(matrix.cols(), 2);
+  EXPECT_EQ(matrix(2, 1), 6);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix<int> matrix(2, 2, 0);
+  auto row = matrix.row(1);
+  row[0] = 9;
+  EXPECT_EQ(matrix(1, 0), 9);
+}
+
+TEST(Matrix, Fill) {
+  Matrix<int> matrix(2, 2, 1);
+  matrix.fill(7);
+  EXPECT_EQ(matrix(0, 0), 7);
+  EXPECT_EQ(matrix(1, 1), 7);
+}
+
+TEST(Matrix, Transposed) {
+  const auto matrix = Matrix<int>::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const auto t = matrix.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 1), 6);
+  EXPECT_EQ(t(0, 0), 1);
+}
+
+TEST(Matrix, IsSymmetric) {
+  EXPECT_TRUE(Matrix<int>::from_rows({{0, 1}, {1, 0}}).is_symmetric());
+  EXPECT_FALSE(Matrix<int>::from_rows({{0, 1}, {2, 0}}).is_symmetric());
+  EXPECT_FALSE(Matrix<int>::from_rows({{0, 1, 2}, {1, 0, 3}}).is_symmetric());
+}
+
+TEST(Matrix, EqualityAndEmpty) {
+  const Matrix<int> a(2, 2, 1);
+  const Matrix<int> b(2, 2, 1);
+  Matrix<int> c(2, 2, 1);
+  c(0, 1) = 2;
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(Matrix<int>().empty());
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace qbp

@@ -1,0 +1,119 @@
+// Shared helpers for the qbpart test suite: deterministic tiny random
+// problem instances sized for the brute-force oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "netlist/netlist.hpp"
+#include "partition/topology.hpp"
+#include "timing/constraints.hpp"
+#include "util/rng.hpp"
+
+namespace qbp::test {
+
+struct TinySpec {
+  std::int32_t num_components = 6;
+  std::int32_t num_partitions = 3;
+  double wire_probability = 0.5;
+  double constraint_probability = 0.3;
+  /// Per-partition capacity as a multiple of (total size / M); > 1 needed
+  /// for feasibility headroom.
+  double capacity_factor = 1.6;
+  bool with_linear_term = false;
+  std::uint64_t seed = 1;
+};
+
+/// A random small PP(1,1) instance on a 1 x M "row" topology (Manhattan
+/// distances |i1 - i2|), suitable for brute force (M^N <= ~1e5).
+/// Timing bounds are drawn in [1, M-1], so instances are usually but not
+/// always feasible -- callers that need feasibility should check
+/// brute_force_constrained(...).found.
+inline PartitionProblem make_tiny_problem(const TinySpec& spec) {
+  Rng rng(spec.seed);
+  Netlist netlist("tiny");
+  for (std::int32_t j = 0; j < spec.num_components; ++j) {
+    netlist.add_component("c" + std::to_string(j), rng.next_double(0.5, 3.0));
+  }
+  for (std::int32_t a = 0; a < spec.num_components; ++a) {
+    for (std::int32_t b = a + 1; b < spec.num_components; ++b) {
+      if (rng.next_bool(spec.wire_probability)) {
+        netlist.add_wires(a, b, static_cast<std::int32_t>(rng.next_int(1, 4)));
+      }
+    }
+  }
+
+  const std::int32_t m = spec.num_partitions;
+  PartitionTopology topology = PartitionTopology::grid(1, m, CostKind::kManhattan);
+  const double capacity =
+      netlist.total_size() / m * spec.capacity_factor;
+  for (PartitionId i = 0; i < m; ++i) topology.set_capacity(i, capacity);
+
+  TimingConstraints timing(spec.num_components);
+  if (m > 1) {
+    for (std::int32_t a = 0; a < spec.num_components; ++a) {
+      for (std::int32_t b = a + 1; b < spec.num_components; ++b) {
+        if (rng.next_bool(spec.constraint_probability)) {
+          timing.add(a, b, static_cast<double>(rng.next_int(1, m - 1)));
+        }
+      }
+    }
+  }
+
+  Matrix<double> p;
+  if (spec.with_linear_term) {
+    p = Matrix<double>(m, spec.num_components, 0.0);
+    for (PartitionId i = 0; i < m; ++i) {
+      for (std::int32_t j = 0; j < spec.num_components; ++j) {
+        p(i, j) = rng.next_double(0.0, 5.0);
+      }
+    }
+  }
+
+  return PartitionProblem(std::move(netlist), std::move(topology),
+                          std::move(timing), std::move(p));
+}
+
+/// A deterministic complete assignment (round-robin), not necessarily
+/// feasible.
+inline Assignment round_robin(std::int32_t num_components,
+                              std::int32_t num_partitions) {
+  Assignment assignment(num_components, num_partitions);
+  for (std::int32_t j = 0; j < num_components; ++j) {
+    assignment.set(j, j % num_partitions);
+  }
+  return assignment;
+}
+
+/// A random complete assignment.
+inline Assignment random_complete(std::int32_t num_components,
+                                  std::int32_t num_partitions, Rng& rng) {
+  Assignment assignment(num_components, num_partitions);
+  for (std::int32_t j = 0; j < num_components; ++j) {
+    assignment.set(j, static_cast<PartitionId>(
+                          rng.next_below(static_cast<std::uint64_t>(num_partitions))));
+  }
+  return assignment;
+}
+
+/// The Section 3.3 worked example (3 components, 2 x 2 grid, 5 + 2 wires,
+/// adjacency constraints on a-b and b-c); `capacity` defaults to the
+/// unconstrained setting.
+inline PartitionProblem make_paper_example(double capacity = 3.0) {
+  Netlist netlist("paper-3.3");
+  const auto a = netlist.add_component("a", 1.0);
+  const auto b = netlist.add_component("b", 1.0);
+  const auto c = netlist.add_component("c", 1.0);
+  netlist.add_wires(a, b, 5);
+  netlist.add_wires(b, c, 2);
+  PartitionTopology topology =
+      PartitionTopology::grid(2, 2, CostKind::kManhattan, capacity);
+  TimingConstraints timing(3);
+  timing.add(a, b, 1.0);
+  timing.add(b, c, 1.0);
+  return PartitionProblem(std::move(netlist), std::move(topology),
+                          std::move(timing));
+}
+
+}  // namespace qbp::test

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace qbp {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int k = 0; k < 10000; ++k) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int k = 0; k < 1000; ++k) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowApproximatelyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int k = 0; k < kDraws; ++k) ++counts[rng.next_below(kBuckets)];
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    EXPECT_NEAR(counts[bucket], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int k = 0; k < 5000; ++k) {
+    const auto value = rng.next_int(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    saw_lo |= value == -2;
+    saw_hi |= value == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int k = 0; k < 10000; ++k) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 20000;
+  for (int k = 0; k < kDraws; ++k) {
+    const double value = rng.next_gaussian();
+    sum += value;
+    sum_sq += value * value;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng rng(13);
+  for (int k = 0; k < 1000; ++k) {
+    EXPECT_GT(rng.next_log_normal(0.5, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  auto copy = values;
+  rng.shuffle(std::span<int>(copy));
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(Rng, PickWeightedRespectsZeros) {
+  Rng rng(19);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int k = 0; k < 200; ++k) {
+    EXPECT_EQ(rng.pick_weighted(weights), 1u);
+  }
+}
+
+TEST(Rng, PickWeightedAllZeroReturnsSize) {
+  Rng rng(19);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.pick_weighted(weights), weights.size());
+}
+
+TEST(Rng, PickWeightedFollowsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights{1.0, 3.0};
+  int heavy = 0;
+  constexpr int kDraws = 20000;
+  for (int k = 0; k < kDraws; ++k) {
+    if (rng.pick_weighted(weights) == 1) ++heavy;
+  }
+  EXPECT_NEAR(heavy, kDraws * 0.75, kDraws * 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(29);
+  Rng child = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (child() == child2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, RandomPermutationIsPermutation) {
+  Rng rng(31);
+  const auto perm = random_permutation(20, rng);
+  std::set<std::int32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 19);
+}
+
+// ------------------------------------------------------------ strings ----
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmptyFields) {
+  const auto fields = split_whitespace("  one \t two\nthree  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "one");
+  EXPECT_EQ(fields[1], "two");
+  EXPECT_EQ(fields[2], "three");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, ParseIntAcceptsWholeTokenOnly) {
+  long long value = 0;
+  EXPECT_TRUE(parse_int("42", value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(parse_int(" -7 ", value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(parse_int("12x", value));
+  EXPECT_FALSE(parse_int("", value));
+  EXPECT_FALSE(parse_int("4.2", value));
+}
+
+TEST(Strings, ParseDouble) {
+  double value = 0.0;
+  EXPECT_TRUE(parse_double("3.25", value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+  EXPECT_TRUE(parse_double("-1e3", value));
+  EXPECT_DOUBLE_EQ(value, -1000.0);
+  EXPECT_FALSE(parse_double("abc", value));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, FormatGrouped) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(20756), "20,756");
+  EXPECT_EQ(format_grouped(-1234567), "-1,234,567");
+}
+
+// ---------------------------------------------------------------- cli ----
+
+TEST(Cli, ParsesFlagsAndValues) {
+  bool verbose = false;
+  std::int64_t count = 10;
+  double ratio = 0.5;
+  std::string name = "default";
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", verbose, "v");
+  cli.add_int("count", count, "c");
+  cli.add_double("ratio", ratio, "r");
+  cli.add_string("name", name, "n");
+
+  const char* argv[] = {"prog", "--verbose", "--count", "42",
+                        "--ratio=0.25", "--name", "x", "positional"};
+  ASSERT_TRUE(cli.parse(8, argv));
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "x");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("nope"), std::string::npos);
+}
+
+TEST(Cli, RejectsMalformedInt) {
+  std::int64_t count = 0;
+  CliParser cli("prog", "test");
+  cli.add_int("count", count, "c");
+  const char* argv[] = {"prog", "--count", "abc"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, MissingValueIsAnError) {
+  std::int64_t count = 0;
+  CliParser cli("prog", "test");
+  cli.add_int("count", count, "c");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage().find("prog"), std::string::npos);
+}
+
+TEST(Cli, FlagWithExplicitValue) {
+  bool flag = true;
+  CliParser cli("prog", "test");
+  cli.add_flag("flag", flag, "f");
+  const char* argv[] = {"prog", "--flag=false"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(flag);
+}
+
+// ------------------------------------------------------------ FlatMap ----
+
+TEST(FlatMap, InsertsSortedAndFinds) {
+  FlatMap<int, double> map;
+  map[5] = 1.0;
+  map[1] = 2.0;
+  map[3] = 3.0;
+  EXPECT_EQ(map.size(), 3u);
+  ASSERT_NE(map.find(3), nullptr);
+  EXPECT_DOUBLE_EQ(*map.find(3), 3.0);
+  EXPECT_EQ(map.find(2), nullptr);
+  // Iteration order is key-sorted.
+  std::vector<int> keys;
+  for (const auto& [key, value] : map) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(FlatMap, ValueOrAndContains) {
+  FlatMap<int, int> map;
+  map[2] = 20;
+  EXPECT_EQ(map.value_or(2, -1), 20);
+  EXPECT_EQ(map.value_or(9, -1), -1);
+  EXPECT_TRUE(map.contains(2));
+  EXPECT_FALSE(map.contains(9));
+}
+
+TEST(FlatMap, EraseRemovesOnlyTarget) {
+  FlatMap<int, int> map;
+  map[1] = 1;
+  map[2] = 2;
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(2));
+}
+
+TEST(FlatMap, OperatorBracketUpdatesInPlace) {
+  FlatMap<int, int> map;
+  map[7] = 1;
+  map[7] += 5;
+  EXPECT_EQ(map.value_or(7, 0), 6);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string output = table.render();
+  EXPECT_NE(output.find("name"), std::string::npos);
+  EXPECT_NE(output.find("alpha"), std::string::npos);
+  EXPECT_NE(output.find("22"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < output.size()) {
+    const auto end = output.find('\n', start);
+    const auto line = output.substr(start, end - start);
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW({ const auto rendered = table.render(); (void)rendered; });
+}
+
+TEST(TextTable, AlignmentLeftAndRight) {
+  TextTable table({"left", "right"});
+  table.set_alignment({TextTable::Align::kLeft, TextTable::Align::kRight});
+  table.add_row({"x", "1"});
+  const std::string output = table.render();
+  EXPECT_NE(output.find("| x    |"), std::string::npos);
+  EXPECT_NE(output.find("|     1 |"), std::string::npos);
+}
+
+// -------------------------------------------------------------- timer ----
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+  EXPECT_LT(timer.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+}  // namespace
+}  // namespace qbp
