@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iters.dir/bench_ablation_iters.cpp.o"
+  "CMakeFiles/bench_ablation_iters.dir/bench_ablation_iters.cpp.o.d"
+  "bench_ablation_iters"
+  "bench_ablation_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sparse.dir/bench_ablation_sparse.cpp.o"
+  "CMakeFiles/bench_ablation_sparse.dir/bench_ablation_sparse.cpp.o.d"
+  "bench_ablation_sparse"
+  "bench_ablation_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

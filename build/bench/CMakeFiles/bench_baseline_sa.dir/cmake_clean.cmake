@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_sa.dir/bench_baseline_sa.cpp.o"
+  "CMakeFiles/bench_baseline_sa.dir/bench_baseline_sa.cpp.o.d"
+  "bench_baseline_sa"
+  "bench_baseline_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

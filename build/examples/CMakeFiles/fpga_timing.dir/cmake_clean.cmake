@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_timing.dir/fpga_timing.cpp.o"
+  "CMakeFiles/fpga_timing.dir/fpga_timing.cpp.o.d"
+  "fpga_timing"
+  "fpga_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

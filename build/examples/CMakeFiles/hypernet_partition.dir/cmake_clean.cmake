@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypernet_partition.dir/hypernet_partition.cpp.o"
+  "CMakeFiles/hypernet_partition.dir/hypernet_partition.cpp.o.d"
+  "hypernet_partition"
+  "hypernet_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypernet_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

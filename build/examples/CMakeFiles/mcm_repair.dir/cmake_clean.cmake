@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_repair.dir/mcm_repair.cpp.o"
+  "CMakeFiles/mcm_repair.dir/mcm_repair.cpp.o.d"
+  "mcm_repair"
+  "mcm_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

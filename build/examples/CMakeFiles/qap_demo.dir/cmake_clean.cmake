@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qap_demo.dir/qap_demo.cpp.o"
+  "CMakeFiles/qap_demo.dir/qap_demo.cpp.o.d"
+  "qap_demo"
+  "qap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbpart_cli.dir/qbpart_cli.cpp.o"
+  "CMakeFiles/qbpart_cli.dir/qbpart_cli.cpp.o.d"
+  "qbpart_cli"
+  "qbpart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

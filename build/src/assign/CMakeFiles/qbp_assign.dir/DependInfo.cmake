@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/gap.cpp" "src/assign/CMakeFiles/qbp_assign.dir/gap.cpp.o" "gcc" "src/assign/CMakeFiles/qbp_assign.dir/gap.cpp.o.d"
+  "/root/repo/src/assign/knapsack.cpp" "src/assign/CMakeFiles/qbp_assign.dir/knapsack.cpp.o" "gcc" "src/assign/CMakeFiles/qbp_assign.dir/knapsack.cpp.o.d"
+  "/root/repo/src/assign/lap.cpp" "src/assign/CMakeFiles/qbp_assign.dir/lap.cpp.o" "gcc" "src/assign/CMakeFiles/qbp_assign.dir/lap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

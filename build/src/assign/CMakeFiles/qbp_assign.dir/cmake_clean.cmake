@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_assign.dir/gap.cpp.o"
+  "CMakeFiles/qbp_assign.dir/gap.cpp.o.d"
+  "CMakeFiles/qbp_assign.dir/knapsack.cpp.o"
+  "CMakeFiles/qbp_assign.dir/knapsack.cpp.o.d"
+  "CMakeFiles/qbp_assign.dir/lap.cpp.o"
+  "CMakeFiles/qbp_assign.dir/lap.cpp.o.d"
+  "libqbp_assign.a"
+  "libqbp_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_baselines.dir/gfm.cpp.o"
+  "CMakeFiles/qbp_baselines.dir/gfm.cpp.o.d"
+  "CMakeFiles/qbp_baselines.dir/gkl.cpp.o"
+  "CMakeFiles/qbp_baselines.dir/gkl.cpp.o.d"
+  "CMakeFiles/qbp_baselines.dir/sa.cpp.o"
+  "CMakeFiles/qbp_baselines.dir/sa.cpp.o.d"
+  "libqbp_baselines.a"
+  "libqbp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_benchsup.dir/circuits.cpp.o"
+  "CMakeFiles/qbp_benchsup.dir/circuits.cpp.o.d"
+  "CMakeFiles/qbp_benchsup.dir/experiment.cpp.o"
+  "CMakeFiles/qbp_benchsup.dir/experiment.cpp.o.d"
+  "libqbp_benchsup.a"
+  "libqbp_benchsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_benchsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

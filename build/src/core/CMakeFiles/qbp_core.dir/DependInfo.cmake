@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/qbp_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/burkard.cpp" "src/core/CMakeFiles/qbp_core.dir/burkard.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/burkard.cpp.o.d"
+  "/root/repo/src/core/embedding.cpp" "src/core/CMakeFiles/qbp_core.dir/embedding.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/embedding.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/qbp_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/initial.cpp" "src/core/CMakeFiles/qbp_core.dir/initial.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/initial.cpp.o.d"
+  "/root/repo/src/core/multilevel.cpp" "src/core/CMakeFiles/qbp_core.dir/multilevel.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/multilevel.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/qbp_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/problem_io.cpp" "src/core/CMakeFiles/qbp_core.dir/problem_io.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/problem_io.cpp.o.d"
+  "/root/repo/src/core/qhat.cpp" "src/core/CMakeFiles/qbp_core.dir/qhat.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/qhat.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/qbp_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/repair.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/qbp_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/special_cases.cpp" "src/core/CMakeFiles/qbp_core.dir/special_cases.cpp.o" "gcc" "src/core/CMakeFiles/qbp_core.dir/special_cases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/qbp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/qbp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/qbp_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/qbp_assign.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_core.dir/brute_force.cpp.o"
+  "CMakeFiles/qbp_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/burkard.cpp.o"
+  "CMakeFiles/qbp_core.dir/burkard.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/embedding.cpp.o"
+  "CMakeFiles/qbp_core.dir/embedding.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/exact.cpp.o"
+  "CMakeFiles/qbp_core.dir/exact.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/initial.cpp.o"
+  "CMakeFiles/qbp_core.dir/initial.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/multilevel.cpp.o"
+  "CMakeFiles/qbp_core.dir/multilevel.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/problem.cpp.o"
+  "CMakeFiles/qbp_core.dir/problem.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/problem_io.cpp.o"
+  "CMakeFiles/qbp_core.dir/problem_io.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/qhat.cpp.o"
+  "CMakeFiles/qbp_core.dir/qhat.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/repair.cpp.o"
+  "CMakeFiles/qbp_core.dir/repair.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/report.cpp.o"
+  "CMakeFiles/qbp_core.dir/report.cpp.o.d"
+  "CMakeFiles/qbp_core.dir/special_cases.cpp.o"
+  "CMakeFiles/qbp_core.dir/special_cases.cpp.o.d"
+  "libqbp_core.a"
+  "libqbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

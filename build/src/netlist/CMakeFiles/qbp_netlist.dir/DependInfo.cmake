@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/generator.cpp" "src/netlist/CMakeFiles/qbp_netlist.dir/generator.cpp.o" "gcc" "src/netlist/CMakeFiles/qbp_netlist.dir/generator.cpp.o.d"
+  "/root/repo/src/netlist/io.cpp" "src/netlist/CMakeFiles/qbp_netlist.dir/io.cpp.o" "gcc" "src/netlist/CMakeFiles/qbp_netlist.dir/io.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/qbp_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/qbp_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/nets.cpp" "src/netlist/CMakeFiles/qbp_netlist.dir/nets.cpp.o" "gcc" "src/netlist/CMakeFiles/qbp_netlist.dir/nets.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/qbp_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/qbp_netlist.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

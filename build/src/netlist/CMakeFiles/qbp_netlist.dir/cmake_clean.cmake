@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_netlist.dir/generator.cpp.o"
+  "CMakeFiles/qbp_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/qbp_netlist.dir/io.cpp.o"
+  "CMakeFiles/qbp_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/qbp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/qbp_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/qbp_netlist.dir/nets.cpp.o"
+  "CMakeFiles/qbp_netlist.dir/nets.cpp.o.d"
+  "CMakeFiles/qbp_netlist.dir/stats.cpp.o"
+  "CMakeFiles/qbp_netlist.dir/stats.cpp.o.d"
+  "libqbp_netlist.a"
+  "libqbp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqbp_netlist.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/assignment.cpp" "src/partition/CMakeFiles/qbp_partition.dir/assignment.cpp.o" "gcc" "src/partition/CMakeFiles/qbp_partition.dir/assignment.cpp.o.d"
+  "/root/repo/src/partition/cost.cpp" "src/partition/CMakeFiles/qbp_partition.dir/cost.cpp.o" "gcc" "src/partition/CMakeFiles/qbp_partition.dir/cost.cpp.o.d"
+  "/root/repo/src/partition/deviation.cpp" "src/partition/CMakeFiles/qbp_partition.dir/deviation.cpp.o" "gcc" "src/partition/CMakeFiles/qbp_partition.dir/deviation.cpp.o.d"
+  "/root/repo/src/partition/topology.cpp" "src/partition/CMakeFiles/qbp_partition.dir/topology.cpp.o" "gcc" "src/partition/CMakeFiles/qbp_partition.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/qbp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

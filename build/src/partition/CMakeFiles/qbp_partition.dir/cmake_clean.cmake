@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_partition.dir/assignment.cpp.o"
+  "CMakeFiles/qbp_partition.dir/assignment.cpp.o.d"
+  "CMakeFiles/qbp_partition.dir/cost.cpp.o"
+  "CMakeFiles/qbp_partition.dir/cost.cpp.o.d"
+  "CMakeFiles/qbp_partition.dir/deviation.cpp.o"
+  "CMakeFiles/qbp_partition.dir/deviation.cpp.o.d"
+  "CMakeFiles/qbp_partition.dir/topology.cpp.o"
+  "CMakeFiles/qbp_partition.dir/topology.cpp.o.d"
+  "libqbp_partition.a"
+  "libqbp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

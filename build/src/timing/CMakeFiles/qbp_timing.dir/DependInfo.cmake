@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/constraints.cpp" "src/timing/CMakeFiles/qbp_timing.dir/constraints.cpp.o" "gcc" "src/timing/CMakeFiles/qbp_timing.dir/constraints.cpp.o.d"
+  "/root/repo/src/timing/timing_graph.cpp" "src/timing/CMakeFiles/qbp_timing.dir/timing_graph.cpp.o" "gcc" "src/timing/CMakeFiles/qbp_timing.dir/timing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/qbp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/qbp_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_timing.dir/constraints.cpp.o"
+  "CMakeFiles/qbp_timing.dir/constraints.cpp.o.d"
+  "CMakeFiles/qbp_timing.dir/timing_graph.cpp.o"
+  "CMakeFiles/qbp_timing.dir/timing_graph.cpp.o.d"
+  "libqbp_timing.a"
+  "libqbp_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

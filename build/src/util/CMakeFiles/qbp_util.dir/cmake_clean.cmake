@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbp_util.dir/cli.cpp.o"
+  "CMakeFiles/qbp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/qbp_util.dir/log.cpp.o"
+  "CMakeFiles/qbp_util.dir/log.cpp.o.d"
+  "CMakeFiles/qbp_util.dir/rng.cpp.o"
+  "CMakeFiles/qbp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/qbp_util.dir/strings.cpp.o"
+  "CMakeFiles/qbp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/qbp_util.dir/table.cpp.o"
+  "CMakeFiles/qbp_util.dir/table.cpp.o.d"
+  "libqbp_util.a"
+  "libqbp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

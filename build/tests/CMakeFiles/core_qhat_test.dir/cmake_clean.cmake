@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_qhat_test.dir/core_qhat_test.cpp.o"
+  "CMakeFiles/core_qhat_test.dir/core_qhat_test.cpp.o.d"
+  "core_qhat_test"
+  "core_qhat_test.pdb"
+  "core_qhat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_qhat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nets_test.dir/nets_test.cpp.o"
+  "CMakeFiles/nets_test.dir/nets_test.cpp.o.d"
+  "nets_test"
+  "nets_test.pdb"
+  "nets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/problem_io_test.cpp" "tests/CMakeFiles/problem_io_test.dir/problem_io_test.cpp.o" "gcc" "tests/CMakeFiles/problem_io_test.dir/problem_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/qbp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/qbp_benchsup.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/qbp_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/qbp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/qbp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/qbp_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem_io_test.dir/problem_io_test.cpp.o"
+  "CMakeFiles/problem_io_test.dir/problem_io_test.cpp.o.d"
+  "problem_io_test"
+  "problem_io_test.pdb"
+  "problem_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

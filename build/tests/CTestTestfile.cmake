@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/assign_test[1]_include.cmake")
+include("/root/repo/build/tests/core_problem_test[1]_include.cmake")
+include("/root/repo/build/tests/core_qhat_test[1]_include.cmake")
+include("/root/repo/build/tests/core_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/nets_test[1]_include.cmake")
+include("/root/repo/build/tests/problem_io_test[1]_include.cmake")
+include("/root/repo/build/tests/sa_test[1]_include.cmake")
+include("/root/repo/build/tests/special_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/multilevel_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/asymmetric_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
