@@ -1,15 +1,21 @@
-// qbpart_cli: partition a problem file with any of the four methods.
+// qbpart_cli: partition a problem file with any of the five methods.
 //
 //   # generate a sample problem, then solve it
 //   ./qbpart_cli --emit-sample sample.qp
 //   ./qbpart_cli --problem sample.qp --method qbp --out solution.txt
+//   # parallel portfolio: 16 independent starts on 8 threads, best wins
+//   ./qbpart_cli --problem sample.qp --starts 16 --threads 8
 //
-// Methods: qbp (the paper's solver), gfm, gkl, sa.  GFM/GKL/SA need a
-// feasible start, produced QBP(B=0)-style; QBP accepts any start
-// (--start random).  The result assignment is written in the `assign`
-// format of core/problem_io.hpp and can be fed back via --initial.
+// Methods: qbp (the paper's solver), multilevel, gfm, gkl, sa.  With
+// --starts > 1 (or --portfolio) the run goes through the engine's parallel
+// portfolio driver: start points derive deterministically from --seed, so
+// the chosen assignment is identical for any --threads value.  Single-start
+// GFM/GKL/SA need a feasible start, produced QBP(B=0)-style; QBP accepts
+// any start (--start random).  The result assignment is written in the
+// `assign` format of core/problem_io.hpp and can be fed back via --initial.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "baselines/gfm.hpp"
 #include "baselines/gkl.hpp"
@@ -19,6 +25,7 @@
 #include "core/initial.hpp"
 #include "core/problem_io.hpp"
 #include "core/report.hpp"
+#include "engine/engine.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 
@@ -36,6 +43,27 @@ int emit_sample(const std::string& path) {
   return 0;
 }
 
+// Shared tail of every solve path: report + optional assignment dump.
+int finish(const qbp::PartitionProblem& problem,
+           const qbp::Assignment& final_assignment, bool quiet,
+           const std::string& out_path) {
+  const auto report = qbp::make_report(problem, final_assignment);
+  std::printf("final: objective %.1f, capacity ok: %s, timing ok: %s\n",
+              report.objective, report.capacity_ok ? "yes" : "no",
+              report.timing_ok ? "yes" : "no");
+  if (!quiet) {
+    std::printf("%s", qbp::to_string(report).c_str());
+  }
+  if (!out_path.empty()) {
+    if (!qbp::write_assignment_file(out_path, final_assignment)) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("assignment written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +75,9 @@ int main(int argc, char** argv) {
   std::string start = "qbp0";
   std::int64_t iterations = 100;
   std::int64_t seed = 1993;
+  std::int64_t starts = 1;
+  std::int64_t threads = 0;
+  bool portfolio = false;
   bool quiet = false;
 
   qbp::CliParser cli("qbpart_cli",
@@ -61,6 +92,12 @@ int main(int argc, char** argv) {
                  "start strategy when --initial absent: qbp0 | random | greedy");
   cli.add_int("iterations", iterations, "QBP iteration budget");
   cli.add_int("seed", seed, "random seed");
+  cli.add_int("starts", starts,
+              "independent portfolio starts (> 1 implies --portfolio)");
+  cli.add_int("threads", threads,
+              "portfolio worker threads (0 = all hardware threads)");
+  cli.add_flag("portfolio", portfolio,
+               "run through the parallel portfolio driver even for 1 start");
   cli.add_string("emit-sample", emit_sample_path,
                  "write a sample problem file and exit");
   cli.add_flag("quiet", quiet, "suppress the capacity report");
@@ -91,6 +128,41 @@ int main(int argc, char** argv) {
               problem.num_partitions(),
               static_cast<long long>(problem.netlist().total_wires()),
               static_cast<long long>(problem.timing().count()));
+
+  // Parallel portfolio path: K deterministic starts, best result wins.
+  if (portfolio || starts > 1) {
+    std::unique_ptr<qbp::engine::Solver> solver;
+    if (method == "qbp") {
+      qbp::BurkardOptions options;
+      options.iterations = static_cast<std::int32_t>(iterations);
+      solver = std::make_unique<qbp::engine::BurkardSolver>(options);
+    } else {
+      solver = qbp::engine::make_solver(method);
+    }
+    if (!solver) {
+      std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());
+      return 1;
+    }
+    qbp::engine::PortfolioOptions options;
+    options.seed = static_cast<std::uint64_t>(seed);
+    options.threads = static_cast<std::int32_t>(threads);
+    const auto result = qbp::engine::Portfolio(options).run(
+        problem, *solver, static_cast<std::int32_t>(starts));
+    std::printf(
+        "portfolio: %d/%d starts on %d threads, %.2f s wall (%.2f s total "
+        "work, winner start %d in %.2f s)\n",
+        result.starts_run, static_cast<std::int32_t>(starts),
+        result.threads_used, result.seconds, result.seconds_total,
+        result.best_start, result.seconds_best_start);
+    if (!result.best.found_feasible) {
+      std::fprintf(stderr,
+                   "no start found a fully feasible solution (best penalized "
+                   "value %.1f); rerun with more --starts or --iterations\n",
+                   result.best.best_penalized);
+      return 2;
+    }
+    return finish(problem, result.best.best_feasible, quiet, out_path);
+  }
 
   // Starting assignment.
   qbp::Assignment initial;
@@ -170,19 +242,5 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto report = qbp::make_report(problem, final_assignment);
-  std::printf("final: objective %.1f, capacity ok: %s, timing ok: %s\n",
-              report.objective, report.capacity_ok ? "yes" : "no",
-              report.timing_ok ? "yes" : "no");
-  if (!quiet) {
-    std::printf("%s", qbp::to_string(report).c_str());
-  }
-  if (!out_path.empty()) {
-    if (!qbp::write_assignment_file(out_path, final_assignment)) {
-      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
-      return 1;
-    }
-    std::printf("assignment written to %s\n", out_path.c_str());
-  }
-  return 0;
+  return finish(problem, final_assignment, quiet, out_path);
 }

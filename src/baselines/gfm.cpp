@@ -65,6 +65,7 @@ GfmResult solve_gfm(const PartitionProblem& problem, const Assignment& initial,
   };
 
   for (std::int32_t pass = 0; pass < options.max_passes; ++pass) {
+    if (options.should_stop && options.should_stop()) break;
     std::fill(locked.begin(), locked.end(), false);
     std::priority_queue<HeapEntry> heap;
     const auto push_component = [&](std::int32_t j) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/problem.hpp"
 
@@ -34,6 +35,9 @@ struct GfmOptions {
   std::int32_t max_passes = 64;
   /// Minimum pass improvement to continue.
   double min_improvement = 1e-9;
+  /// Cooperative cancellation hook, checked between passes.  Empty means
+  /// never stop.
+  std::function<bool()> should_stop;
 };
 
 struct GfmResult {

@@ -127,6 +127,7 @@ GklResult solve_gkl(const PartitionProblem& problem, const Assignment& initial,
   std::vector<bool> locked(static_cast<std::size_t>(n), false);
 
   for (std::int32_t outer = 0; outer < options.max_outer_loops; ++outer) {
+    if (options.should_stop && options.should_stop()) break;
     std::fill(locked.begin(), locked.end(), false);
     std::vector<Swap> applied;
     double cumulative = 0.0;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/problem.hpp"
 
@@ -35,6 +36,9 @@ struct GklOptions {
   /// the pass's best prefix; -1 disables (fully faithful, slowest).
   std::int64_t stale_window = -1;
   double min_improvement = 1e-9;
+  /// Cooperative cancellation hook, checked between outer loops.  Empty
+  /// means never stop.
+  std::function<bool()> should_stop;
 };
 
 struct GklResult {

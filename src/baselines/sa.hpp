@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/problem.hpp"
 
@@ -29,6 +30,9 @@ struct SaOptions {
   /// Fraction of proposals that are swaps (rest are single moves).
   double swap_fraction = 0.4;
   std::uint64_t seed = 1;
+  /// Cooperative cancellation hook, checked between temperature steps.
+  /// Empty means never stop.
+  std::function<bool()> should_stop;
 };
 
 struct SaResult {

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -91,6 +92,10 @@ struct BurkardOptions {
   /// between iterations ("the user can have precise control over the total
   /// runtime" -- this adds the wall-clock variant of that control).
   double time_budget_seconds = 0.0;
+  /// Cooperative cancellation hook, checked between iterations (and between
+  /// starts in the multistart driver).  Empty means never stop.  The engine
+  /// portfolio wires a std::stop_token through this to cancel stragglers.
+  std::function<bool()> should_stop;
 };
 
 struct BurkardResult {
@@ -111,7 +116,12 @@ struct BurkardResult {
   /// Incumbent penalized value after each iteration (empty unless
   /// record_history).
   std::vector<double> history;
+  /// Total wall clock of the call that produced this result.  For
+  /// solve_qbp_multistart this is the time across *all* starts, not just
+  /// the winner's.
   double seconds = 0.0;
+  /// Wall clock of the single winning start (== seconds for solve_qbp).
+  double seconds_best_start = 0.0;
 };
 
 /// Run the heuristic from `initial` (any complete assignment -- Section 5:

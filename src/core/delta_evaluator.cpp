@@ -1,0 +1,240 @@
+#include "core/delta_evaluator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "partition/cost.hpp"
+
+namespace qbp {
+
+namespace delta_detail {
+
+namespace {
+
+/// Sum of (penalty - wire term) over the ordered violating pairs involving
+/// `component` if it sat in partition `i`, with the position of one partner
+/// optionally overridden (used by the swap variant; pass override = -1 for
+/// moves).  Violations only occur on constrained pairs, so only the timing
+/// partner list is scanned.
+double violation_contribution(const PartitionProblem& problem, double penalty,
+                              const Assignment& assignment,
+                              std::int32_t component, PartitionId i,
+                              std::int32_t override_partner,
+                              PartitionId override_at,
+                              std::int32_t skip_partner = -1) {
+  const auto& topology = problem.topology();
+  const auto& adjacency = problem.netlist().connection_matrix();
+  const auto partners = problem.timing().partners(component);
+  const auto bounds = problem.timing().bounds(component);
+  double total = 0.0;
+  for (std::size_t k = 0; k < partners.size(); ++k) {
+    const std::int32_t partner = partners[k];
+    if (partner == skip_partner) continue;
+    const PartitionId other =
+        partner == override_partner ? override_at : assignment[partner];
+    if (other == Assignment::kUnassigned) continue;
+    const double wire_scale =
+        problem.beta() * adjacency.value_or(component, partner, 0);
+    if (topology.delay(i, other) > bounds[k]) {
+      total += penalty - wire_scale * topology.wire_cost(i, other);
+    }
+    if (topology.delay(other, i) > bounds[k]) {
+      total += penalty - wire_scale * topology.wire_cost(other, i);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double move_delta_penalized(const PartitionProblem& problem, double penalty,
+                            const Assignment& assignment,
+                            std::int32_t component, PartitionId target) {
+  const PartitionId source = assignment[component];
+  if (source == target) return 0.0;
+  return move_delta_objective(problem.netlist(), problem.topology(),
+                              problem.linear_cost_matrix(), problem.alpha(),
+                              problem.beta(), assignment, component, target) +
+         violation_contribution(problem, penalty, assignment, component, target,
+                                -1, Assignment::kUnassigned) -
+         violation_contribution(problem, penalty, assignment, component, source,
+                                -1, Assignment::kUnassigned);
+}
+
+double swap_delta_penalized(const PartitionProblem& problem, double penalty,
+                            const Assignment& assignment,
+                            std::int32_t component_a, std::int32_t component_b) {
+  const PartitionId pa = assignment[component_a];
+  const PartitionId pb = assignment[component_b];
+  if (pa == pb) return 0.0;
+
+  // Penalized delta = objective delta + change in the violation correction
+  // over the ordered constrained pairs involving a or b.  Each state's
+  // correction counts a's pairs (with b's position overridden) plus b's
+  // pairs, skipping the (a, b) pair in b's scan so it is counted once.
+  const auto correction = [&](PartitionId at_a, PartitionId at_b) {
+    return violation_contribution(problem, penalty, assignment, component_a,
+                                  at_a, component_b, at_b) +
+           violation_contribution(problem, penalty, assignment, component_b,
+                                  at_b, component_a, at_a, component_a);
+  };
+
+  return swap_delta_objective(problem.netlist(), problem.topology(),
+                              problem.linear_cost_matrix(), problem.alpha(),
+                              problem.beta(), assignment, component_a,
+                              component_b) +
+         correction(pb, pa) - correction(pa, pb);
+}
+
+}  // namespace delta_detail
+
+DeltaEvaluator::DeltaEvaluator(const PartitionProblem& problem, double penalty)
+    : problem_(&problem),
+      penalty_(penalty),
+      moved_at_(static_cast<std::size_t>(problem.num_components()), 0),
+      rows_(static_cast<std::size_t>(problem.num_components())),
+      deltas_(static_cast<std::size_t>(problem.num_partitions()), 0.0) {
+  assert(penalty >= 0.0);
+}
+
+double DeltaEvaluator::move_delta(const Assignment& assignment,
+                                  std::int32_t component,
+                                  PartitionId target) const {
+  if (penalty_ > 0.0) {
+    return delta_detail::move_delta_penalized(*problem_, penalty_, assignment,
+                                              component, target);
+  }
+  return move_delta_objective(problem_->netlist(), problem_->topology(),
+                              problem_->linear_cost_matrix(), problem_->alpha(),
+                              problem_->beta(), assignment, component, target);
+}
+
+double DeltaEvaluator::swap_delta(const Assignment& assignment,
+                                  std::int32_t component_a,
+                                  std::int32_t component_b) const {
+  if (penalty_ > 0.0) {
+    return delta_detail::swap_delta_penalized(*problem_, penalty_, assignment,
+                                              component_a, component_b);
+  }
+  return swap_delta_objective(problem_->netlist(), problem_->topology(),
+                              problem_->linear_cost_matrix(), problem_->alpha(),
+                              problem_->beta(), assignment, component_a,
+                              component_b);
+}
+
+bool DeltaEvaluator::row_fresh(std::int32_t component, const Row& row) const {
+  if (!row.valid) return false;
+  // The row depends on the positions of the component's neighbors and
+  // timing partners only; the component's own position enters via the
+  // baseline subtraction in move_deltas, so its own moves keep the row hot.
+  for (const std::int32_t other :
+       problem_->netlist().connection_matrix().row_indices(component)) {
+    if (moved_at_[static_cast<std::size_t>(other)] > row.built_version) {
+      return false;
+    }
+  }
+  for (const std::int32_t other : problem_->timing().partners(component)) {
+    if (moved_at_[static_cast<std::size_t>(other)] > row.built_version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DeltaEvaluator::build_row(const Assignment& assignment,
+                               std::int32_t component, Row& row) const {
+  const std::int32_t m = problem_->num_partitions();
+  const auto& topology = problem_->topology();
+  const auto& adjacency = problem_->netlist().connection_matrix();
+  const double beta = problem_->beta();
+
+  row.incident.assign(static_cast<std::size_t>(m), 0.0);
+
+  // Linear term.
+  if (!problem_->linear_cost_matrix().empty()) {
+    for (PartitionId i = 0; i < m; ++i) {
+      row.incident[static_cast<std::size_t>(i)] =
+          problem_->alpha() * problem_->linear_cost(i, component);
+    }
+  }
+
+  // Wire terms: both ordered directions per neighbor.
+  const auto neighbors = adjacency.row_indices(component);
+  const auto wires = adjacency.row_values(component);
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    const PartitionId other = assignment[neighbors[k]];
+    if (other == Assignment::kUnassigned) continue;
+    const double scale = beta * wires[k];
+    for (PartitionId i = 0; i < m; ++i) {
+      row.incident[static_cast<std::size_t>(i)] +=
+          scale *
+          (topology.wire_cost(i, other) + topology.wire_cost(other, i));
+    }
+  }
+
+  // Penalized mode: for each constrained partner, a violating direction's
+  // wire term is replaced by the flat penalty.
+  if (penalty_ > 0.0) {
+    const auto partners = problem_->timing().partners(component);
+    const auto bounds = problem_->timing().bounds(component);
+    for (std::size_t k = 0; k < partners.size(); ++k) {
+      const PartitionId other = assignment[partners[k]];
+      if (other == Assignment::kUnassigned) continue;
+      const double wire_scale =
+          beta * adjacency.value_or(component, partners[k], 0);
+      for (PartitionId i = 0; i < m; ++i) {
+        if (topology.delay(i, other) > bounds[k]) {
+          row.incident[static_cast<std::size_t>(i)] +=
+              penalty_ - wire_scale * topology.wire_cost(i, other);
+        }
+        if (topology.delay(other, i) > bounds[k]) {
+          row.incident[static_cast<std::size_t>(i)] +=
+              penalty_ - wire_scale * topology.wire_cost(other, i);
+        }
+      }
+    }
+  }
+}
+
+std::span<const double> DeltaEvaluator::move_deltas(const Assignment& assignment,
+                                                    std::int32_t component) {
+  Row& row = rows_[static_cast<std::size_t>(component)];
+  if (row_fresh(component, row)) {
+    ++hits_;
+  } else {
+    ++misses_;
+    build_row(assignment, component, row);
+    row.built_version = version_;
+    row.valid = true;
+  }
+  const double baseline =
+      row.incident[static_cast<std::size_t>(assignment[component])];
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    deltas_[i] = row.incident[i] - baseline;
+  }
+  return deltas_;
+}
+
+void DeltaEvaluator::commit_move(Assignment& assignment, std::int32_t component,
+                                 PartitionId target) {
+  assignment.set(component, target);
+  moved_at_[static_cast<std::size_t>(component)] = ++version_;
+}
+
+void DeltaEvaluator::commit_swap(Assignment& assignment,
+                                 std::int32_t component_a,
+                                 std::int32_t component_b) {
+  const PartitionId pa = assignment[component_a];
+  assignment.set(component_a, assignment[component_b]);
+  assignment.set(component_b, pa);
+  ++version_;
+  moved_at_[static_cast<std::size_t>(component_a)] = version_;
+  moved_at_[static_cast<std::size_t>(component_b)] = version_;
+}
+
+void DeltaEvaluator::invalidate() {
+  ++version_;
+  std::fill(moved_at_.begin(), moved_at_.end(), version_);
+}
+
+}  // namespace qbp

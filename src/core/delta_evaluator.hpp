@@ -1,0 +1,121 @@
+// Unified incremental cost evaluation for single moves and pairwise swaps.
+//
+// Every local-search loop in the library (the Burkard iterate polish, the
+// GFM/GKL/SA baselines, the engine portfolio's solvers) needs the same two
+// primitives: "what does the objective do if component j moves to partition
+// i?" and "... if components a and b swap?".  Historically the penalized
+// variants lived in QhatMatrix and the plain-objective variants in
+// partition/cost.hpp, with the swap logic implemented twice.  This module is
+// the single implementation:
+//
+//   * delta_detail::{move,swap}_delta_penalized are the one true penalized
+//     deltas -- QhatMatrix::{move,swap}_delta_penalized delegate here, and
+//     both are expressed as the plain-objective delta (partition/cost.hpp)
+//     plus a timing-violation correction, so the wire/linear arithmetic
+//     exists exactly once;
+//   * DeltaEvaluator adds per-component contribution caching on top: the
+//     full "incident cost of j by candidate partition" row is built once in
+//     O((deg_A(j) + deg_Dc(j)) * M) and each later delta against the same
+//     row costs O(1) after an O(degree) freshness check, while the row stays
+//     valid until a neighbor or timing partner of j moves.  Loops that
+//     scan all M targets of a component (the polish move sweep, FM-style
+//     gain updates) get their deltas at amortized O(degree) instead of
+//     O(degree * M).
+//
+// The evaluator is not thread-safe; give each solver run its own instance
+// (they are cheap: O(N) bookkeeping plus rows built on demand).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace qbp {
+
+namespace delta_detail {
+
+/// Change in the penalized value y^T Qhat y (objective + penalty embedding)
+/// if `component` moved to `target`.  Single shared implementation used by
+/// QhatMatrix::move_delta_penalized and DeltaEvaluator.
+[[nodiscard]] double move_delta_penalized(const PartitionProblem& problem,
+                                          double penalty,
+                                          const Assignment& assignment,
+                                          std::int32_t component,
+                                          PartitionId target);
+
+/// Change in the penalized value if the two components exchanged partitions.
+[[nodiscard]] double swap_delta_penalized(const PartitionProblem& problem,
+                                          double penalty,
+                                          const Assignment& assignment,
+                                          std::int32_t component_a,
+                                          std::int32_t component_b);
+
+}  // namespace delta_detail
+
+class DeltaEvaluator {
+ public:
+  /// `penalty > 0`: deltas are on the penalized objective y^T Qhat y (the
+  /// metric Burkard's polish descends); `penalty == 0`: deltas are on the
+  /// true objective (the metric the feasible-region baselines descend).
+  /// Holds a reference; `problem` must outlive the evaluator.
+  explicit DeltaEvaluator(const PartitionProblem& problem, double penalty = 0.0);
+
+  [[nodiscard]] double penalty() const noexcept { return penalty_; }
+
+  /// Exact one-off deltas (no caching).
+  [[nodiscard]] double move_delta(const Assignment& assignment,
+                                  std::int32_t component,
+                                  PartitionId target) const;
+  [[nodiscard]] double swap_delta(const Assignment& assignment,
+                                  std::int32_t component_a,
+                                  std::int32_t component_b) const;
+
+  /// Deltas for moving `component` to every partition (entry [current] is
+  /// 0).  Cached: the underlying incident-cost row survives until a
+  /// neighbor or timing partner of `component` moves, so repeated calls are
+  /// O(degree) instead of O(degree * M).  The returned span aliases an
+  /// internal buffer invalidated by the next move_deltas call.
+  [[nodiscard]] std::span<const double> move_deltas(const Assignment& assignment,
+                                                    std::int32_t component);
+
+  /// Apply a move/swap *through* the evaluator so cache freshness stamps
+  /// stay correct.  Mutating the assignment behind the evaluator's back
+  /// requires a subsequent invalidate().
+  void commit_move(Assignment& assignment, std::int32_t component,
+                   PartitionId target);
+  void commit_swap(Assignment& assignment, std::int32_t component_a,
+                   std::int32_t component_b);
+
+  /// Drop all cached rows (the assignment changed externally).
+  void invalidate();
+
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept { return misses_; }
+
+ private:
+  struct Row {
+    /// Incident cost of the component by candidate partition: linear term
+    /// plus both ordered wire terms per neighbor, with the penalty
+    /// replacing a wire term whenever that direction violates its bound
+    /// (penalized mode only).
+    std::vector<double> incident;
+    std::uint64_t built_version = 0;
+    bool valid = false;
+  };
+
+  void build_row(const Assignment& assignment, std::int32_t component, Row& row) const;
+  [[nodiscard]] bool row_fresh(std::int32_t component, const Row& row) const;
+
+  const PartitionProblem* problem_;
+  double penalty_;
+  std::uint64_t version_ = 1;
+  std::vector<std::uint64_t> moved_at_;  // last-commit version per component
+  std::vector<Row> rows_;                // lazily built, one per component
+  std::vector<double> deltas_;           // scratch returned by move_deltas
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace qbp

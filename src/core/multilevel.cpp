@@ -175,13 +175,25 @@ MultilevelResult solve_qbp_multilevel(const PartitionProblem& problem,
     seed = std::move(projected);
   }
 
-  // Solve coarsest, then refine upward.
-  BurkardResult run = solve_qbp(*levels.back(), seed, options.coarse_solver);
+  // Solve coarsest, then refine upward.  The caller's stop hook rides along
+  // into every per-level Burkard run.
+  BurkardOptions coarse_options = options.coarse_solver;
+  if (options.should_stop && !coarse_options.should_stop) {
+    coarse_options.should_stop = options.should_stop;
+  }
+  BurkardOptions refine_options = options.refine_solver;
+  if (options.should_stop && !refine_options.should_stop) {
+    refine_options.should_stop = options.should_stop;
+  }
+  // A fired stop hook short-circuits each remaining run after one
+  // iteration, so the projection still reaches the finest level and the
+  // result keeps the fine problem's dimensions.
+  BurkardResult run = solve_qbp(*levels.back(), seed, coarse_options);
   for (std::size_t level = coarse_levels.size(); level-- > 0;) {
     const Assignment& coarse_best =
         run.found_feasible ? run.best_feasible : run.best;
     const Assignment projected = uncoarsen(coarse_levels[level], coarse_best);
-    run = solve_qbp(*levels[level], projected, options.refine_solver);
+    run = solve_qbp(*levels[level], projected, refine_options);
   }
 
   result.finest = std::move(run);

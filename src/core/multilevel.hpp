@@ -61,6 +61,10 @@ struct MultilevelOptions {
   /// Burkard budget for each refinement level (runs from the projection).
   BurkardOptions refine_solver;
   CoarsenOptions coarsen;
+  /// Cooperative cancellation hook, forwarded into every per-level Burkard
+  /// run (a fired hook short-circuits each run after one iteration while
+  /// the projection still reaches the finest level).  Empty = never stop.
+  std::function<bool()> should_stop;
 
   MultilevelOptions() {
     coarse_solver.iterations = 80;

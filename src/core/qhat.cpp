@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/delta_evaluator.hpp"
 #include "partition/cost.hpp"
 
 namespace qbp {
@@ -70,107 +71,15 @@ double QhatMatrix::penalized_value(const Assignment& assignment) const {
 double QhatMatrix::move_delta_penalized(const Assignment& assignment,
                                         std::int32_t component,
                                         PartitionId target) const {
-  const PartitionId source = assignment[component];
-  if (source == target) return 0.0;
-  const auto& topology = problem_->topology();
-  const auto& adjacency = problem_->netlist().connection_matrix();
-
-  // Penalty contribution of every ordered violating pair involving
-  // `component` if it sat in partition `i` (each violating direction
-  // replaces its wire term with the flat penalty).
-  const auto violation_contribution = [&](PartitionId i) {
-    const auto partners = problem_->timing().partners(component);
-    const auto bounds = problem_->timing().bounds(component);
-    double total = 0.0;
-    for (std::size_t k = 0; k < partners.size(); ++k) {
-      const PartitionId other = assignment[partners[k]];
-      if (other == Assignment::kUnassigned) continue;
-      const double wire_scale =
-          problem_->beta() * adjacency.value_or(component, partners[k], 0);
-      if (topology.delay(i, other) > bounds[k]) {
-        total += penalty_ - wire_scale * topology.wire_cost(i, other);
-      }
-      if (topology.delay(other, i) > bounds[k]) {
-        total += penalty_ - wire_scale * topology.wire_cost(other, i);
-      }
-    }
-    return total;
-  };
-
-  return move_delta_objective(problem_->netlist(), topology,
-                              problem_->linear_cost_matrix(), problem_->alpha(),
-                              problem_->beta(), assignment, component, target) +
-         violation_contribution(target) - violation_contribution(source);
+  return delta_detail::move_delta_penalized(*problem_, penalty_, assignment,
+                                            component, target);
 }
 
 double QhatMatrix::swap_delta_penalized(const Assignment& assignment,
                                         std::int32_t component_a,
                                         std::int32_t component_b) const {
-  const PartitionId pa = assignment[component_a];
-  const PartitionId pb = assignment[component_b];
-  if (pa == pb) return 0.0;
-  const auto& topology = problem_->topology();
-  const auto& adjacency = problem_->netlist().connection_matrix();
-  const double alpha = problem_->alpha();
-  const double beta = problem_->beta();
-
-  // Penalized cost incident to `component` when it sits in partition `i`,
-  // with the swap partner's position overridable: linear term + both
-  // ordered wire terms per neighbor, with the penalty replacing a wire term
-  // whenever that direction violates its constraint.
-  const auto incident = [&](std::int32_t component, PartitionId i,
-                            std::int32_t partner, PartitionId partner_at) {
-    double total = alpha * problem_->linear_cost(i, component);
-    const auto neighbors = adjacency.row_indices(component);
-    const auto wires = adjacency.row_values(component);
-    for (std::size_t k = 0; k < neighbors.size(); ++k) {
-      const std::int32_t other = neighbors[k];
-      const PartitionId at = other == partner ? partner_at : assignment[other];
-      const double bound = problem_->timing().max_delay(component, other);
-      const double scale = beta * wires[k];
-      total += topology.delay(i, at) > bound
-                   ? penalty_
-                   : scale * topology.wire_cost(i, at);
-      total += topology.delay(at, i) > bound
-                   ? penalty_
-                   : scale * topology.wire_cost(at, i);
-    }
-    // Constrained but unconnected partners still contribute penalties.
-    const auto partners = problem_->timing().partners(component);
-    const auto bounds = problem_->timing().bounds(component);
-    for (std::size_t k = 0; k < partners.size(); ++k) {
-      const std::int32_t other = partners[k];
-      if (adjacency.contains(component, other)) continue;  // handled above
-      const PartitionId at = other == partner ? partner_at : assignment[other];
-      if (topology.delay(i, at) > bounds[k]) total += penalty_;
-      if (topology.delay(at, i) > bounds[k]) total += penalty_;
-    }
-    return total;
-  };
-
-  // The (a, b) pair's own contribution is counted by both incident() calls;
-  // subtract it once per state.
-  const auto pair_contribution = [&](PartitionId at_a, PartitionId at_b) {
-    const double bound = problem_->timing().max_delay(component_a, component_b);
-    const double scale =
-        beta * adjacency.value_or(component_a, component_b, 0);
-    double total = 0.0;
-    total += topology.delay(at_a, at_b) > bound
-                 ? penalty_
-                 : scale * topology.wire_cost(at_a, at_b);
-    total += topology.delay(at_b, at_a) > bound
-                 ? penalty_
-                 : scale * topology.wire_cost(at_b, at_a);
-    return total;
-  };
-
-  const double before = incident(component_a, pa, component_b, pb) +
-                        incident(component_b, pb, component_a, pa) -
-                        pair_contribution(pa, pb);
-  const double after = incident(component_a, pb, component_b, pa) +
-                       incident(component_b, pa, component_a, pb) -
-                       pair_contribution(pb, pa);
-  return after - before;
+  return delta_detail::swap_delta_penalized(*problem_, penalty_, assignment,
+                                            component_a, component_b);
 }
 
 void QhatMatrix::eta(const Assignment& u, std::span<double> eta) const {

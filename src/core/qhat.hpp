@@ -54,8 +54,9 @@ class QhatMatrix {
   [[nodiscard]] std::int64_t ordered_violations(const Assignment& assignment) const;
 
   /// Change in penalized_value if `component` moved to `target`, everything
-  /// else fixed.  O(degree in A + degree in Dc); used by the iterate polish
-  /// and by tests as the incremental counterpart of penalized_value.
+  /// else fixed.  O(degree in A + degree in Dc).  Delegates to the shared
+  /// implementation in core/delta_evaluator.hpp (the DeltaEvaluator adds
+  /// per-component caching on top for all-targets scans).
   [[nodiscard]] double move_delta_penalized(const Assignment& assignment,
                                             std::int32_t component,
                                             PartitionId target) const;

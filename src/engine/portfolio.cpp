@@ -1,0 +1,134 @@
+#include "engine/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace qbp::engine {
+
+namespace {
+
+/// Start i's StartPoint: a pure function of (master seed, i).  A fresh
+/// master Rng is forked per index -- fork() reads but never advances the
+/// master state -- so any thread can derive any start independently.
+StartPoint make_start(const PartitionProblem& problem, std::uint64_t master_seed,
+                      std::int32_t index) {
+  Rng master(master_seed);
+  Rng stream = master.fork(static_cast<std::uint64_t>(index));
+  StartPoint start;
+  start.seed = stream();
+  start.assignment =
+      Assignment(problem.num_components(), problem.num_partitions());
+  for (std::int32_t j = 0; j < problem.num_components(); ++j) {
+    start.assignment.set(
+        j, static_cast<PartitionId>(stream.next_below(
+               static_cast<std::uint64_t>(problem.num_partitions()))));
+  }
+  return start;
+}
+
+}  // namespace
+
+PortfolioResult Portfolio::run(const PartitionProblem& problem,
+                               const Solver& solver,
+                               std::int32_t starts) const {
+  assert(starts >= 0);
+  std::vector<const Solver*> list(static_cast<std::size_t>(starts), &solver);
+  return run(problem, list);
+}
+
+PortfolioResult Portfolio::run(
+    const PartitionProblem& problem,
+    std::span<const Solver* const> start_solvers) const {
+  const Timer timer;
+  const auto num_starts = static_cast<std::int32_t>(start_solvers.size());
+
+  PortfolioResult result;
+  if (num_starts == 0) {
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  std::int32_t threads = options_.threads;
+  if (threads <= 0) {
+    threads = static_cast<std::int32_t>(std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, num_starts);
+
+  const bool cancel_enabled = !std::isnan(options_.cancel_objective);
+
+  std::vector<SolverResult> slots(static_cast<std::size_t>(num_starts));
+  std::vector<std::uint8_t> ran(static_cast<std::size_t>(num_starts), 0);
+  std::atomic<std::int32_t> next{0};
+  std::stop_source cancel;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::int32_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_starts) break;
+      SolverResult& slot = slots[static_cast<std::size_t>(i)];
+      if (cancel.stop_requested()) {
+        // Skipped before launch: record the solver it would have run.
+        slot.solver = std::string(start_solvers[i]->name());
+        slot.cancelled = true;
+        continue;
+      }
+      log::set_thread_prefix("s" + std::to_string(i) + " ");
+      const StartPoint start = make_start(problem, options_.seed, i);
+      slot = start_solvers[i]->solve(problem, start, cancel.get_token());
+      ran[static_cast<std::size_t>(i)] = 1;
+      if (cancel_enabled && slot.found_feasible &&
+          slot.best_feasible_objective <= options_.cancel_objective) {
+        cancel.request_stop();
+      }
+    }
+    log::set_thread_prefix({});
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (std::int32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }  // jthreads join here
+
+  // Deterministic selection: first index that beats everything before it
+  // under the strict better_result() order, scanning slots in index order.
+  for (std::int32_t i = 0; i < num_starts; ++i) {
+    const SolverResult& slot = slots[static_cast<std::size_t>(i)];
+    if (!ran[static_cast<std::size_t>(i)]) {
+      ++result.starts_skipped;
+      continue;
+    }
+    ++result.starts_run;
+    if (slot.cancelled) ++result.starts_cancelled;
+    result.seconds_total += slot.seconds;
+    if (result.best_start < 0 ||
+        better_result(slot, slots[static_cast<std::size_t>(result.best_start)])) {
+      result.best_start = i;
+    }
+  }
+  if (result.best_start >= 0) {
+    result.best = slots[static_cast<std::size_t>(result.best_start)];
+    result.seconds_best_start = result.best.seconds;
+  }
+  if (options_.keep_start_results) {
+    result.starts = std::move(slots);
+  }
+  result.threads_used = threads;
+  result.seconds = timer.seconds();
+
+  log::info("portfolio: ", result.starts_run, "/", num_starts, " starts on ",
+            threads, " threads, best start ", result.best_start, ", wall ",
+            result.seconds, " s, total work ", result.seconds_total, " s");
+  return result;
+}
+
+}  // namespace qbp::engine

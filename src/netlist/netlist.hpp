@@ -90,7 +90,9 @@ class Netlist {
   void finalize();
 
   /// The symmetric interconnection matrix A (CSR, both directions stored).
-  /// Built lazily and cached; invalidated by add_wires().
+  /// Built lazily and cached; invalidated by add_wires().  The lazy build
+  /// is NOT thread-safe: build it once (PartitionProblem's constructor
+  /// does) before sharing the netlist across reader threads.
   [[nodiscard]] const Csr<std::int32_t>& connection_matrix() const;
 
   /// Degree (number of distinct neighbors) of a component.

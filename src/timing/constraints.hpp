@@ -49,7 +49,9 @@ class TimingConstraints {
   /// constraint was added for the pair).
   [[nodiscard]] double max_delay(ComponentId j1, ComponentId j2) const;
 
-  /// The symmetric sparse Dc matrix (both directions stored).
+  /// The symmetric sparse Dc matrix (both directions stored).  The lazy
+  /// rebuild after add() is NOT thread-safe: build it once
+  /// (PartitionProblem's constructor does) before sharing across threads.
   [[nodiscard]] const Csr<double>& matrix() const;
 
   /// Components constrained against `j`, with their bounds.

@@ -1,11 +1,20 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace qbp::log {
 
 namespace {
-Level g_level = Level::kWarn;
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+
+const std::string& local_prefix(bool set, std::string value = {}) {
+  thread_local std::string prefix;
+  if (set) prefix = std::move(value);
+  return prefix;
+}
 
 constexpr const char* prefix(Level level) noexcept {
   switch (level) {
@@ -19,20 +28,30 @@ constexpr const char* prefix(Level level) noexcept {
 }
 }  // namespace
 
-void set_level(Level level) noexcept { g_level = level; }
+void set_level(Level level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-Level level() noexcept { return g_level; }
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 bool enabled(Level lvl) noexcept {
-  return static_cast<int>(lvl) <= static_cast<int>(g_level) &&
+  return static_cast<int>(lvl) <= static_cast<int>(level()) &&
          lvl != Level::kSilent;
 }
+
+void set_thread_prefix(std::string value) {
+  local_prefix(true, std::move(value));
+}
+
+const std::string& thread_prefix() noexcept { return local_prefix(false); }
 
 void write(Level lvl, std::string_view message) {
   if (!enabled(lvl)) return;
   std::FILE* sink = (lvl == Level::kError || lvl == Level::kWarn) ? stderr : stdout;
-  std::fprintf(sink, "%s%.*s\n", prefix(lvl), static_cast<int>(message.size()),
-               message.data());
+  const std::string& thread_tag = thread_prefix();
+  const std::lock_guard<std::mutex> guard(g_sink_mutex);
+  std::fprintf(sink, "%s%s%.*s\n", prefix(lvl), thread_tag.c_str(),
+               static_cast<int>(message.size()), message.data());
 }
 
 }  // namespace qbp::log

@@ -2,8 +2,10 @@
 //
 // The solvers are libraries first: they never print unless the caller raises
 // the global level.  Benches and examples set `Level::kInfo` (or kDebug) to
-// narrate convergence.  Not thread-safe by design -- the library is
-// single-threaded, matching the 1993 algorithms.
+// narrate convergence.  Thread-safe: the global level is atomic, each line is
+// written under a mutex (lines never interleave), and a per-thread prefix
+// (set_thread_prefix) lets concurrent solver runs tag their output -- the
+// portfolio driver labels each worker "s<start> ".
 #pragma once
 
 #include <sstream>
@@ -19,7 +21,13 @@ void set_level(Level level) noexcept;
 [[nodiscard]] Level level() noexcept;
 [[nodiscard]] bool enabled(Level level) noexcept;
 
-/// Emit one line at `level` (no-op if below the global level).
+/// Label prepended to every line emitted by the *calling thread* (empty by
+/// default).  Thread-local: workers of a parallel driver each set their own.
+void set_thread_prefix(std::string prefix);
+[[nodiscard]] const std::string& thread_prefix() noexcept;
+
+/// Emit one line at `level` (no-op if below the global level).  The write is
+/// mutex-guarded so concurrent lines never interleave mid-line.
 void write(Level level, std::string_view message);
 
 namespace detail {

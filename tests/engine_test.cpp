@@ -1,0 +1,298 @@
+// Engine layer: Solver adapters, better_result ordering, and -- the load-
+// bearing property -- Portfolio determinism: same master seed + same starts
+// => bit-identical chosen assignment for thread counts 1, 2 and 8.  This
+// test is also the one the ThreadSanitizer CI job runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stop_token>
+#include <vector>
+
+#include "core/qhat.hpp"
+#include "engine/engine.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace qbp::engine {
+namespace {
+
+BurkardOptions fast_qbp_options() {
+  BurkardOptions options;
+  options.iterations = 12;
+  return options;
+}
+
+PartitionProblem engine_problem() {
+  return test::make_tiny_problem(
+      {.num_components = 12, .num_partitions = 4, .seed = 42});
+}
+
+TEST(MakeSolver, KnowsEveryRegisteredNameAndRejectsUnknown) {
+  for (const char* name : {"qbp", "multilevel", "gfm", "gkl", "sa"}) {
+    const auto solver = make_solver(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->name(), name);
+  }
+  EXPECT_EQ(make_solver("simplex"), nullptr);
+  EXPECT_EQ(make_solver(""), nullptr);
+}
+
+TEST(BetterResult, FeasibilityDominatesThenObjectiveThenPenalized) {
+  SolverResult feasible_good;
+  feasible_good.found_feasible = true;
+  feasible_good.best_feasible_objective = 10.0;
+  SolverResult feasible_bad = feasible_good;
+  feasible_bad.best_feasible_objective = 20.0;
+  SolverResult infeasible_low;
+  infeasible_low.best_penalized = 1.0;
+  SolverResult infeasible_high;
+  infeasible_high.best_penalized = 5.0;
+
+  EXPECT_TRUE(better_result(feasible_bad, infeasible_low));
+  EXPECT_FALSE(better_result(infeasible_low, feasible_bad));
+  EXPECT_TRUE(better_result(feasible_good, feasible_bad));
+  EXPECT_TRUE(better_result(infeasible_low, infeasible_high));
+  // Strictness: ties are not "better" (keeps first-wins scans stable).
+  EXPECT_FALSE(better_result(feasible_good, feasible_good));
+  EXPECT_FALSE(better_result(infeasible_low, infeasible_low));
+}
+
+TEST(Adapters, BurkardAdapterMatchesDirectSolve) {
+  const PartitionProblem problem = engine_problem();
+  Rng rng(5);
+  StartPoint start{test::random_complete(problem.num_components(),
+                                         problem.num_partitions(), rng),
+                   /*seed=*/7};
+
+  const BurkardSolver solver(fast_qbp_options());
+  const SolverResult via_engine = solver.solve(problem, start);
+  const BurkardResult direct =
+      solve_qbp(problem, start.assignment, fast_qbp_options());
+
+  EXPECT_EQ(via_engine.solver, "qbp");
+  EXPECT_DOUBLE_EQ(via_engine.best_penalized, direct.best_penalized);
+  EXPECT_EQ(via_engine.best, direct.best);
+  EXPECT_EQ(via_engine.found_feasible, direct.found_feasible);
+  if (direct.found_feasible) {
+    EXPECT_DOUBLE_EQ(via_engine.best_feasible_objective,
+                     direct.best_feasible_objective);
+    EXPECT_EQ(via_engine.best_feasible,
+              direct.best_feasible);
+  }
+  EXPECT_EQ(via_engine.history, direct.history);
+  EXPECT_EQ(via_engine.iterations, direct.iterations_run);
+  EXPECT_FALSE(via_engine.cancelled);
+}
+
+TEST(Adapters, EveryAdapterProducesConsistentNormalizedResult) {
+  const PartitionProblem problem = engine_problem();
+  const QhatMatrix qhat(problem, kPaperPenalty);
+  Rng rng(11);
+  const StartPoint start{test::random_complete(problem.num_components(),
+                                               problem.num_partitions(), rng),
+                         /*seed=*/3};
+
+  for (const char* name : {"qbp", "multilevel", "gfm", "gkl", "sa"}) {
+    SCOPED_TRACE(name);
+    const auto solver = make_solver(name);
+    const SolverResult result = solver->solve(problem, start);
+
+    EXPECT_EQ(result.solver, name);
+    ASSERT_TRUE(result.best.is_complete());
+    EXPECT_NEAR(result.best_penalized, qhat.penalized_value(result.best), 1e-9);
+    if (result.found_feasible) {
+      ASSERT_TRUE(result.best_feasible.is_complete());
+      EXPECT_TRUE(problem.is_feasible(result.best_feasible));
+      EXPECT_NEAR(result.best_feasible_objective,
+                  problem.objective(result.best_feasible), 1e-9);
+    }
+    EXPECT_GE(result.seconds, 0.0);
+    EXPECT_FALSE(result.cancelled);
+  }
+}
+
+TEST(Adapters, FeasibleRegionSolversLegalizeInfeasibleStarts) {
+  // The paper example is feasible; hand GFM/GKL/SA a start that violates
+  // the adjacency constraints and check they still return a feasible
+  // incumbent (the adapter legalizes before walking).
+  const PartitionProblem problem = test::make_paper_example();
+  Assignment bad(problem.num_components(), problem.num_partitions());
+  bad.set(0, 0);
+  bad.set(1, 3);  // a-b are diagonal: distance 2 > bound 1
+  bad.set(2, 0);
+  ASSERT_FALSE(problem.is_feasible(bad));
+
+  for (const char* name : {"gfm", "gkl", "sa"}) {
+    SCOPED_TRACE(name);
+    const SolverResult result =
+        make_solver(name)->solve(problem, StartPoint{bad, /*seed=*/9});
+    ASSERT_TRUE(result.found_feasible);
+    EXPECT_TRUE(problem.is_feasible(result.best_feasible));
+  }
+}
+
+TEST(Adapters, StopTokenAlreadyFiredReturnsQuicklyAndMarksCancelled) {
+  const PartitionProblem problem = engine_problem();
+  Rng rng(13);
+  const StartPoint start{test::random_complete(problem.num_components(),
+                                               problem.num_partitions(), rng),
+                         /*seed=*/1};
+  std::stop_source source;
+  source.request_stop();
+
+  BurkardOptions options = fast_qbp_options();
+  options.iterations = 100000;  // would be slow if cancellation failed
+  const BurkardSolver solver(options);
+  const SolverResult result =
+      solver.solve(problem, start, source.get_token());
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_LE(result.iterations, 1);
+  ASSERT_TRUE(result.best.is_complete());
+}
+
+TEST(MultistartTiming, ReportsTotalAndBestStartSeconds) {
+  const PartitionProblem problem = engine_problem();
+  const BurkardResult result =
+      solve_qbp_multistart(problem, /*starts=*/4, /*seed=*/77,
+                           fast_qbp_options());
+  // `seconds` is the whole multistart wall clock; `seconds_best_start` only
+  // the winning start's, so it can never exceed the total.
+  EXPECT_GE(result.seconds, result.seconds_best_start);
+  EXPECT_GT(result.seconds_best_start, 0.0);
+}
+
+// The satellite requirement: same master seed + same start count =>
+// bit-identical chosen assignment regardless of thread count.  Run under
+// ThreadSanitizer in CI (QBPART_SANITIZE=tsan) this is also the data-race
+// check for the whole portfolio driver.
+TEST(Portfolio, DeterministicAcrossThreadCounts) {
+  const PartitionProblem problem = engine_problem();
+  const BurkardSolver solver(fast_qbp_options());
+  constexpr std::int32_t kStarts = 8;
+
+  PortfolioOptions base;
+  base.seed = 2026;
+
+  std::vector<PortfolioResult> results;
+  for (const std::int32_t threads : {1, 2, 8}) {
+    PortfolioOptions options = base;
+    options.threads = threads;
+    results.push_back(Portfolio(options).run(problem, solver, kStarts));
+  }
+
+  const PortfolioResult& reference = results.front();
+  ASSERT_GE(reference.best_start, 0);
+  EXPECT_EQ(reference.starts_run, kStarts);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE("thread count variant " + std::to_string(i));
+    EXPECT_EQ(results[i].best_start, reference.best_start);
+    EXPECT_EQ(results[i].best.best,
+              reference.best.best);
+    EXPECT_DOUBLE_EQ(results[i].best.best_penalized,
+                     reference.best.best_penalized);
+    EXPECT_EQ(results[i].best.found_feasible, reference.best.found_feasible);
+    ASSERT_EQ(results[i].starts.size(), reference.starts.size());
+    for (std::size_t s = 0; s < reference.starts.size(); ++s) {
+      EXPECT_EQ(results[i].starts[s].best,
+                reference.starts[s].best)
+          << "start " << s;
+    }
+  }
+}
+
+TEST(Portfolio, WinnerIsFirstBestSlotInIndexOrder) {
+  const PartitionProblem problem = engine_problem();
+  const BurkardSolver solver(fast_qbp_options());
+  PortfolioOptions options;
+  options.seed = 4;
+  options.threads = 2;
+  const PortfolioResult result = Portfolio(options).run(problem, solver, 6);
+
+  ASSERT_GE(result.best_start, 0);
+  ASSERT_EQ(result.starts.size(), 6u);
+  const auto winner = static_cast<std::size_t>(result.best_start);
+  // No earlier slot beats the winner; no slot at all strictly beats it.
+  for (std::size_t s = 0; s < result.starts.size(); ++s) {
+    EXPECT_FALSE(better_result(result.starts[s], result.starts[winner]))
+        << "start " << s;
+  }
+  EXPECT_EQ(result.starts[winner].best,
+            result.best.best);
+  EXPECT_DOUBLE_EQ(result.seconds_best_start, result.starts[winner].seconds);
+  EXPECT_GE(result.seconds_total, result.seconds_best_start);
+}
+
+TEST(Portfolio, HeterogeneousMixRunsEachListedSolver) {
+  const PartitionProblem problem = engine_problem();
+  const BurkardSolver qbp(fast_qbp_options());
+  const GfmSolver gfm;
+  const SaSolver sa;
+  const std::vector<const Solver*> mix = {&qbp, &gfm, &sa, &gfm};
+
+  PortfolioOptions options;
+  options.seed = 99;
+  options.threads = 2;
+  const PortfolioResult result = Portfolio(options).run(problem, mix);
+
+  ASSERT_EQ(result.starts.size(), mix.size());
+  EXPECT_EQ(result.starts[0].solver, "qbp");
+  EXPECT_EQ(result.starts[1].solver, "gfm");
+  EXPECT_EQ(result.starts[2].solver, "sa");
+  EXPECT_EQ(result.starts[3].solver, "gfm");
+  ASSERT_GE(result.best_start, 0);
+  EXPECT_EQ(result.starts_run, static_cast<std::int32_t>(mix.size()));
+}
+
+TEST(Portfolio, EarlyCancelSkipsOrCancelsRemainingStarts) {
+  const PartitionProblem problem = engine_problem();
+  const BurkardSolver solver(fast_qbp_options());
+  PortfolioOptions options;
+  options.seed = 7;
+  options.threads = 1;  // serial => everything after the trigger is skipped
+  // Any feasible result triggers the threshold.
+  options.cancel_objective = std::numeric_limits<double>::infinity();
+  const PortfolioResult result = Portfolio(options).run(problem, solver, 5);
+
+  ASSERT_GE(result.best_start, 0);
+  EXPECT_TRUE(result.best.found_feasible);
+  // The trigger can only fire once some start found a feasible result, so
+  // at least one ran; with one worker the rest never start.
+  EXPECT_GE(result.starts_run, 1);
+  EXPECT_EQ(result.starts_run + result.starts_skipped, 5);
+  if (result.starts_skipped > 0) {
+    const auto& skipped = result.starts.back();
+    EXPECT_TRUE(skipped.cancelled);
+    // Skipped slots never ran: the default (empty) result, name aside.
+    EXPECT_EQ(skipped.best.num_components(), 0);
+  }
+}
+
+TEST(Portfolio, SameSeedTwiceIsBitIdenticalAndDifferentSeedUsuallyDiffers) {
+  const PartitionProblem problem = engine_problem();
+  const GfmSolver solver;
+  PortfolioOptions options;
+  options.seed = 31;
+  options.threads = 4;
+  const PortfolioResult first = Portfolio(options).run(problem, solver, 6);
+  const PortfolioResult second = Portfolio(options).run(problem, solver, 6);
+  ASSERT_GE(first.best_start, 0);
+  EXPECT_EQ(first.best_start, second.best_start);
+  EXPECT_EQ(first.best.best, second.best.best);
+
+  PortfolioOptions other = options;
+  other.seed = 32;
+  const PortfolioResult third = Portfolio(other).run(problem, solver, 6);
+  // Different master seed => different start points (assignments differ for
+  // at least one start; outcomes may still coincide on tiny instances).
+  bool any_start_differs = false;
+  for (std::size_t s = 0; s < first.starts.size(); ++s) {
+    if (first.starts[s].best != third.starts[s].best) {
+      any_start_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_start_differs);
+}
+
+}  // namespace
+}  // namespace qbp::engine
