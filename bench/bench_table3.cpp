@@ -8,8 +8,14 @@
 
 #include "bench_support/experiment.hpp"
 #include "core/initial.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  qbp::CliParser cli("bench_table3", "Table III reproduction (with timing)");
+  cli.add_string("json", json_path, "also write machine-readable rows here");
+  if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+
   std::printf("Table III reproduction: with Timing Constraints\n"
               "(cost = total Manhattan wire length; cpu = wall seconds on "
               "this host)\n\n");
@@ -26,5 +32,10 @@ int main() {
   }
   std::printf("%s\n", qbp::format_table("", rows).c_str());
   std::printf("csv:\n%s", qbp::rows_to_csv(rows).c_str());
+  if (!json_path.empty() &&
+      !qbp::json::write_json_file(json_path, qbp::rows_to_json(rows))) {
+    std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -101,14 +101,7 @@ int main(int argc, char** argv) {
   cli.add_string("emit-sample", emit_sample_path,
                  "write a sample problem file and exit");
   cli.add_flag("quiet", quiet, "suppress the capacity report");
-  if (!cli.parse(argc, argv)) {
-    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
-    return 1;
-  }
-  if (cli.help_requested()) {
-    std::printf("%s", cli.usage().c_str());
-    return 0;
-  }
+  if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
   if (!emit_sample_path.empty()) return emit_sample(emit_sample_path);
   if (problem_path.empty()) {
     std::fprintf(stderr, "--problem is required (or --emit-sample)\n%s",

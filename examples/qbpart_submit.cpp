@@ -1,0 +1,168 @@
+// qbpart_submit: build qbpartd request lines and (optionally) deliver them.
+//
+//   # print request lines for piping into a pipe-mode server
+//   ./qbpart_submit --problem sample.qp --starts 8 --seed 7 --print |
+//     ./qbpartd --workers 4
+//
+//   # talk to a TCP server and wait for the results
+//   ./qbpart_submit --tcp 7193 --problem sample.qp --deadline-ms 500
+//   ./qbpart_submit --tcp 7193 --stats
+//   ./qbpart_submit --tcp 7193 --shutdown
+//
+// --count N submits the same job spec N times (ids id-0 .. id-N-1), which
+// is how the CI smoke test and the bench load generator exercise queueing.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string problem_path;
+  std::string method = "qbp";
+  std::string id;
+  std::string cancel_id;
+  std::int64_t starts = 1;
+  std::int64_t threads = 1;
+  std::int64_t iterations = 100;
+  std::int64_t seed = 1993;
+  std::int64_t priority = 0;
+  std::int64_t count = 1;
+  std::int64_t tcp_port = -1;
+  double deadline_ms = 0.0;
+  bool by_path = false;
+  bool stats = false;
+  bool shutdown = false;
+  bool print_only = false;
+
+  qbp::CliParser cli("qbpart_submit",
+                     "compose qbpartd job requests; print them or deliver "
+                     "them over TCP");
+  cli.add_string("problem", problem_path, "problem file (.qp) to submit");
+  cli.add_string("method", method, "qbp | multilevel | gfm | gkl | sa");
+  cli.add_string("id", id, "job id (server assigns one when empty)");
+  cli.add_int("starts", starts, "portfolio start count");
+  cli.add_int("threads", threads, "portfolio threads per job");
+  cli.add_int("iterations", iterations, "QBP iteration budget");
+  cli.add_int("seed", seed, "random seed (determinism key)");
+  cli.add_int("priority", priority, "higher runs first");
+  cli.add_double("deadline-ms", deadline_ms, "per-job deadline; 0 = none");
+  cli.add_int("count", count, "submit the job spec this many times");
+  cli.add_flag("by-path", by_path,
+               "send the file path instead of embedding its contents "
+               "(server must share the filesystem)");
+  cli.add_flag("stats", stats, "request a metrics snapshot");
+  cli.add_string("cancel", cancel_id, "cancel this job id");
+  cli.add_flag("shutdown", shutdown, "ask the server to drain and exit");
+  cli.add_int("tcp", tcp_port, "deliver to 127.0.0.1:PORT and await replies");
+  cli.add_flag("print", print_only, "print request lines to stdout only");
+  if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+
+  std::vector<std::string> lines;
+  std::size_t expected_replies = 0;
+
+  if (!problem_path.empty()) {
+    qbp::service::Request request;
+    request.type = qbp::service::RequestType::kSubmit;
+    request.solver.method = method;
+    request.solver.starts = static_cast<std::int32_t>(starts);
+    request.solver.threads = static_cast<std::int32_t>(threads);
+    request.solver.iterations = static_cast<std::int32_t>(iterations);
+    request.solver.seed = static_cast<std::uint64_t>(seed);
+    request.deadline_ms = deadline_ms;
+    request.priority = static_cast<std::int32_t>(priority);
+    if (by_path) {
+      request.problem_file = problem_path;
+    } else if (!read_file(problem_path, request.problem_text)) {
+      std::fprintf(stderr, "cannot read '%s'\n", problem_path.c_str());
+      return 1;
+    }
+    for (std::int64_t k = 0; k < count; ++k) {
+      request.id = id.empty()
+                       ? std::string{}
+                       : (count == 1 ? id : id + "-" + std::to_string(k));
+      lines.push_back(qbp::service::format_request(request));
+      ++expected_replies;
+    }
+  }
+  if (!cancel_id.empty()) {
+    qbp::service::Request request;
+    request.type = qbp::service::RequestType::kCancel;
+    request.id = cancel_id;
+    lines.push_back(qbp::service::format_request(request));
+    ++expected_replies;
+  }
+  if (stats) {
+    qbp::service::Request request;
+    request.type = qbp::service::RequestType::kStats;
+    lines.push_back(qbp::service::format_request(request));
+    ++expected_replies;
+  }
+  if (shutdown) {
+    qbp::service::Request request;
+    request.type = qbp::service::RequestType::kShutdown;
+    lines.push_back(qbp::service::format_request(request));
+    ++expected_replies;
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr,
+                 "nothing to send: pass --problem, --stats, --cancel or "
+                 "--shutdown\n%s",
+                 cli.usage().c_str());
+    return 1;
+  }
+
+  if (print_only || tcp_port < 0) {
+    for (const auto& line : lines) std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  if (tcp_port > 65535) {
+    std::fprintf(stderr, "--tcp out of range\n");
+    return 1;
+  }
+
+  qbp::service::TcpClient client;
+  if (!client.connect(static_cast<std::uint16_t>(tcp_port))) {
+    std::fprintf(stderr, "connect to 127.0.0.1:%lld failed: %s\n",
+                 static_cast<long long>(tcp_port), client.error().c_str());
+    return 1;
+  }
+  for (const auto& line : lines) {
+    if (!client.send_line(line)) {
+      std::fprintf(stderr, "send failed: %s\n", client.error().c_str());
+      return 1;
+    }
+  }
+  int exit_code = 0;
+  for (std::size_t k = 0; k < expected_replies; ++k) {
+    std::string reply;
+    if (!client.read_line(reply)) {
+      std::fprintf(stderr, "server closed the connection: %s\n",
+                   client.error().c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply.c_str());
+    if (reply.find("\"type\":\"reject\"") != std::string::npos ||
+        reply.find("\"type\":\"error\"") != std::string::npos) {
+      exit_code = 2;
+    }
+  }
+  return exit_code;
+}

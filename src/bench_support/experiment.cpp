@@ -125,4 +125,26 @@ std::string rows_to_csv(const std::vector<ExperimentRow>& rows) {
   return out.str();
 }
 
+json::Value rows_to_json(const std::vector<ExperimentRow>& rows) {
+  json::Value out = json::Value::array();
+  for (const auto& row : rows) {
+    const auto method = [](const MethodOutcome& outcome) {
+      json::Value cell = json::Value::object();
+      cell.set("final", outcome.final_cost);
+      cell.set("improvement_pct", outcome.improvement_pct);
+      cell.set("cpu_s", outcome.cpu_seconds);
+      cell.set("feasible", outcome.feasible);
+      return cell;
+    };
+    json::Value entry = json::Value::object();
+    entry.set("circuit", row.circuit);
+    entry.set("start", row.start_cost);
+    entry.set("qbp", method(row.qbp));
+    entry.set("gfm", method(row.gfm));
+    entry.set("gkl", method(row.gkl));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
 }  // namespace qbp

@@ -16,6 +16,7 @@
 #include "baselines/gkl.hpp"
 #include "bench_support/circuits.hpp"
 #include "core/burkard.hpp"
+#include "util/json.hpp"
 
 namespace qbp {
 
@@ -67,5 +68,11 @@ struct ExperimentRow {
 
 /// Comma-separated dump for downstream plotting.
 [[nodiscard]] std::string rows_to_csv(const std::vector<ExperimentRow>& rows);
+
+/// Machine-readable dump: an array of row objects, one member per method
+/// ({final, improvement_pct, cpu_s, feasible}).  The benches write this via
+/// --json so the perf trajectory (bench/BENCH_*.json) diffs cleanly across
+/// commits -- wall-clock fields aside.
+[[nodiscard]] json::Value rows_to_json(const std::vector<ExperimentRow>& rows);
 
 }  // namespace qbp

@@ -13,6 +13,14 @@ namespace qbp {
 
 namespace {
 
+// Resource guards: a hostile or corrupted file must produce a descriptive
+// ParseResult, never an allocation failure or an overflowed int32.  The
+// service boundary (qbpartd) parses untrusted bytes, so these are load-
+// bearing, not cosmetic.  M partitions allocate two M x M double matrices
+// (2 * 8 MB at the cap); wire multiplicities accumulate into int32 totals.
+constexpr long long kMaxPartitions = 1024;
+constexpr long long kMaxWireMultiplicity = 1000000000;  // 1e9
+
 ParseResult fail(int line_number, std::string_view what) {
   std::ostringstream out;
   out << "line " << line_number << ": " << what;
@@ -107,6 +115,11 @@ ParseResult read_problem(std::istream& in, PartitionProblem& out) {
             rows < 1 || cols < 1) {
           return fail(line_number, "grid dimensions must be positive integers");
         }
+        if (rows > kMaxPartitions || cols > kMaxPartitions ||
+            rows * cols > kMaxPartitions) {
+          return fail(line_number, "grid has too many partitions (limit " +
+                                       std::to_string(kMaxPartitions) + ")");
+        }
         if (!parse_metric(fields[4], builder.metric)) {
           return fail(line_number, "metric must be unit|manhattan|quadratic");
         }
@@ -118,6 +131,10 @@ ParseResult read_problem(std::istream& in, PartitionProblem& out) {
         long long m = 0;
         if (!parse_int(fields[2], m) || m < 1) {
           return fail(line_number, "custom topology needs a positive size");
+        }
+        if (m > kMaxPartitions) {
+          return fail(line_number, "custom topology too large (limit " +
+                                       std::to_string(kMaxPartitions) + ")");
         }
         builder.m = static_cast<std::int32_t>(m);
         builder.bcost = Matrix<double>(builder.m, builder.m, 0.0);
@@ -184,7 +201,8 @@ ParseResult read_problem(std::istream& in, PartitionProblem& out) {
           !parse_int(fields[2], b) || !parse_int(fields[3], mult)) {
         return fail(line_number, "expected: wire <a> <b> <multiplicity>");
       }
-      if (!component_in_range(a) || !component_in_range(b) || a == b || mult <= 0) {
+      if (!component_in_range(a) || !component_in_range(b) || a == b ||
+          mult <= 0 || mult > kMaxWireMultiplicity) {
         return fail(line_number, "bad wire endpoints or multiplicity");
       }
       builder.netlist.add_wires(static_cast<ComponentId>(a),
@@ -195,7 +213,8 @@ ParseResult read_problem(std::istream& in, PartitionProblem& out) {
         return fail(line_number, "expected: net <weight> <pin> <pin> [...]");
       }
       long long weight = 0;
-      if (!parse_int(fields[1], weight) || weight <= 0) {
+      if (!parse_int(fields[1], weight) || weight <= 0 ||
+          weight > kMaxWireMultiplicity) {
         return fail(line_number, "net weight must be a positive integer");
       }
       std::vector<ComponentId> pins;
@@ -258,7 +277,11 @@ ParseResult read_problem(std::istream& in, PartitionProblem& out) {
     }
   }
 
+  if (in.bad()) return {false, "I/O error while reading"};
   if (!builder.have_topology) return {false, "missing topology"};
+  if (builder.netlist.num_components() == 0) {
+    return {false, "problem has no components (truncated file?)"};
+  }
   if (!builder.is_grid) {
     for (std::int32_t i = 0; i < builder.m; ++i) {
       if (!builder.bcost_row_seen[static_cast<std::size_t>(i)] ||

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -70,6 +72,16 @@ PortfolioResult Portfolio::run(
   std::atomic<std::int32_t> next{0};
   std::stop_source cancel;
 
+  // Job-level cancellation: relay the external token (if any) onto the
+  // internal cancel source, so one mechanism stops both pending and
+  // in-flight starts.  The callback fires immediately if the token already
+  // did.
+  std::optional<std::stop_callback<std::function<void()>>> relay;
+  if (options_.stop.stop_possible()) {
+    relay.emplace(options_.stop,
+                  std::function<void()>([&cancel] { cancel.request_stop(); }));
+  }
+
   const auto worker = [&] {
     for (;;) {
       const std::int32_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -81,7 +93,10 @@ PortfolioResult Portfolio::run(
         slot.cancelled = true;
         continue;
       }
-      log::set_thread_prefix("s" + std::to_string(i) + " ");
+      std::string prefix = "s";
+      prefix += std::to_string(i);
+      prefix += ' ';
+      log::set_thread_prefix(std::move(prefix));
       const StartPoint start = make_start(problem, options_.seed, i);
       slot = start_solvers[i]->solve(problem, start, cancel.get_token());
       ran[static_cast<std::size_t>(i)] = 1;

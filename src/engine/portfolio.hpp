@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <stop_token>
 #include <vector>
 
 #include "engine/solver.hpp"
@@ -49,6 +50,13 @@ struct PortfolioOptions {
   /// Keep every start's SolverResult in PortfolioResult::starts (index
   /// order).  Turn off to save memory on huge fan-outs.
   bool keep_start_results = true;
+  /// External job-level cancellation (deadline enforcement, client cancel):
+  /// when this token fires, in-flight starts are cancelled cooperatively and
+  /// pending ones are skipped, exactly like an early-cancel trigger.  The
+  /// default token can never fire and costs nothing.  A run whose token
+  /// fires keeps the determinism guarantee only for the starts that already
+  /// completed.
+  std::stop_token stop{};
 };
 
 struct PortfolioResult {

@@ -1,0 +1,90 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qbp::service {
+
+TcpClient::~TcpClient() { close(); }
+
+void TcpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+bool TcpClient::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) < 0) {
+    error_ = std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool TcpClient::send_line(std::string_view line) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  std::string buffer(line);
+  buffer.push_back('\n');
+  std::string_view data = buffer;
+  while (!data.empty()) {
+    const ssize_t written = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::strerror(errno);
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(written));
+  }
+  return true;
+}
+
+bool TcpClient::read_line(std::string& out) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  for (;;) {
+    const std::size_t newline = pending_.find('\n');
+    if (newline != std::string::npos) {
+      out = pending_.substr(0, newline);
+      pending_.erase(0, newline + 1);
+      return true;
+    }
+    char buffer[4096];
+    const ssize_t count = ::read(fd_, buffer, sizeof buffer);
+    if (count < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::strerror(errno);
+      return false;
+    }
+    if (count == 0) {
+      error_ = "connection closed";
+      return false;
+    }
+    pending_.append(buffer, static_cast<std::size_t>(count));
+  }
+}
+
+}  // namespace qbp::service

@@ -1,0 +1,43 @@
+// Minimal qbpartd client: a blocking line-oriented TCP connection to a
+// local server, plus helpers shared by qbpart_submit and the service tests.
+// Pipe mode needs no client class at all -- requests are plain NDJSON lines
+// on stdin -- so the interesting part here is only connect/send/recv with
+// line buffering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qbp::service {
+
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Connect to 127.0.0.1:`port`.  False on failure; see error().
+  [[nodiscard]] bool connect(std::uint16_t port);
+
+  /// Send one request line (newline appended here).  False on failure.
+  [[nodiscard]] bool send_line(std::string_view line);
+
+  /// Block until one full response line arrives (newline stripped).
+  /// False on EOF or error.
+  [[nodiscard]] bool read_line(std::string& out);
+
+  void close();
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+  std::string error_;
+};
+
+}  // namespace qbp::service

@@ -1,0 +1,115 @@
+#include "service/job.hpp"
+
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/problem_io.hpp"
+#include "engine/engine.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace qbp::service {
+
+namespace {
+
+/// Build the engine solver for a spec; nullptr for unknown method names.
+std::unique_ptr<engine::Solver> make_spec_solver(const SolverSpec& spec) {
+  if (spec.method == "qbp") {
+    BurkardOptions options;
+    options.iterations = spec.iterations;
+    return std::make_unique<engine::BurkardSolver>(options);
+  }
+  return engine::make_solver(spec.method);
+}
+
+JobResult error_result(const Job& job, std::string reason) {
+  JobResult result;
+  result.id = job.id;
+  result.status = "error";
+  result.reason = std::move(reason);
+  return result;
+}
+
+}  // namespace
+
+JobResult run_job(const Job& job) {
+  const Timer timer;
+
+  PartitionProblem problem;
+  {
+    std::istringstream in(job.problem_text);
+    if (const auto parsed = read_problem(in, problem); !parsed.ok) {
+      return error_result(job, "problem parse failed: " + parsed.message);
+    }
+  }
+
+  const auto solver = make_spec_solver(job.solver);
+  if (solver == nullptr) {
+    return error_result(job, "unknown solver method '" + job.solver.method +
+                                 "' (qbp|multilevel|gfm|gkl|sa)");
+  }
+
+  engine::PortfolioOptions options;
+  options.seed = job.solver.seed;
+  options.threads = job.solver.threads;
+  options.keep_start_results = false;
+  if (job.stop != nullptr) options.stop = job.stop->get_token();
+
+  engine::PortfolioResult portfolio;
+  try {
+    portfolio =
+        engine::Portfolio(options).run(problem, *solver, job.solver.starts);
+  } catch (const std::exception& failure) {
+    // The solvers themselves don't throw, but allocation can; a job must
+    // never take the server down.
+    return error_result(job, std::string("solve failed: ") + failure.what());
+  }
+
+  JobResult result;
+  result.id = job.id;
+  result.solve_s = timer.seconds();
+  result.starts_run = portfolio.starts_run;
+
+  const StopCause cause = job.cause();
+  const bool interrupted =
+      cause != StopCause::kNone &&
+      (portfolio.starts_skipped > 0 || portfolio.starts_cancelled > 0 ||
+       portfolio.starts_run == 0);
+  if (interrupted) {
+    result.status =
+        cause == StopCause::kDeadline ? "deadline_exceeded" : "cancelled";
+  }
+
+  if (portfolio.best_start >= 0) {
+    const engine::SolverResult& best = portfolio.best;
+    result.solver = best.solver;
+    result.feasible = best.found_feasible;
+    result.best_penalized = best.best_penalized;
+    if (best.found_feasible) {
+      result.objective = best.best_feasible_objective;
+      const Assignment& chosen = best.best_feasible;
+      result.assignment.reserve(
+          static_cast<std::size_t>(chosen.num_components()));
+      for (std::int32_t j = 0; j < chosen.num_components(); ++j) {
+        result.assignment.push_back(chosen[j]);
+      }
+    }
+    if (result.status.empty()) {
+      result.status = best.found_feasible ? "ok" : "infeasible";
+    }
+  } else if (result.status.empty()) {
+    // No start ran at all and no stop cause recorded -- an empty portfolio,
+    // which the request validation should have prevented.
+    result.status = "error";
+    result.reason = "no portfolio start ran";
+  }
+
+  log::info("job ", job.id, ": status=", result.status,
+            " feasible=", result.feasible ? 1 : 0,
+            " objective=", result.objective, " solve_s=", result.solve_s);
+  return result;
+}
+
+}  // namespace qbp::service

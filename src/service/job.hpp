@@ -1,0 +1,71 @@
+// One accepted partitioning job: the parsed submit request plus the
+// server-side state that travels with it through the queue and the worker
+// pool -- arrival sequence number, deadline clock, the per-job stop source
+// (fired by the deadline watchdog or a cancel request), and the response
+// sink of the connection that submitted it.
+//
+// Job execution (`run_job`) is a pure function of (problem text, solver
+// spec, stop token): it parses the problem via core/problem_io, builds the
+// engine solver named by the spec, and runs one deterministic
+// engine::Portfolio.  Determinism: same spec + seed => bit-identical
+// assignment for any thread/worker count (the Portfolio contract), so a
+// load-shedding retry against a different server instance reproduces the
+// original answer exactly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stop_token>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace qbp::service {
+
+/// Why a job's stop source fired; decides the reported status.
+enum class StopCause : int { kNone = 0, kDeadline = 1, kCancel = 2 };
+
+struct Job {
+  using Clock = std::chrono::steady_clock;
+  /// Receives one finished response line (no trailing newline).
+  using Sink = std::function<void(const std::string&)>;
+
+  std::string id;
+  std::int64_t seq = 0;       // arrival order; FIFO tie-break within priority
+  std::int32_t priority = 0;  // higher first
+  SolverSpec solver;
+  std::string problem_text;
+
+  Clock::time_point submitted_at{};
+  Clock::time_point deadline{Clock::time_point::max()};
+  bool has_deadline = false;
+
+  /// Shared with the cancel registry and the deadline watchdog.
+  std::shared_ptr<std::stop_source> stop;
+  std::shared_ptr<std::atomic<int>> stop_cause;  // StopCause as int
+  Sink respond;
+
+  void fire_stop(StopCause cause) const {
+    if (stop == nullptr) return;
+    int expected = static_cast<int>(StopCause::kNone);
+    stop_cause->compare_exchange_strong(expected, static_cast<int>(cause));
+    stop->request_stop();
+  }
+  [[nodiscard]] StopCause cause() const noexcept {
+    return stop_cause == nullptr
+               ? StopCause::kNone
+               : static_cast<StopCause>(stop_cause->load());
+  }
+};
+
+/// Solve `job` to completion (or until its stop token fires) and return the
+/// normalized result.  Never throws across this boundary: problem parse
+/// failures and unknown solver names come back as status "error".
+/// `queue_wait_s` is stamped by the caller (the worker knows when the job
+/// left the queue).
+[[nodiscard]] JobResult run_job(const Job& job);
+
+}  // namespace qbp::service

@@ -1,0 +1,124 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace qbp::service {
+
+namespace {
+
+// 1 ms .. 64 s, doubling: 17 finite buckets plus the implicit +inf.
+constexpr std::array<double, 17> kLatencyBounds = {
+    0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128, 0.256,
+    0.512, 1.024, 2.048, 4.096, 8.192, 16.384, 32.768, 65.536};
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      bucket_counts_(bounds.size() + 1, 0) {}
+
+void Histogram::observe(double value) noexcept {
+  const std::lock_guard lock(mutex_);
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++bucket_counts_[bucket];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = count_ > 0 ? min_ : 0.0;
+  snap.max = count_ > 0 ? max_ : 0.0;
+  snap.bounds = bounds_;
+  snap.bucket_counts = bucket_counts_;
+  return snap;
+}
+
+std::span<const double> Histogram::latency_bounds() noexcept {
+  return kLatencyBounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  for (auto& entry : counters_) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  counters_.push_back({std::string(name), std::make_unique<Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  for (auto& entry : gauges_) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  gauges_.push_back({std::string(name), std::make_unique<Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  const std::lock_guard lock(mutex_);
+  for (auto& entry : histograms_) {
+    if (entry.name == name) return *entry.instrument;
+  }
+  histograms_.push_back(
+      {std::string(name), std::make_unique<Histogram>(bounds)});
+  return *histograms_.back().instrument;
+}
+
+json::Value MetricsRegistry::to_json() const {
+  const std::lock_guard lock(mutex_);
+
+  json::Value counters = json::Value::object();
+  for (const auto& entry : counters_) {
+    counters.set(entry.name, entry.instrument->value());
+  }
+  json::Value gauges = json::Value::object();
+  for (const auto& entry : gauges_) {
+    gauges.set(entry.name, entry.instrument->value());
+  }
+  json::Value histograms = json::Value::object();
+  for (const auto& entry : histograms_) {
+    const Histogram::Snapshot snap = entry.instrument->snapshot();
+    json::Value one = json::Value::object();
+    one.set("count", snap.count);
+    one.set("sum", snap.sum);
+    one.set("min", snap.min);
+    one.set("max", snap.max);
+    if (!snap.bounds.empty()) {
+      // Cumulative "le" buckets in the Prometheus style.
+      json::Value buckets = json::Value::array();
+      std::int64_t cumulative = 0;
+      for (std::size_t k = 0; k < snap.bounds.size(); ++k) {
+        cumulative += snap.bucket_counts[k];
+        json::Value bucket = json::Value::object();
+        bucket.set("le", snap.bounds[k]);
+        bucket.set("count", cumulative);
+        buckets.push_back(std::move(bucket));
+      }
+      json::Value inf_bucket = json::Value::object();
+      inf_bucket.set("le", "+inf");
+      inf_bucket.set("count", snap.count);
+      buckets.push_back(std::move(inf_bucket));
+      one.set("buckets", std::move(buckets));
+    }
+    histograms.set(entry.name, std::move(one));
+  }
+
+  json::Value out = json::Value::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace qbp::service

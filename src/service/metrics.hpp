@@ -1,0 +1,119 @@
+// In-process metrics for the qbpartd job server.
+//
+// Three instrument kinds, all safe for concurrent writers:
+//
+//   * Counter   -- monotonically increasing event count (atomic add);
+//   * Gauge     -- instantaneous level, e.g. queue depth (atomic set/add);
+//   * Histogram -- observation distribution with fixed bucket upper bounds
+//                  plus count/sum/min/max (one small mutex per histogram:
+//                  observations happen at job granularity, never in solver
+//                  inner loops, so contention is irrelevant).
+//
+// The MetricsRegistry owns every instrument by name and renders one JSON
+// snapshot for the `stats` protocol request and the periodic stderr line.
+// Instruments are created on first access and the returned references stay
+// valid for the registry's lifetime, so hot paths can cache them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace qbp::service {
+
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are the inclusive bucket upper limits in increasing order; an
+  /// implicit +inf bucket catches the rest.  Empty bounds give a summary-
+  /// only instrument (count/sum/min/max), which is what the objective
+  /// metric uses where no universal bucket scale exists.
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept;
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    std::vector<double> bounds;             // as constructed
+    std::vector<std::int64_t> bucket_counts;  // bounds.size() + 1 entries
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Default latency scale: 1 ms .. 64 s, doubling.
+  [[nodiscard]] static std::span<const double> latency_bounds() noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> bucket_counts_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name; references remain valid until destruction.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> bounds = {});
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Instruments appear in creation order (stable output for tests/diffs).
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::unique_ptr<T> instrument;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+}  // namespace qbp::service

@@ -1,0 +1,186 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+namespace qbp::service {
+
+namespace {
+
+bool read_int32(const json::Value& object, std::string_view key,
+                std::int32_t& out, std::string& error) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) return true;  // keep default
+  const double value = member->as_number(std::nan(""));
+  if (!std::isfinite(value) || value != std::floor(value) ||
+      value < -2147483648.0 || value > 2147483647.0) {
+    error = "field '" + std::string(key) + "' must be an integer";
+    return false;
+  }
+  out = static_cast<std::int32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+ParseResult parse_request(std::string_view line, Request& out) {
+  json::Value value;
+  if (const auto parsed = json::parse(line, value); !parsed.ok) {
+    return {false, "malformed JSON: " + parsed.message};
+  }
+  if (!value.is_object()) return {false, "request must be a JSON object"};
+
+  out = Request{};
+  const std::string type = value.get_string("type");
+  if (type == "submit") {
+    out.type = RequestType::kSubmit;
+  } else if (type == "cancel") {
+    out.type = RequestType::kCancel;
+  } else if (type == "stats") {
+    out.type = RequestType::kStats;
+  } else if (type == "shutdown") {
+    out.type = RequestType::kShutdown;
+  } else if (type.empty()) {
+    return {false, "request is missing the 'type' field"};
+  } else {
+    return {false, "unknown request type '" + type + "'"};
+  }
+
+  out.id = value.get_string("id");
+  if (out.type == RequestType::kCancel && out.id.empty()) {
+    return {false, "cancel requires an 'id'"};
+  }
+  if (out.type != RequestType::kSubmit) return {};
+
+  out.problem_text = value.get_string("problem");
+  out.problem_file = value.get_string("problem_file");
+  if (out.problem_text.empty() == out.problem_file.empty()) {
+    return {false, "submit requires exactly one of 'problem' (inline .qp "
+                   "text) or 'problem_file' (server-local path)"};
+  }
+
+  std::string error;
+  if (const json::Value* solver = value.find("solver"); solver != nullptr) {
+    if (!solver->is_object()) return {false, "'solver' must be an object"};
+    if (const std::string method = solver->get_string("method");
+        !method.empty()) {
+      out.solver.method = method;
+    }
+    if (!read_int32(*solver, "starts", out.solver.starts, error) ||
+        !read_int32(*solver, "threads", out.solver.threads, error) ||
+        !read_int32(*solver, "iterations", out.solver.iterations, error)) {
+      return {false, error};
+    }
+    if (out.solver.starts < 1) return {false, "'starts' must be >= 1"};
+    if (out.solver.threads < 0) return {false, "'threads' must be >= 0"};
+    if (out.solver.iterations < 1) return {false, "'iterations' must be >= 1"};
+    const double seed = solver->get_number("seed", -1.0);
+    if (seed >= 0.0 && std::isfinite(seed)) {
+      out.solver.seed = static_cast<std::uint64_t>(seed);
+    }
+  }
+
+  out.deadline_ms = value.get_number("deadline_ms", 0.0);
+  if (!std::isfinite(out.deadline_ms) || out.deadline_ms < 0.0) {
+    return {false, "'deadline_ms' must be a non-negative number"};
+  }
+  if (!read_int32(value, "priority", out.priority, error)) {
+    return {false, error};
+  }
+  return {};
+}
+
+std::string format_request(const Request& request) {
+  json::Value value = json::Value::object();
+  switch (request.type) {
+    case RequestType::kSubmit: value.set("type", "submit"); break;
+    case RequestType::kCancel: value.set("type", "cancel"); break;
+    case RequestType::kStats: value.set("type", "stats"); break;
+    case RequestType::kShutdown: value.set("type", "shutdown"); break;
+  }
+  if (!request.id.empty()) value.set("id", request.id);
+  if (request.type == RequestType::kSubmit) {
+    if (!request.problem_text.empty()) {
+      value.set("problem", request.problem_text);
+    } else {
+      value.set("problem_file", request.problem_file);
+    }
+    json::Value solver = json::Value::object();
+    solver.set("method", request.solver.method);
+    solver.set("starts", request.solver.starts);
+    solver.set("threads", request.solver.threads);
+    solver.set("iterations", request.solver.iterations);
+    solver.set("seed", static_cast<std::int64_t>(request.solver.seed));
+    value.set("solver", std::move(solver));
+    if (request.deadline_ms > 0.0) value.set("deadline_ms", request.deadline_ms);
+    if (request.priority != 0) value.set("priority", request.priority);
+  }
+  return value.dump();
+}
+
+json::Value result_to_json(const JobResult& result) {
+  json::Value value = json::Value::object();
+  value.set("type", "result");
+  value.set("id", result.id);
+  value.set("status", result.status);
+  if (!result.reason.empty()) value.set("reason", result.reason);
+  if (!result.solver.empty()) value.set("solver", result.solver);
+  value.set("feasible", result.feasible);
+  if (result.feasible) value.set("objective", result.objective);
+  value.set("best_penalized", result.best_penalized);
+  if (!result.assignment.empty()) {
+    json::Value assignment = json::Value::array();
+    for (const std::int32_t partition : result.assignment) {
+      assignment.push_back(partition);
+    }
+    value.set("assignment", std::move(assignment));
+  }
+  value.set("queue_wait_s", result.queue_wait_s);
+  value.set("solve_s", result.solve_s);
+  value.set("starts_run", result.starts_run);
+  return value;
+}
+
+ParseResult result_from_json(const json::Value& value, JobResult& out) {
+  if (!value.is_object() || value.get_string("type") != "result") {
+    return {false, "not a result object"};
+  }
+  out = JobResult{};
+  out.id = value.get_string("id");
+  out.status = value.get_string("status");
+  out.reason = value.get_string("reason");
+  out.solver = value.get_string("solver");
+  out.feasible = value.get_bool("feasible", false);
+  out.objective = value.get_number("objective", 0.0);
+  out.best_penalized = value.get_number("best_penalized", 0.0);
+  out.queue_wait_s = value.get_number("queue_wait_s", 0.0);
+  out.solve_s = value.get_number("solve_s", 0.0);
+  out.starts_run =
+      static_cast<std::int32_t>(value.get_number("starts_run", 0.0));
+  if (const json::Value* assignment = value.find("assignment");
+      assignment != nullptr && assignment->is_array()) {
+    out.assignment.reserve(assignment->size());
+    for (std::size_t k = 0; k < assignment->size(); ++k) {
+      out.assignment.push_back(
+          static_cast<std::int32_t>(assignment->at(k).as_number(-1.0)));
+    }
+  }
+  if (out.status.empty()) return {false, "result is missing 'status'"};
+  return {};
+}
+
+std::string format_reject(std::string_view id, std::string_view reason) {
+  json::Value value = json::Value::object();
+  value.set("type", "reject");
+  if (!id.empty()) value.set("id", id);
+  value.set("reason", reason);
+  return value.dump();
+}
+
+std::string format_error(std::string_view reason) {
+  json::Value value = json::Value::object();
+  value.set("type", "error");
+  value.set("reason", reason);
+  return value.dump();
+}
+
+}  // namespace qbp::service

@@ -1,0 +1,102 @@
+// The qbpartd wire protocol: newline-delimited JSON, one request or
+// response object per line, over a stdin/stdout pipe or a local TCP
+// connection.
+//
+// Requests (client -> server):
+//
+//   {"type":"submit","id":"j1","problem":"<.qp text>","solver":{"method":
+//    "qbp","starts":4,"threads":2,"iterations":100,"seed":1},
+//    "deadline_ms":5000,"priority":1}
+//   {"type":"submit","id":"j2","problem_file":"path/to/problem.qp", ...}
+//   {"type":"cancel","id":"j1"}
+//   {"type":"stats"}
+//   {"type":"shutdown"}            (drain accepted jobs, then exit)
+//
+// Responses (server -> client), one line each, in completion order:
+//
+//   {"type":"result","id":"j1","status":"ok","feasible":true,
+//    "objective":123.0,"solver":"qbp","assignment":[0,1,...],
+//    "queue_wait_s":0.01,"solve_s":0.42,"starts_run":4}
+//   {"type":"result","id":"j1","status":"deadline_exceeded", ...}
+//   {"type":"reject","id":"j3","reason":"queue full (capacity 64)"}
+//   {"type":"error","reason":"line 3: unknown keyword 'foo'"}
+//   {"type":"stats","uptime_s":12.5,"counters":{...}, ...}
+//   {"type":"shutdown","status":"draining"}
+//
+// Result statuses: "ok" (feasible solution), "infeasible" (solver finished
+// but found no fully feasible assignment; best penalized value reported),
+// "deadline_exceeded", "cancelled", "error" (e.g. the problem text failed
+// to parse).  Determinism contract: a submit with the same problem, solver
+// spec and seed produces a bit-identical assignment regardless of server
+// worker count, portfolio thread count, or queue load -- inherited from
+// engine::Portfolio (see DESIGN.md §7) -- provided the job ran to
+// completion (no deadline/cancel interruption).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/io.hpp"  // ParseResult
+#include "util/json.hpp"
+
+namespace qbp::service {
+
+/// How to solve one job: a named engine solver fanned out over a
+/// deterministic portfolio.  `threads` is the per-job portfolio pool; the
+/// chosen assignment is independent of it (engine determinism contract).
+struct SolverSpec {
+  std::string method = "qbp";     // qbp | multilevel | gfm | gkl | sa
+  std::int32_t starts = 1;        // independent portfolio starts
+  std::int32_t threads = 1;       // portfolio worker threads for this job
+  std::int32_t iterations = 100;  // QBP iteration budget (qbp method only)
+  std::uint64_t seed = 1993;      // master seed; determinism anchor
+};
+
+enum class RequestType { kSubmit, kCancel, kStats, kShutdown };
+
+struct Request {
+  RequestType type = RequestType::kSubmit;
+  std::string id;            // submit (optional; server assigns) / cancel
+  std::string problem_text;  // inline .qp source ("problem" field)
+  std::string problem_file;  // or a server-local path ("problem_file")
+  SolverSpec solver;
+  double deadline_ms = 0.0;  // relative to receipt; 0 = no deadline
+  std::int32_t priority = 0;  // higher runs first; FIFO within a priority
+};
+
+/// Parse one request line.  Unknown `type` values and malformed JSON fail
+/// with a descriptive message; unknown members are ignored (forward
+/// compatibility).
+[[nodiscard]] ParseResult parse_request(std::string_view line, Request& out);
+
+/// Serialize a request as one NDJSON line (no trailing newline); the
+/// client-side counterpart of parse_request.
+[[nodiscard]] std::string format_request(const Request& request);
+
+/// Everything a finished (or refused) job reports back.
+struct JobResult {
+  std::string id;
+  std::string status;  // ok | infeasible | deadline_exceeded | cancelled | error
+  std::string reason;  // set for status "error"
+  std::string solver;  // producing solver name
+  bool feasible = false;
+  double objective = 0.0;        // true objective when feasible
+  double best_penalized = 0.0;   // penalized value of the best iterate
+  std::vector<std::int32_t> assignment;  // empty unless a solution exists
+  double queue_wait_s = 0.0;
+  double solve_s = 0.0;
+  std::int32_t starts_run = 0;
+};
+
+[[nodiscard]] json::Value result_to_json(const JobResult& result);
+[[nodiscard]] ParseResult result_from_json(const json::Value& value,
+                                           JobResult& out);
+
+/// Non-result response lines.
+[[nodiscard]] std::string format_reject(std::string_view id,
+                                        std::string_view reason);
+[[nodiscard]] std::string format_error(std::string_view reason);
+
+}  // namespace qbp::service

@@ -1,0 +1,53 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+
+namespace qbp::service {
+
+JobQueue::PushOutcome JobQueue::push(Job job) {
+  {
+    const std::lock_guard lock(mutex_);
+    if (closed_) return PushOutcome::kClosed;
+    if (heap_.size() >= capacity_) return PushOutcome::kFull;
+    heap_.push_back(std::move(job));
+    std::push_heap(heap_.begin(), heap_.end(), heap_before);
+  }
+  ready_.notify_one();
+  return PushOutcome::kAccepted;
+}
+
+bool JobQueue::pop(Job& out) {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return false;  // closed and drained
+  std::pop_heap(heap_.begin(), heap_.end(), heap_before);
+  out = std::move(heap_.back());
+  heap_.pop_back();
+  return true;
+}
+
+bool JobQueue::cancel(std::string_view id, Job& out) {
+  const std::lock_guard lock(mutex_);
+  const auto match = std::find_if(
+      heap_.begin(), heap_.end(), [&](const Job& job) { return job.id == id; });
+  if (match == heap_.end()) return false;
+  out = std::move(*match);
+  heap_.erase(match);
+  std::make_heap(heap_.begin(), heap_.end(), heap_before);
+  return true;
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  const std::lock_guard lock(mutex_);
+  return heap_.size();
+}
+
+}  // namespace qbp::service

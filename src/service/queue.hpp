@@ -1,0 +1,68 @@
+// Bounded priority job queue with backpressure.
+//
+// Ordering: strict priority (higher first), FIFO within a priority level
+// (arrival sequence number breaks ties), implemented as a binary heap.
+// Bounded: push() never blocks -- a full queue *rejects* so the server can
+// answer "queue full" immediately instead of stalling the protocol reader;
+// that is the backpressure contract a pipe client relies on to stay
+// deadlock-free (it may be single-threaded and unable to drain responses
+// while blocked on a write).
+//
+// Lifecycle: close() stops further pushes; pop() keeps draining what was
+// accepted and returns false once the queue is closed *and* empty, which is
+// exactly the drain-then-exit sequencing the server's SIGTERM path needs.
+// cancel(id) removes a still-queued job (O(n) scan; queues are small by
+// construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace qbp::service {
+
+class JobQueue {
+ public:
+  enum class PushOutcome { kAccepted, kFull, kClosed };
+
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking; kFull implements backpressure, kClosed means draining.
+  PushOutcome push(Job job);
+
+  /// Blocks until a job is available or the queue is closed and empty.
+  /// Returns false only in the latter case (drain complete).
+  bool pop(Job& out);
+
+  /// Remove a queued job by id; the removed job is returned through `out`
+  /// so the caller can respond on the job's own sink.  False if no queued
+  /// job has that id (it may be running already -- not this class's
+  /// concern).
+  bool cancel(std::string_view id, Job& out);
+
+  /// No further pushes; wakes all blocked pop() calls for the drain.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  /// Max-heap order: higher priority first, then lower sequence (earlier
+  /// arrival) first.
+  static bool heap_before(const Job& a, const Job& b) noexcept {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<Job> heap_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace qbp::service

@@ -1,0 +1,536 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace qbp::service {
+
+namespace {
+
+bool read_file_to_string(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return static_cast<bool>(in) || in.eof();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      started_at_(std::chrono::steady_clock::now()),
+      requests_total_(metrics_.counter("requests_total")),
+      requests_malformed_(metrics_.counter("requests_malformed")),
+      jobs_submitted_(metrics_.counter("jobs_submitted")),
+      jobs_completed_(metrics_.counter("jobs_completed")),
+      jobs_ok_(metrics_.counter("jobs_ok")),
+      jobs_infeasible_(metrics_.counter("jobs_infeasible")),
+      jobs_rejected_(metrics_.counter("jobs_rejected")),
+      jobs_cancelled_(metrics_.counter("jobs_cancelled")),
+      jobs_deadline_exceeded_(metrics_.counter("jobs_deadline_exceeded")),
+      jobs_error_(metrics_.counter("jobs_error")),
+      queue_depth_(metrics_.gauge("queue_depth")),
+      workers_busy_(metrics_.gauge("workers_busy")),
+      queue_wait_seconds_(metrics_.histogram("queue_wait_seconds",
+                                             Histogram::latency_bounds())),
+      solve_seconds_(
+          metrics_.histogram("solve_seconds", Histogram::latency_bounds())),
+      objective_(metrics_.histogram("objective")) {
+  options_.workers = std::max<std::int32_t>(1, options_.workers);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+  if (options_.stats_interval_s > 0.0) {
+    stats_thread_ = std::thread([this] { stats_loop(); });
+  }
+  if (options_.autostart) start();
+}
+
+Server::~Server() {
+  drain();
+  {
+    const std::lock_guard lock(deadline_mutex_);
+    watchdog_exit_ = true;
+  }
+  deadline_cv_.notify_all();
+  watchdog_.join();
+  if (stats_thread_.joinable()) {
+    {
+      const std::lock_guard lock(stats_mutex_);
+      stats_exit_ = true;
+    }
+    stats_cv_.notify_all();
+    stats_thread_.join();
+  }
+}
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (std::int32_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void Server::emit(const Sink& sink, const std::string& line) {
+  if (!sink) return;
+  const std::lock_guard lock(respond_mutex_);
+  sink(line);
+}
+
+void Server::handle_line(std::string_view line, const Sink& respond) {
+  requests_total_.inc();
+  Request request;
+  if (const auto parsed = parse_request(line, request); !parsed.ok) {
+    requests_malformed_.inc();
+    emit(respond, format_error(parsed.message));
+    return;
+  }
+  switch (request.type) {
+    case RequestType::kSubmit:
+      handle_submit(std::move(request), respond);
+      return;
+    case RequestType::kCancel:
+      handle_cancel(request, respond);
+      return;
+    case RequestType::kStats:
+      emit(respond, stats_json().dump());
+      return;
+    case RequestType::kShutdown: {
+      shutdown_.store(true);
+      json::Value ack = json::Value::object();
+      ack.set("type", "shutdown");
+      ack.set("status", "draining");
+      emit(respond, ack.dump());
+      return;
+    }
+  }
+}
+
+void Server::handle_submit(Request request, const Sink& respond) {
+  if (!request.problem_file.empty() &&
+      !read_file_to_string(request.problem_file, request.problem_text)) {
+    jobs_rejected_.inc();
+    emit(respond, format_reject(request.id, "cannot read problem_file '" +
+                                                request.problem_file + "'"));
+    return;
+  }
+
+  Job job;
+  job.priority = request.priority;
+  job.solver = request.solver;
+  job.problem_text = std::move(request.problem_text);
+  job.submitted_at = Job::Clock::now();
+  if (request.deadline_ms > 0.0) {
+    job.has_deadline = true;
+    job.deadline =
+        job.submitted_at +
+        std::chrono::duration_cast<Job::Clock::duration>(
+            std::chrono::duration<double, std::milli>(request.deadline_ms));
+  }
+  job.stop = std::make_shared<std::stop_source>();
+  job.stop_cause =
+      std::make_shared<std::atomic<int>>(static_cast<int>(StopCause::kNone));
+  job.respond = respond;
+
+  {
+    const std::lock_guard lock(active_mutex_);
+    job.seq = next_seq_++;
+    job.id = request.id.empty() ? "job-" + std::to_string(job.seq)
+                                : std::move(request.id);
+    if (active_.count(job.id) != 0) {
+      jobs_rejected_.inc();
+      emit(respond, format_reject(job.id, "duplicate id: a job with this id "
+                                          "is still queued or running"));
+      return;
+    }
+    active_.emplace(job.id, ActiveJob{job.stop, job.stop_cause});
+  }
+
+  const std::string id = job.id;
+  const bool has_deadline = job.has_deadline;
+  const auto deadline = job.deadline;
+  const std::weak_ptr<std::stop_source> weak_stop = job.stop;
+  const std::weak_ptr<std::atomic<int>> weak_cause = job.stop_cause;
+
+  switch (queue_.push(std::move(job))) {
+    case JobQueue::PushOutcome::kAccepted:
+      break;
+    case JobQueue::PushOutcome::kFull: {
+      {
+        const std::lock_guard lock(active_mutex_);
+        active_.erase(id);
+      }
+      jobs_rejected_.inc();
+      emit(respond,
+           format_reject(id, "queue full (capacity " +
+                                 std::to_string(queue_.capacity()) + ")"));
+      return;
+    }
+    case JobQueue::PushOutcome::kClosed: {
+      {
+        const std::lock_guard lock(active_mutex_);
+        active_.erase(id);
+      }
+      jobs_rejected_.inc();
+      emit(respond, format_reject(id, "server draining"));
+      return;
+    }
+  }
+
+  jobs_submitted_.inc();
+  queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+  if (has_deadline) {
+    {
+      const std::lock_guard lock(deadline_mutex_);
+      deadlines_.push_back({deadline, id, weak_stop, weak_cause});
+      std::push_heap(deadlines_.begin(), deadlines_.end(),
+                     [](const DeadlineEntry& a, const DeadlineEntry& b) {
+                       return a.when > b.when;
+                     });
+    }
+    deadline_cv_.notify_one();
+  }
+  log::info("job ", id, ": accepted (queue depth ", queue_.size(), ")");
+}
+
+void Server::handle_cancel(const Request& request, const Sink& respond) {
+  // Still queued: remove it and answer on the job's own sink.
+  Job job;
+  if (queue_.cancel(request.id, job)) {
+    queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    JobResult result;
+    result.id = job.id;
+    result.status = "cancelled";
+    result.queue_wait_s =
+        std::chrono::duration<double>(Job::Clock::now() - job.submitted_at)
+            .count();
+    finish_job(job, std::move(result));
+    return;
+  }
+  // Running: fire the stop source; the worker reports the final status.
+  {
+    const std::lock_guard lock(active_mutex_);
+    const auto found = active_.find(request.id);
+    if (found != active_.end()) {
+      int expected = static_cast<int>(StopCause::kNone);
+      found->second.cause->compare_exchange_strong(
+          expected, static_cast<int>(StopCause::kCancel));
+      found->second.stop->request_stop();
+      json::Value ack = json::Value::object();
+      ack.set("type", "cancel");
+      ack.set("id", request.id);
+      ack.set("status", "signalled");
+      emit(respond, ack.dump());
+      return;
+    }
+  }
+  emit(respond, format_reject(request.id, "unknown job id"));
+}
+
+void Server::worker_loop(std::int32_t worker_index) {
+  Job job;
+  while (queue_.pop(job)) {
+    queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    workers_busy_.add(1);
+    std::string prefix = "w";
+    prefix += std::to_string(worker_index);
+    prefix += " job=";
+    prefix += job.id;
+    prefix += ' ';
+    log::set_thread_prefix(std::move(prefix));
+
+    const auto popped_at = Job::Clock::now();
+    const double queue_wait =
+        std::chrono::duration<double>(popped_at - job.submitted_at).count();
+
+    JobResult result;
+    if (job.has_deadline && popped_at >= job.deadline) {
+      // Expired while queued (or submitted already expired): answer without
+      // burning solver time.
+      job.fire_stop(StopCause::kDeadline);
+      result.id = job.id;
+      result.status = "deadline_exceeded";
+    } else {
+      result = run_job(job);
+    }
+    result.queue_wait_s = queue_wait;
+    finish_job(job, std::move(result));
+
+    workers_busy_.add(-1);
+    log::set_thread_prefix({});
+  }
+}
+
+void Server::finish_job(const Job& job, JobResult result) {
+  jobs_completed_.inc();
+  if (result.status == "ok") {
+    jobs_ok_.inc();
+  } else if (result.status == "infeasible") {
+    jobs_infeasible_.inc();
+  } else if (result.status == "cancelled") {
+    jobs_cancelled_.inc();
+  } else if (result.status == "deadline_exceeded") {
+    jobs_deadline_exceeded_.inc();
+  } else {
+    jobs_error_.inc();
+  }
+  queue_wait_seconds_.observe(result.queue_wait_s);
+  if (result.solve_s > 0.0) solve_seconds_.observe(result.solve_s);
+  if (result.feasible) objective_.observe(result.objective);
+
+  {
+    const std::lock_guard lock(active_mutex_);
+    active_.erase(job.id);
+  }
+  emit(job.respond, result_to_json(result).dump());
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock lock(deadline_mutex_);
+  const auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.when > b.when;
+  };
+  for (;;) {
+    if (watchdog_exit_) return;
+    if (deadlines_.empty()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const auto next_deadline = deadlines_.front().when;
+    if (Job::Clock::now() < next_deadline) {
+      deadline_cv_.wait_until(lock, next_deadline);
+      continue;
+    }
+    std::pop_heap(deadlines_.begin(), deadlines_.end(), later);
+    DeadlineEntry entry = std::move(deadlines_.back());
+    deadlines_.pop_back();
+    const auto stop = entry.stop.lock();
+    const auto cause = entry.cause.lock();
+    if (stop != nullptr && cause != nullptr) {
+      int expected = static_cast<int>(StopCause::kNone);
+      cause->compare_exchange_strong(expected,
+                                     static_cast<int>(StopCause::kDeadline));
+      stop->request_stop();
+      log::info("job ", entry.id, ": deadline fired");
+    }
+  }
+}
+
+void Server::stats_loop() {
+  const auto interval = std::chrono::duration<double>(options_.stats_interval_s);
+  std::unique_lock lock(stats_mutex_);
+  while (!stats_exit_) {
+    stats_cv_.wait_for(lock, interval);
+    if (stats_exit_) return;
+    const std::string line = stats_json().dump();
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
+  }
+}
+
+json::Value Server::stats_json() {
+  json::Value out = json::Value::object();
+  out.set("type", "stats");
+  out.set("uptime_s",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at_)
+              .count());
+  out.set("workers", options_.workers);
+  out.set("queue_capacity", static_cast<std::int64_t>(queue_.capacity()));
+  const json::Value instruments = metrics_.to_json();
+  for (std::size_t k = 0; k < instruments.size(); ++k) {
+    out.set(instruments.key_at(k), instruments.at(k));
+  }
+  return out;
+}
+
+void Server::begin_drain() {
+  draining_.store(true);
+  queue_.close();
+}
+
+void Server::drain() {
+  if (drained_.exchange(true)) return;
+  start();  // accepted jobs must be answered even if workers never launched
+  begin_drain();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  log::info("server drained: ", jobs_completed_.value(), " jobs answered");
+}
+
+// ------------------------------------------------------------- serve loops
+
+namespace {
+
+void write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t written = ::write(fd, data.data(), data.size());
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; results are dropped, not fatal
+    }
+    data.remove_prefix(static_cast<std::size_t>(written));
+  }
+}
+
+/// Split buffered bytes into lines and dispatch each; returns false when a
+/// shutdown request was seen.
+bool dispatch_lines(Server& server, std::string& pending,
+                    const Server::Sink& sink) {
+  std::size_t newline = 0;
+  while ((newline = pending.find('\n')) != std::string::npos) {
+    const std::string line = pending.substr(0, newline);
+    pending.erase(0, newline + 1);
+    if (!trim(line).empty()) server.handle_line(line, sink);
+    if (server.shutdown_requested()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int serve_fd(Server& server, int in_fd, int out_fd, int wake_fd) {
+  const Server::Sink sink = [out_fd](const std::string& line) {
+    std::string buffer;
+    buffer.reserve(line.size() + 1);
+    buffer = line;
+    buffer.push_back('\n');
+    write_all(out_fd, buffer);
+  };
+
+  std::string pending;
+  bool interrupted = false;
+  for (;;) {
+    pollfd fds[2] = {{in_fd, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const int watched = wake_fd >= 0 ? 2 : 1;
+    const int ready = ::poll(fds, static_cast<nfds_t>(watched), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (wake_fd >= 0 && fds[1].revents != 0) {
+      interrupted = true;
+      break;
+    }
+    if (fds[0].revents == 0) continue;
+    char buffer[4096];
+    const ssize_t count = ::read(in_fd, buffer, sizeof buffer);
+    if (count <= 0) break;  // EOF or read error: drain and exit
+    pending.append(buffer, static_cast<std::size_t>(count));
+    if (!dispatch_lines(server, pending, sink)) break;  // shutdown request
+  }
+  // A final line without a trailing newline still counts (EOF-terminated),
+  // unless a signal interrupted the loop mid-read.
+  if (!interrupted && !server.shutdown_requested() && !trim(pending).empty()) {
+    server.handle_line(pending, sink);
+  }
+  server.drain();
+  return 0;
+}
+
+int serve_tcp(Server& server, std::uint16_t port, int wake_fd) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    log::error("qbpartd: socket() failed: ", std::strerror(errno));
+    return 1;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    log::error("qbpartd: cannot listen on 127.0.0.1:", port, ": ",
+               std::strerror(errno));
+    ::close(listen_fd);
+    return 1;
+  }
+  // Report the actual port (0 requests an ephemeral one) as a parseable
+  // stderr line before serving.
+  socklen_t address_len = sizeof address;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&address), &address_len);
+  std::fprintf(stderr, "{\"type\":\"listening\",\"port\":%u}\n",
+               static_cast<unsigned>(ntohs(address.sin_port)));
+  std::fflush(stderr);
+
+  std::atomic<bool> closing{false};
+  std::vector<std::thread> connections;
+  std::mutex connections_mutex;
+
+  const auto connection_loop = [&server, &closing](int conn_fd) {
+    const Server::Sink sink = [conn_fd](const std::string& line) {
+      std::string buffer = line;
+      buffer.push_back('\n');
+      std::string_view data = buffer;
+      while (!data.empty()) {
+        const ssize_t written =
+            ::send(conn_fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (written < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        data.remove_prefix(static_cast<std::size_t>(written));
+      }
+    };
+    std::string pending;
+    while (!closing.load()) {
+      pollfd pfd{conn_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (ready < 0 && errno != EINTR) break;
+      if (ready <= 0 || pfd.revents == 0) continue;
+      char buffer[4096];
+      const ssize_t count = ::read(conn_fd, buffer, sizeof buffer);
+      if (count <= 0) break;
+      pending.append(buffer, static_cast<std::size_t>(count));
+      if (!dispatch_lines(server, pending, sink)) break;
+    }
+    ::close(conn_fd);
+  };
+
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const int watched = wake_fd >= 0 ? 2 : 1;
+    const int ready = ::poll(fds, static_cast<nfds_t>(watched), 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (server.shutdown_requested()) break;
+    if (wake_fd >= 0 && fds[1].revents != 0) break;
+    if (fds[0].revents == 0) continue;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    const std::lock_guard lock(connections_mutex);
+    connections.emplace_back(connection_loop, conn_fd);
+  }
+
+  closing.store(true);
+  ::close(listen_fd);
+  {
+    const std::lock_guard lock(connections_mutex);
+    for (auto& connection : connections) connection.join();
+  }
+  server.drain();
+  return 0;
+}
+
+}  // namespace qbp::service

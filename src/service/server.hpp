@@ -1,0 +1,175 @@
+// qbpartd's core: a long-running job server over the NDJSON protocol.
+//
+// Architecture (one Server instance, any number of client connections):
+//
+//   reader(s) --> handle_line --> bounded JobQueue --> worker pool
+//                     |                                   |
+//                     |  immediate responses              |  result lines
+//                     v  (reject/stats/errors)            v
+//                 response sink  <-------------------- respond()
+//
+//   + deadline watchdog: one thread holding a min-heap of job deadlines;
+//     fires the job's stop source (StopCause::kDeadline) whether the job is
+//     still queued or already running -- both paths funnel into the
+//     cooperative should_stop hooks of the engine layer;
+//   + metrics: every lifecycle edge increments the registry; a `stats`
+//     request (and an optional periodic stderr line) renders the snapshot.
+//
+// Responses are serialized through one internal mutex, so sinks need no
+// locking of their own and lines never interleave.  Each job remembers the
+// sink of the connection that submitted it: in TCP mode results route back
+// to the right client, in pipe mode everything shares the stdout sink.
+//
+// Lifecycle: construct -> (start() if not auto) -> handle_line()* ->
+// begin_drain() -> drain().  begin_drain closes the queue (new submits are
+// rejected with "server draining"); drain blocks until every accepted job
+// has been answered and the workers exited.  The SIGINT/SIGTERM path of
+// qbpartd is exactly this sequence, so a loaded server finishes what it
+// accepted and exits 0.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/job.hpp"
+#include "service/metrics.hpp"
+#include "service/queue.hpp"
+
+namespace qbp::service {
+
+struct ServerOptions {
+  /// Concurrent jobs (each job may additionally fan out portfolio threads
+  /// of its own, bounded by the job's solver spec).
+  std::int32_t workers = 1;
+  /// Queue bound; a full queue rejects new submits (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Emit one metrics JSON line on stderr every interval; 0 disables.
+  double stats_interval_s = 0.0;
+  /// Launch workers in the constructor.  Tests set this false and call
+  /// start() after staging submissions, making pop order deterministic.
+  bool autostart = true;
+};
+
+class Server {
+ public:
+  using Sink = Job::Sink;
+
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launch the worker pool (idempotent).
+  void start();
+
+  /// Dispatch one protocol line; immediate responses (reject, stats, parse
+  /// errors, shutdown acknowledgement) are delivered to `respond` before
+  /// returning, job results arrive on it later from a worker thread.  The
+  /// sink is copied into accepted jobs and must stay callable until drain()
+  /// returns.  Thread-safe.
+  void handle_line(std::string_view line, const Sink& respond);
+
+  /// Stop accepting submits; queued and running jobs keep going.
+  void begin_drain();
+
+  /// begin_drain() + block until every accepted job has been answered and
+  /// the worker threads exited.
+  void drain();
+
+  /// A {"type":"shutdown"} request arrived; the serve loop polls this.
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load();
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] json::Value stats_json();
+  [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+
+ private:
+  struct ActiveJob {
+    std::shared_ptr<std::stop_source> stop;
+    std::shared_ptr<std::atomic<int>> cause;
+  };
+  struct DeadlineEntry {
+    Job::Clock::time_point when;
+    std::string id;
+    std::weak_ptr<std::stop_source> stop;
+    std::weak_ptr<std::atomic<int>> cause;
+  };
+
+  void handle_submit(Request request, const Sink& respond);
+  void handle_cancel(const Request& request, const Sink& respond);
+  void worker_loop(std::int32_t worker_index);
+  void finish_job(const Job& job, JobResult result);
+  void watchdog_loop();
+  void stats_loop();
+  void emit(const Sink& sink, const std::string& line);
+
+  ServerOptions options_;
+  MetricsRegistry metrics_;
+  JobQueue queue_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  std::mutex respond_mutex_;   // serializes every response line
+  std::mutex active_mutex_;    // guards active_ and next_seq_
+  std::unordered_map<std::string, ActiveJob> active_;
+  std::int64_t next_seq_ = 0;
+
+  std::mutex deadline_mutex_;  // guards deadlines_ (a min-heap by `when`)
+  std::condition_variable deadline_cv_;
+  std::vector<DeadlineEntry> deadlines_;
+  bool watchdog_exit_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::thread stats_thread_;
+  std::condition_variable stats_cv_;
+  std::mutex stats_mutex_;
+  bool stats_exit_ = false;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<bool> shutdown_{false};
+
+  // Cached instruments (registry lookups are mutex-guarded).
+  Counter& requests_total_;
+  Counter& requests_malformed_;
+  Counter& jobs_submitted_;
+  Counter& jobs_completed_;
+  Counter& jobs_ok_;
+  Counter& jobs_infeasible_;
+  Counter& jobs_rejected_;
+  Counter& jobs_cancelled_;
+  Counter& jobs_deadline_exceeded_;
+  Counter& jobs_error_;
+  Gauge& queue_depth_;
+  Gauge& workers_busy_;
+  Histogram& queue_wait_seconds_;
+  Histogram& solve_seconds_;
+  Histogram& objective_;
+};
+
+/// Pipe / socket serve loops (POSIX).  Both read NDJSON requests until EOF,
+/// a shutdown request, or a byte on `wake_fd` (the signal handler's
+/// self-pipe; pass -1 for none), then drain the server and return 0.
+/// serve_fd reads from `in_fd` and writes every response to `out_fd`.
+[[nodiscard]] int serve_fd(Server& server, int in_fd, int out_fd, int wake_fd);
+
+/// Listens on 127.0.0.1:`port` (one thread per connection; responses route
+/// to the submitting connection).  Returns 0 on clean drain, 1 on socket
+/// setup failure.
+[[nodiscard]] int serve_tcp(Server& server, std::uint16_t port, int wake_fd);
+
+}  // namespace qbp::service

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -118,6 +119,18 @@ bool CliParser::parse(int argc, const char* const* argv) {
     if (!assign(*option, value)) return false;
   }
   return true;
+}
+
+std::optional<int> CliParser::run(int argc, const char* const* argv) {
+  if (!parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", error_.c_str(), usage().c_str());
+    return 1;
+  }
+  if (help_requested_) {
+    std::printf("%s", usage().c_str());
+    return 0;
+  }
+  return std::nullopt;
 }
 
 std::string CliParser::usage() const {

@@ -29,6 +29,12 @@ class CliParser {
   /// that appear after it.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
+  /// The boilerplate every binary used to repeat: parse argv, print the
+  /// error plus usage to stderr on failure (returns exit code 1), print
+  /// usage to stdout on --help (returns exit code 0).  Returns nullopt when
+  /// parsing succeeded and the program should proceed.
+  [[nodiscard]] std::optional<int> run(int argc, const char* const* argv);
+
   [[nodiscard]] const std::string& error() const noexcept { return error_; }
   [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
 

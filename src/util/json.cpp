@@ -1,0 +1,412 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qbp::json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at_end() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept { return text[pos]; }
+
+  void fail(std::string_view what) {
+    if (!error.empty()) return;
+    std::ostringstream out;
+    out << "byte " << pos << ": " << what;
+    error = out.str();
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char expected) {
+    if (at_end() || peek() != expected) return false;
+    ++pos;
+    return true;
+  }
+
+  bool expect(char expected, std::string_view what) {
+    if (consume(expected)) return true;
+    fail(what);
+    return false;
+  }
+
+  bool parse_value(Value& out, int depth);
+  bool parse_string(std::string& out);
+  bool parse_number(Value& out);
+  bool parse_literal(std::string_view word, Value value, Value& out);
+};
+
+void append_utf8(std::string& out, std::uint32_t code_point) {
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+  } else if (code_point < 0x10000) {
+    out.push_back(static_cast<char>(0xe0 | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xf0 | (code_point >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+  }
+}
+
+bool Parser::parse_string(std::string& out) {
+  if (!expect('"', "expected '\"'")) return false;
+  out.clear();
+  while (!at_end()) {
+    const char c = text[pos++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (at_end()) break;
+      const char escape = text[pos++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          const auto hex4 = [&](std::uint32_t& value) {
+            if (pos + 4 > text.size()) return false;
+            value = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text[pos++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') {
+                value |= static_cast<std::uint32_t>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                value |= static_cast<std::uint32_t>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                value |= static_cast<std::uint32_t>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            return true;
+          };
+          std::uint32_t unit = 0;
+          if (!hex4(unit)) {
+            fail("malformed \\u escape");
+            return false;
+          }
+          // Surrogate pair: a high surrogate must be followed by \uDC00..DFFF.
+          if (unit >= 0xd800 && unit <= 0xdbff) {
+            std::uint32_t low = 0;
+            if (pos + 1 < text.size() && text[pos] == '\\' &&
+                text[pos + 1] == 'u') {
+              pos += 2;
+              if (!hex4(low) || low < 0xdc00 || low > 0xdfff) {
+                fail("malformed surrogate pair");
+                return false;
+              }
+              unit = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+            } else {
+              fail("unpaired surrogate");
+              return false;
+            }
+          } else if (unit >= 0xdc00 && unit <= 0xdfff) {
+            fail("unpaired surrogate");
+            return false;
+          }
+          append_utf8(out, unit);
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+      }
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      fail("raw control character in string");
+      return false;
+    } else {
+      out.push_back(c);
+    }
+  }
+  fail("unterminated string");
+  return false;
+}
+
+bool Parser::parse_number(Value& out) {
+  const std::size_t start = pos;
+  if (!at_end() && peek() == '-') ++pos;
+  // Strict JSON: no leading zeros ("01") -- from_chars would accept them.
+  if (pos + 1 < text.size() && text[pos] == '0' &&
+      std::isdigit(static_cast<unsigned char>(text[pos + 1])) != 0) {
+    fail("malformed number (leading zero)");
+    return false;
+  }
+  while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                       peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                       peek() == '+' || peek() == '-')) {
+    ++pos;
+  }
+  double value = 0.0;
+  const char* first = text.data() + start;
+  const char* last = text.data() + pos;
+  const auto [end, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || end != last || start == pos) {
+    pos = start;
+    fail("malformed number");
+    return false;
+  }
+  out = Value(value);
+  return true;
+}
+
+bool Parser::parse_literal(std::string_view word, Value value, Value& out) {
+  if (text.substr(pos, word.size()) != word) {
+    fail("unexpected token");
+    return false;
+  }
+  pos += word.size();
+  out = std::move(value);
+  return true;
+}
+
+bool Parser::parse_value(Value& out, int depth) {
+  if (depth > kMaxDepth) {
+    fail("nesting too deep");
+    return false;
+  }
+  skip_whitespace();
+  if (at_end()) {
+    fail("unexpected end of input");
+    return false;
+  }
+  const char c = peek();
+  switch (c) {
+    case '{': {
+      ++pos;
+      out = Value::object();
+      skip_whitespace();
+      if (consume('}')) return true;
+      for (;;) {
+        skip_whitespace();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_whitespace();
+        if (!expect(':', "expected ':'")) return false;
+        Value member;
+        if (!parse_value(member, depth + 1)) return false;
+        out.set(key, std::move(member));
+        skip_whitespace();
+        if (consume(',')) continue;
+        return expect('}', "expected ',' or '}'");
+      }
+    }
+    case '[': {
+      ++pos;
+      out = Value::array();
+      skip_whitespace();
+      if (consume(']')) return true;
+      for (;;) {
+        Value element;
+        if (!parse_value(element, depth + 1)) return false;
+        out.push_back(std::move(element));
+        skip_whitespace();
+        if (consume(',')) continue;
+        return expect(']', "expected ',' or ']'");
+      }
+    }
+    case '"': {
+      std::string value;
+      if (!parse_string(value)) return false;
+      out = Value(std::move(value));
+      return true;
+    }
+    case 't': return parse_literal("true", Value(true), out);
+    case 'f': return parse_literal("false", Value(false), out);
+    case 'n': return parse_literal("null", Value(), out);
+    default: return parse_number(out);
+  }
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  // Integral values in the exactly-representable range print as integers so
+  // ids, counters and assignments round-trip without a decimal point.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    const int written = std::snprintf(buffer, sizeof buffer, "%lld",
+                                      static_cast<long long>(value));
+    out.append(buffer, static_cast<std::size_t>(written));
+    return;
+  }
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  if (ec == std::errc()) {
+    out.append(buffer, end);
+  } else {
+    out += "null";
+  }
+}
+
+}  // namespace
+
+void append_quoted(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void Value::push_back(Value value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  values_.push_back(std::move(value));
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    if (keys_[k] == key) return &values_[k];
+  }
+  return nullptr;
+}
+
+void Value::set(std::string_view key, Value value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    if (keys_[k] == key) {
+      values_[k] = std::move(value);
+      return;
+    }
+  }
+  keys_.emplace_back(key);
+  values_.push_back(std::move(value));
+}
+
+std::string Value::get_string(std::string_view key,
+                              std::string_view fallback) const {
+  const Value* member = find(key);
+  if (member == nullptr || !member->is_string()) return std::string(fallback);
+  return member->as_string();
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+  const Value* member = find(key);
+  if (member == nullptr || !member->is_number()) return fallback;
+  return member->as_number();
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* member = find(key);
+  if (member == nullptr || !member->is_bool()) return fallback;
+  return member->as_bool();
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: append_number(out, number_); return;
+    case Kind::kString: append_quoted(out, string_); return;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t k = 0; k < values_.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        values_[k].dump_to(out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t k = 0; k < values_.size(); ++k) {
+        if (k > 0) out.push_back(',');
+        append_quoted(out, keys_[k]);
+        out.push_back(':');
+        values_[k].dump_to(out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::kNull: return true;
+    case Value::Kind::kBool: return a.bool_ == b.bool_;
+    case Value::Kind::kNumber: return a.number_ == b.number_;
+    case Value::Kind::kString: return a.string_ == b.string_;
+    case Value::Kind::kArray: return a.values_ == b.values_;
+    case Value::Kind::kObject:
+      return a.keys_ == b.keys_ && a.values_ == b.values_;
+  }
+  return false;
+}
+
+JsonParseResult parse(std::string_view text, Value& out) {
+  Parser parser;
+  parser.text = text;
+  if (!parser.parse_value(out, 0)) return {false, parser.error};
+  parser.skip_whitespace();
+  if (!parser.at_end()) {
+    parser.fail("trailing characters after document");
+    return {false, parser.error};
+  }
+  return {};
+}
+
+bool write_json_file(const std::string& path, const Value& value) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << value.dump() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace qbp::json

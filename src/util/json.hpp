@@ -1,0 +1,130 @@
+// Minimal JSON value, parser and writer.
+//
+// Exists for the two places the library speaks JSON: the qbpartd service
+// protocol (newline-delimited JSON over a pipe or socket) and the benches'
+// machine-readable result dumps (--json).  Deliberately small: one Value
+// type, a strict recursive-descent parser with a depth cap, and a compact
+// single-line serializer (never emits raw newlines, so every dump() is a
+// valid NDJSON record).  Not a general-purpose JSON library -- no SAX
+// interface, no comments, no trailing commas.
+//
+// Numbers are stored as double; integral values within the 2^53 exact
+// range serialize without a decimal point so ids and counters round-trip.
+// Object member order is preserved (insertion order), which keeps protocol
+// lines diffable and the benches' output stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbp::json {
+
+/// Outcome of a parse; mirrors qbp::ParseResult but lives here so util/json
+/// stays dependency-free.
+struct JsonParseResult {
+  bool ok = true;
+  std::string message;
+};
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  Value(double value) : kind_(Kind::kNumber), number_(value) {}  // NOLINT
+  Value(std::int64_t value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  Value(int value) : Value(static_cast<std::int64_t>(value)) {}  // NOLINT
+  Value(std::string value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  Value(std::string_view value) : Value(std::string(value)) {}  // NOLINT
+  Value(const char* value) : Value(std::string(value)) {}       // NOLINT
+
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; the defaulted variants return `fallback` on a kind
+  /// mismatch, which is what protocol readers want for optional fields.
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? number_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return string_; }
+
+  // --- array interface ----------------------------------------------------
+  /// Element count of an array or object (0 for scalars).
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  /// Array element (valid index required).
+  [[nodiscard]] const Value& at(std::size_t index) const { return values_[index]; }
+  /// Append to an array (kind becomes kArray if null).
+  void push_back(Value value);
+
+  // --- object interface ---------------------------------------------------
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+  /// Set (insert or overwrite) a member; kind becomes kObject if null.
+  void set(std::string_view key, Value value);
+  /// Member key at position `index` (objects preserve insertion order).
+  [[nodiscard]] const std::string& key_at(std::size_t index) const {
+    return keys_[index];
+  }
+
+  /// Convenience typed member reads for protocol parsing.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback = {}) const;
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Compact single-line serialization (valid NDJSON record).
+  [[nodiscard]] std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Arrays use values_ alone; objects use keys_ + values_ pairwise.  Two
+  // parallel vectors sidestep std::pair-of-incomplete-type issues and keep
+  // the (hot) array case allocation-minimal.
+  std::vector<std::string> keys_;
+  std::vector<Value> values_;
+};
+
+/// Parse one JSON document from `text` (surrounding whitespace allowed,
+/// trailing garbage rejected).  On failure `out` is left unspecified and the
+/// message carries a byte offset.
+[[nodiscard]] JsonParseResult parse(std::string_view text, Value& out);
+
+/// Escape `text` as a JSON string literal (with quotes) appended to `out`.
+void append_quoted(std::string& out, std::string_view text);
+
+/// Write `value.dump()` plus a trailing newline to a file; false on I/O
+/// failure.
+[[nodiscard]] bool write_json_file(const std::string& path, const Value& value);
+
+}  // namespace qbp::json

@@ -28,7 +28,9 @@ PartitionProblem make_asymmetric_problem(std::uint64_t seed) {
 
   Netlist netlist("asym");
   for (std::int32_t j = 0; j < n; ++j) {
-    netlist.add_component("c" + std::to_string(j), rng.next_double(0.5, 2.0));
+    std::string name = "c";
+    name += std::to_string(j);
+    netlist.add_component(name, rng.next_double(0.5, 2.0));
   }
   for (std::int32_t a = 0; a < n; ++a) {
     for (std::int32_t b = a + 1; b < n; ++b) {

@@ -192,6 +192,104 @@ TEST(ProblemIo, OverfullProblemRejectedByValidate) {
   EXPECT_NE(result.message.find("inconsistent"), std::string::npos);
 }
 
+// Service-boundary hardening: malformed, truncated or hostile input must
+// produce a descriptive ParseResult -- never an abort, uncaught throw, or
+// multi-gigabyte allocation.  qbpartd feeds untrusted bytes through here.
+
+TEST(ProblemIo, EveryTruncationOfAValidFileFailsGracefully) {
+  const auto original = test::make_tiny_problem({.seed = 7});
+  std::ostringstream out;
+  write_problem(out, original);
+  const std::string full = out.str();
+
+  // Any strict prefix is missing at least the trailing structure (wires /
+  // constraints come last but capacities, components, or the topology are
+  // gone for shorter cuts); none may crash and all must carry a message.
+  for (std::size_t cut = 0; cut < full.size(); cut += full.size() / 37 + 1) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    std::istringstream in(full.substr(0, cut));
+    PartitionProblem parsed;
+    const auto result = read_problem(in, parsed);
+    if (!result.ok) {
+      EXPECT_FALSE(result.message.empty());
+    } else {
+      // A cut can only succeed once every section is complete; the parsed
+      // problem must then be internally consistent.
+      EXPECT_TRUE(parsed.validate().empty());
+      EXPECT_GT(parsed.num_components(), 0);
+    }
+  }
+}
+
+TEST(ProblemIo, EmptyAndComponentFreeInputRejected) {
+  PartitionProblem parsed;
+  std::istringstream empty("");
+  EXPECT_FALSE(read_problem(empty, parsed).ok);
+
+  // Topology + capacities but zero components: the classic truncation shape.
+  std::istringstream headless("topology grid 1 2 manhattan\ncapacities 5 5\n");
+  const auto result = read_problem(headless, parsed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("no components"), std::string::npos);
+}
+
+TEST(ProblemIo, NegativeSizesRejected) {
+  PartitionProblem parsed;
+  std::istringstream size(
+      "topology grid 1 2 manhattan\ncapacities 5 5\ncomponent a -1\n");
+  EXPECT_FALSE(read_problem(size, parsed).ok);
+
+  std::istringstream topo("topology custom -3\n");
+  EXPECT_FALSE(read_problem(topo, parsed).ok);
+
+  std::istringstream grid("topology grid -1 2 manhattan\n");
+  EXPECT_FALSE(read_problem(grid, parsed).ok);
+
+  std::istringstream capacity(
+      "topology grid 1 2 manhattan\ncapacities -5 5\ncomponent a 1\n");
+  EXPECT_FALSE(read_problem(capacity, parsed).ok);
+}
+
+TEST(ProblemIo, OutOfRangePartitionIndicesRejected) {
+  PartitionProblem parsed;
+  // `linear` partition index beyond M.
+  std::istringstream linear(
+      "topology grid 1 2 manhattan\ncapacities 5 5\n"
+      "component a 1\nlinear 2 0 1.0\n");
+  const auto result = read_problem(linear, parsed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("linear"), std::string::npos);
+
+  // `bcost` row index beyond M.
+  std::istringstream row(
+      "topology custom 2\nbcost 2 0 1\n");
+  EXPECT_FALSE(read_problem(row, parsed).ok);
+
+  // Constraint endpoint beyond N.
+  std::istringstream constraint(
+      "topology grid 1 2 manhattan\ncapacities 5 5\n"
+      "component a 1\ncomponent b 1\nconstraint 0 7 1\n");
+  EXPECT_FALSE(read_problem(constraint, parsed).ok);
+}
+
+TEST(ProblemIo, HostileResourceRequestsRejected) {
+  PartitionProblem parsed;
+  // 1e9 partitions would allocate ~16 exabytes of matrices.
+  std::istringstream custom("topology custom 1000000000\n");
+  const auto result = read_problem(custom, parsed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("limit"), std::string::npos);
+
+  std::istringstream grid("topology grid 100000 100000 manhattan\n");
+  EXPECT_FALSE(read_problem(grid, parsed).ok);
+
+  // Wire multiplicity that would overflow the int32 accumulation.
+  std::istringstream wire(
+      "topology grid 1 2 manhattan\ncapacities 5 5\n"
+      "component a 1\ncomponent b 1\nwire 0 1 99999999999\n");
+  EXPECT_FALSE(read_problem(wire, parsed).ok);
+}
+
 // -------------------------------------------------------- assignments ----
 
 TEST(AssignmentIo, RoundTrip) {

@@ -1,0 +1,478 @@
+// End-to-end tests for the qbpartd service layer: protocol round-trips,
+// queue ordering, the server lifecycle (submit -> result, deadlines,
+// cancellation, backpressure, drain), determinism across worker counts,
+// and the metrics registry.
+//
+// The server is exercised in-process: handle_line() with a collecting sink
+// is exactly the pipe-mode serve loop minus the fd plumbing, and keeps the
+// tests free of process management.  ServerOptions::autostart = false lets
+// a test stage every submission before any worker can pop, making
+// completion order assertions deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/problem_io.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/server.hpp"
+#include "test_support.hpp"
+
+namespace qbp::service {
+namespace {
+
+std::string tiny_problem_text(std::uint64_t seed = 11) {
+  const auto problem = test::make_tiny_problem(
+      {.num_components = 12, .num_partitions = 3, .seed = seed});
+  std::ostringstream out;
+  write_problem(out, problem);
+  return out.str();
+}
+
+/// Thread-safe collecting sink + helpers to await and decode responses.
+class ResponseLog {
+ public:
+  Server::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard lock(mutex_);
+      lines_.push_back(line);
+    };
+  }
+
+  [[nodiscard]] std::vector<std::string> lines() const {
+    const std::lock_guard lock(mutex_);
+    return lines_;
+  }
+
+  /// Responses with "type":"result", decoded, in arrival order.
+  [[nodiscard]] std::vector<JobResult> results() const {
+    std::vector<JobResult> out;
+    for (const auto& line : lines()) {
+      json::Value value;
+      if (!json::parse(line, value).ok) continue;
+      if (value.get_string("type", "") != "result") continue;
+      JobResult result;
+      EXPECT_TRUE(result_from_json(value, result).ok) << line;
+      out.push_back(std::move(result));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t count(std::string_view needle) const {
+    std::size_t n = 0;
+    for (const auto& line : lines()) {
+      if (line.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+std::string submit_line(const std::string& id, const std::string& problem,
+                        std::uint64_t seed = 1, std::int32_t priority = 0,
+                        double deadline_ms = 0.0, std::int32_t starts = 2,
+                        std::int32_t threads = 1,
+                        const std::string& method = "qbp") {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.id = id;
+  request.problem_text = problem;
+  request.solver.method = method;
+  request.solver.starts = starts;
+  request.solver.threads = threads;
+  request.solver.iterations = 40;
+  request.solver.seed = seed;
+  request.priority = priority;
+  request.deadline_ms = deadline_ms;
+  return format_request(request);
+}
+
+// ----------------------------------------------------------- protocol ----
+
+TEST(Protocol, SubmitRoundTripPreservesEveryField) {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.id = "job-42";
+  request.problem_text = "problem \"x\"\nend\n";
+  request.solver.method = "sa";
+  request.solver.starts = 7;
+  request.solver.threads = 3;
+  request.solver.iterations = 250;
+  request.solver.seed = 987654321;
+  request.deadline_ms = 1500.5;
+  request.priority = -2;
+
+  Request decoded;
+  const auto parsed = parse_request(format_request(request), decoded);
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_EQ(decoded.type, RequestType::kSubmit);
+  EXPECT_EQ(decoded.id, request.id);
+  EXPECT_EQ(decoded.problem_text, request.problem_text);
+  EXPECT_EQ(decoded.solver.method, "sa");
+  EXPECT_EQ(decoded.solver.starts, 7);
+  EXPECT_EQ(decoded.solver.threads, 3);
+  EXPECT_EQ(decoded.solver.iterations, 250);
+  EXPECT_EQ(decoded.solver.seed, 987654321u);
+  EXPECT_DOUBLE_EQ(decoded.deadline_ms, 1500.5);
+  EXPECT_EQ(decoded.priority, -2);
+}
+
+TEST(Protocol, ResultRoundTripPreservesAssignment) {
+  JobResult result;
+  result.id = "r1";
+  result.status = "ok";
+  result.solver = "qbp";
+  result.feasible = true;
+  result.objective = 123.5;
+  result.best_penalized = 123.5;
+  result.assignment = {0, 2, 1, 1, 0};
+  result.queue_wait_s = 0.25;
+  result.solve_s = 1.5;
+  result.starts_run = 4;
+
+  JobResult decoded;
+  const auto parsed = result_from_json(result_to_json(result), decoded);
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_EQ(decoded.id, "r1");
+  EXPECT_EQ(decoded.status, "ok");
+  EXPECT_TRUE(decoded.feasible);
+  EXPECT_DOUBLE_EQ(decoded.objective, 123.5);
+  EXPECT_EQ(decoded.assignment, result.assignment);
+  EXPECT_EQ(decoded.starts_run, 4);
+}
+
+TEST(Protocol, MalformedRequestsFailWithMessages) {
+  Request out;
+  EXPECT_FALSE(parse_request("", out).ok);
+  EXPECT_FALSE(parse_request("not json", out).ok);
+  EXPECT_FALSE(parse_request("{\"type\":\"frobnicate\"}", out).ok);
+  EXPECT_FALSE(parse_request("[1,2,3]", out).ok);
+  // Submit needs exactly one problem source.
+  EXPECT_FALSE(parse_request("{\"type\":\"submit\",\"id\":\"x\"}", out).ok);
+  EXPECT_FALSE(parse_request("{\"type\":\"submit\",\"problem\":\"p\","
+                             "\"problem_file\":\"f\"}",
+                             out)
+                   .ok);
+  // Hostile solver specs are rejected at the protocol boundary.
+  EXPECT_FALSE(parse_request("{\"type\":\"submit\",\"problem\":\"p\","
+                             "\"solver\":{\"starts\":0}}",
+                             out)
+                   .ok);
+  EXPECT_FALSE(parse_request("{\"type\":\"submit\",\"problem\":\"p\","
+                             "\"deadline_ms\":-5}",
+                             out)
+                   .ok);
+}
+
+// -------------------------------------------------------------- queue ----
+
+TEST(JobQueue, PriorityThenFifoOrder) {
+  JobQueue queue(8);
+  const auto job = [](std::int64_t seq, std::int32_t priority) {
+    Job j;
+    j.id = "j" + std::to_string(seq);
+    j.seq = seq;
+    j.priority = priority;
+    return j;
+  };
+  ASSERT_EQ(queue.push(job(0, 0)), JobQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(job(1, 5)), JobQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(job(2, 0)), JobQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(job(3, 5)), JobQueue::PushOutcome::kAccepted);
+
+  Job out;
+  std::vector<std::string> order;
+  while (queue.size() > 0 && queue.pop(out)) order.push_back(out.id);
+  EXPECT_EQ(order, (std::vector<std::string>{"j1", "j3", "j0", "j2"}));
+}
+
+TEST(JobQueue, FullAndClosedOutcomes) {
+  JobQueue queue(2);
+  EXPECT_EQ(queue.push(Job{}), JobQueue::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.push(Job{}), JobQueue::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.push(Job{}), JobQueue::PushOutcome::kFull);
+  queue.close();
+  EXPECT_EQ(queue.push(Job{}), JobQueue::PushOutcome::kClosed);
+  Job out;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_FALSE(queue.pop(out));  // closed and drained
+}
+
+TEST(JobQueue, CancelRemovesQueuedJob) {
+  JobQueue queue(4);
+  Job a;
+  a.id = "a";
+  a.seq = 0;
+  Job b;
+  b.id = "b";
+  b.seq = 1;
+  ASSERT_EQ(queue.push(std::move(a)), JobQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(std::move(b)), JobQueue::PushOutcome::kAccepted);
+  Job removed;
+  EXPECT_TRUE(queue.cancel("a", removed));
+  EXPECT_EQ(removed.id, "a");
+  EXPECT_FALSE(queue.cancel("a", removed));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+// ------------------------------------------------------------- server ----
+
+TEST(Server, EndToEndJobsProduceDeterministicResults) {
+  const std::string problem = tiny_problem_text();
+
+  // Same jobs under different worker counts: the chosen assignments must be
+  // bit-identical (the engine determinism contract, surfaced end to end).
+  const auto run_batch = [&](std::int32_t workers) {
+    ResponseLog log;
+    ServerOptions options;
+    options.workers = workers;
+    Server server(options);
+    for (int k = 0; k < 4; ++k) {
+      server.handle_line(
+          submit_line("job" + std::to_string(k), problem,
+                      /*seed=*/100 + static_cast<std::uint64_t>(k)),
+          log.sink());
+    }
+    server.drain();
+    auto results = log.results();
+    // Arrival order of results varies with scheduling; key them by id.
+    std::sort(results.begin(), results.end(),
+              [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+    return results;
+  };
+
+  const auto serial = run_batch(1);
+  const auto parallel = run_batch(4);
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(parallel.size(), 4u);
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].id, parallel[k].id);
+    EXPECT_EQ(serial[k].status, "ok") << serial[k].id;
+    EXPECT_EQ(serial[k].status, parallel[k].status);
+    EXPECT_DOUBLE_EQ(serial[k].objective, parallel[k].objective);
+    EXPECT_EQ(serial[k].assignment, parallel[k].assignment) << serial[k].id;
+  }
+}
+
+TEST(Server, FifoWithinPriorityCompletionOrder) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  ServerOptions options;
+  options.workers = 1;     // one worker => completion order == pop order
+  options.autostart = false;  // stage everything first
+  Server server(options);
+  server.handle_line(submit_line("low-0", problem, 1, /*priority=*/0),
+                     log.sink());
+  server.handle_line(submit_line("high-0", problem, 2, /*priority=*/9),
+                     log.sink());
+  server.handle_line(submit_line("low-1", problem, 3, /*priority=*/0),
+                     log.sink());
+  server.handle_line(submit_line("high-1", problem, 4, /*priority=*/9),
+                     log.sink());
+  server.start();
+  server.drain();
+
+  const auto results = log.results();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].id, "high-0");
+  EXPECT_EQ(results[1].id, "high-1");
+  EXPECT_EQ(results[2].id, "low-0");
+  EXPECT_EQ(results[3].id, "low-1");
+}
+
+TEST(Server, ExpiredDeadlineReportsDeadlineExceeded) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  ServerOptions options;
+  options.autostart = false;
+  Server server(options);
+  // 1 microsecond: expired long before the (not yet started) workers pop it.
+  server.handle_line(submit_line("doomed", problem, 1, 0, /*deadline_ms=*/0.001),
+                     log.sink());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.start();
+  server.drain();
+
+  const auto results = log.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, "doomed");
+  EXPECT_EQ(results[0].status, "deadline_exceeded");
+  EXPECT_TRUE(results[0].assignment.empty());
+  EXPECT_EQ(server.metrics().counter("jobs_deadline_exceeded").value(), 1);
+}
+
+TEST(Server, MidRunDeadlineCancelsCooperatively) {
+  // A slow job: many SA starts on one thread, far beyond a 30 ms budget.
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  Server server(ServerOptions{});
+  server.handle_line(submit_line("slow", problem, 1, 0, /*deadline_ms=*/30.0,
+                                 /*starts=*/512, /*threads=*/1, "sa"),
+                     log.sink());
+  server.drain();
+
+  const auto results = log.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "deadline_exceeded");
+}
+
+TEST(Server, FullQueueRejectsWithBackpressure) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  ServerOptions options;
+  options.queue_capacity = 2;
+  options.autostart = false;  // nothing pops, so the queue stays full
+  Server server(options);
+  server.handle_line(submit_line("a", problem), log.sink());
+  server.handle_line(submit_line("b", problem), log.sink());
+  server.handle_line(submit_line("c", problem), log.sink());
+  EXPECT_EQ(log.count("\"type\":\"reject\""), 1u);
+  EXPECT_EQ(log.count("queue full (capacity 2)"), 1u);
+  EXPECT_EQ(server.metrics().counter("jobs_rejected").value(), 1);
+  server.drain();  // a and b still complete
+  EXPECT_EQ(log.results().size(), 2u);
+}
+
+TEST(Server, CancelQueuedJobAnswersCancelled) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  ServerOptions options;
+  options.autostart = false;
+  Server server(options);
+  server.handle_line(submit_line("keep", problem), log.sink());
+  server.handle_line(submit_line("kill", problem), log.sink());
+  server.handle_line("{\"type\":\"cancel\",\"id\":\"kill\"}", log.sink());
+  server.handle_line("{\"type\":\"cancel\",\"id\":\"nonexistent\"}",
+                     log.sink());
+  server.start();
+  server.drain();
+
+  const auto results = log.results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(log.count("\"status\":\"cancelled\""), 1u);
+  EXPECT_EQ(log.count("unknown job id"), 1u);
+  EXPECT_EQ(server.metrics().counter("jobs_cancelled").value(), 1);
+}
+
+TEST(Server, DrainingServerRejectsNewSubmits) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  Server server(ServerOptions{});
+  server.begin_drain();
+  server.handle_line(submit_line("late", problem), log.sink());
+  EXPECT_EQ(log.count("server draining"), 1u);
+  server.drain();
+  EXPECT_EQ(log.results().size(), 0u);
+}
+
+TEST(Server, MalformedLinesAndBadProblemsAreContained) {
+  ResponseLog log;
+  Server server(ServerOptions{});
+  server.handle_line("this is not json", log.sink());
+  server.handle_line("{\"type\":\"submit\"}", log.sink());
+  // Valid request, garbage problem text: must come back status "error",
+  // not crash the worker.
+  server.handle_line(submit_line("bad", "wibble wobble\n"), log.sink());
+  server.drain();
+  EXPECT_EQ(log.count("\"type\":\"error\""), 2u);
+  EXPECT_EQ(log.count("\"status\":\"error\""), 1u);
+  EXPECT_EQ(server.metrics().counter("requests_malformed").value(), 2);
+  EXPECT_EQ(server.metrics().counter("jobs_error").value(), 1);
+}
+
+TEST(Server, DuplicateActiveIdRejected) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  ServerOptions options;
+  options.autostart = false;
+  Server server(options);
+  server.handle_line(submit_line("dup", problem), log.sink());
+  server.handle_line(submit_line("dup", problem), log.sink());
+  EXPECT_EQ(log.count("duplicate id"), 1u);
+  server.drain();
+  EXPECT_EQ(log.results().size(), 1u);
+}
+
+TEST(Server, StatsRequestReportsCountersAndHistograms) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  Server server(ServerOptions{});
+  server.handle_line(submit_line("s1", problem), log.sink());
+  server.drain();
+  server.handle_line("{\"type\":\"stats\"}", log.sink());
+
+  json::Value stats;
+  ASSERT_TRUE(json::parse(log.lines().back(), stats).ok);
+  EXPECT_EQ(stats.get_string("type", ""), "stats");
+  EXPECT_GE(stats.get_number("uptime_s", -1.0), 0.0);
+  const json::Value* counters = stats.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->get_number("jobs_completed", 0), 1.0);
+  const json::Value* histograms = stats.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* solve = histograms->find("solve_seconds");
+  ASSERT_NE(solve, nullptr);
+  EXPECT_EQ(solve->get_number("count", 0), 1.0);
+}
+
+TEST(Server, ShutdownRequestFlagsTheServeLoop) {
+  ResponseLog log;
+  Server server(ServerOptions{});
+  EXPECT_FALSE(server.shutdown_requested());
+  server.handle_line("{\"type\":\"shutdown\"}", log.sink());
+  EXPECT_TRUE(server.shutdown_requested());
+  EXPECT_EQ(log.count("\"type\":\"shutdown\""), 1u);
+  server.drain();
+}
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(Metrics, HistogramBucketsAreCumulativeInJson) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("h", Histogram::latency_bounds());
+  histogram.observe(0.0005);  // below the first bound
+  histogram.observe(0.003);
+  histogram.observe(100.0);  // beyond the last bound -> +inf bucket
+
+  const auto snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0005);
+  EXPECT_DOUBLE_EQ(snapshot.max, 100.0);
+
+  const json::Value rendered = registry.to_json();
+  const json::Value* h = rendered.find("histograms")->find("h");
+  ASSERT_NE(h, nullptr);
+  const json::Value* buckets = h->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  // Cumulative: every bucket count <= the next, final bucket is the total.
+  double previous = 0.0;
+  for (std::size_t k = 0; k < buckets->size(); ++k) {
+    const double count = buckets->at(k).get_number("count", -1.0);
+    EXPECT_GE(count, previous);
+    previous = count;
+  }
+  EXPECT_DOUBLE_EQ(previous, 3.0);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("x");
+  first.inc();
+  Counter& again = registry.counter("x");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.value(), 1);
+}
+
+}  // namespace
+}  // namespace qbp::service

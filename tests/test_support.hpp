@@ -34,7 +34,9 @@ inline PartitionProblem make_tiny_problem(const TinySpec& spec) {
   Rng rng(spec.seed);
   Netlist netlist("tiny");
   for (std::int32_t j = 0; j < spec.num_components; ++j) {
-    netlist.add_component("c" + std::to_string(j), rng.next_double(0.5, 3.0));
+    std::string name = "c";
+    name += std::to_string(j);
+    netlist.add_component(name, rng.next_double(0.5, 3.0));
   }
   for (std::int32_t a = 0; a < spec.num_components; ++a) {
     for (std::int32_t b = a + 1; b < spec.num_components; ++b) {

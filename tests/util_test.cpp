@@ -7,6 +7,7 @@
 
 #include "util/cli.hpp"
 #include "util/flat_map.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -380,6 +381,94 @@ TEST(Timer, ResetRestartsClock) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   timer.reset();
   EXPECT_LT(timer.millis(), 15.0);
+}
+
+// --------------------------------------------------------------- json ----
+
+TEST(Json, ParsesEveryValueKind) {
+  json::Value value;
+  const auto parsed = json::parse(
+      R"({"b":true,"n":null,"i":42,"d":-2.5,"s":"hi\nthere","a":[1,2,3],)"
+      R"("o":{"nested":"yes"}})",
+      value);
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_TRUE(value.is_object());
+  EXPECT_EQ(value.get_bool("b", false), true);
+  EXPECT_TRUE(value.find("n")->is_null());
+  EXPECT_DOUBLE_EQ(value.get_number("i", 0), 42.0);
+  EXPECT_DOUBLE_EQ(value.get_number("d", 0), -2.5);
+  EXPECT_EQ(value.get_string("s", ""), "hi\nthere");
+  ASSERT_TRUE(value.find("a")->is_array());
+  EXPECT_EQ(value.find("a")->size(), 3u);
+  EXPECT_DOUBLE_EQ(value.find("a")->at(1).as_number(), 2.0);
+  EXPECT_EQ(value.find("o")->get_string("nested", ""), "yes");
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  json::Value original = json::Value::object();
+  original.set("name", "qbpartd");
+  original.set("count", 17);
+  original.set("ratio", 0.375);
+  json::Value list = json::Value::array();
+  list.push_back(1);
+  list.push_back("two");
+  list.push_back(json::Value{});  // null
+  original.set("list", std::move(list));
+
+  json::Value reparsed;
+  ASSERT_TRUE(json::parse(original.dump(), reparsed).ok);
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(Json, EscapesAndUnicode) {
+  json::Value value;
+  ASSERT_TRUE(json::parse(R"(["\u0041\u00e9\u4e2d", "\"\\\/\b\f\n\r\t"])",
+                          value)
+                  .ok);
+  EXPECT_EQ(value.at(0).as_string(), "A\xC3\xA9\xE4\xB8\xAD");
+  EXPECT_EQ(value.at(1).as_string(), "\"\\/\b\f\n\r\t");
+  // Serializing control characters escapes them back.
+  json::Value reparsed;
+  ASSERT_TRUE(json::parse(value.dump(), reparsed).ok);
+  EXPECT_EQ(value, reparsed);
+}
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  json::Value value;
+  ASSERT_TRUE(json::parse(R"("\ud83d\ude00")", value).ok);  // emoji U+1F600
+  EXPECT_EQ(value.as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(json::parse(R"("\ud83d")", value).ok);  // lone high surrogate
+}
+
+TEST(Json, MalformedInputsFailWithMessages) {
+  json::Value value;
+  const char* bad[] = {
+      "",           "{",           "[1,2",        "{\"a\":}",
+      "[1,]",       "01",          "1.2.3",       "\"unterminated",
+      "tru",        "nul",         "{\"a\" 1}",   "[1] trailing",
+      "{\"a\":1,}", "\"\\q\"",     "+1",          "nan",
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    const auto parsed = json::parse(text, value);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_FALSE(parsed.message.empty());
+  }
+}
+
+TEST(Json, DeeplyNestedInputRejectedNotOverflowed) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  json::Value value;
+  EXPECT_FALSE(json::parse(deep, value).ok);
+}
+
+TEST(Json, IntegersSerializeWithoutExponent) {
+  json::Value value = json::Value::array();
+  value.push_back(static_cast<std::int64_t>(1993));
+  value.push_back(1e15);
+  value.push_back(0.5);
+  EXPECT_EQ(value.dump(), "[1993,1000000000000000,0.5]");
 }
 
 }  // namespace
