@@ -21,6 +21,9 @@
 
 #include <unistd.h>
 
+#include <string>
+
+#include "core/validate.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -45,6 +48,8 @@ int main(int argc, char** argv) {
   double stats_interval = 0.0;
   bool pipe_mode = false;
   bool verbose = false;
+  bool validate = false;
+  std::string check_mode = "throw";
 
   qbp::CliParser cli("qbpartd",
                      "batch partitioning job server: NDJSON jobs in, "
@@ -58,6 +63,12 @@ int main(int argc, char** argv) {
   cli.add_double("stats-interval", stats_interval,
                  "emit a metrics JSON line on stderr every N seconds");
   cli.add_flag("verbose", verbose, "per-job lifecycle logs on stderr");
+  cli.add_flag("validate", validate,
+               "shadow-validate every job's results by default (jobs can "
+               "override with the per-job 'validate' flag)");
+  cli.add_string("check-mode", check_mode,
+                 "contract-violation behavior: throw (fail the job; "
+                 "default), abort (fail fast), count (log and continue)");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
   if (workers < 1 || queue_capacity < 1) {
     std::fprintf(stderr, "--workers and --queue must be >= 1\n");
@@ -67,6 +78,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--tcp out of range\n");
     return 1;
   }
+  qbp::check::FailMode fail_mode = qbp::check::FailMode::kThrow;
+  if (check_mode == "abort") {
+    fail_mode = qbp::check::FailMode::kAbort;
+  } else if (check_mode == "count") {
+    fail_mode = qbp::check::FailMode::kLogAndCount;
+  } else if (check_mode != "throw") {
+    std::fprintf(stderr, "--check-mode must be throw|abort|count\n");
+    return 1;
+  }
+  qbp::set_validation_enabled(validate);
   qbp::log::set_level(verbose ? qbp::log::Level::kInfo
                               : qbp::log::Level::kWarn);
 
@@ -84,6 +105,7 @@ int main(int argc, char** argv) {
   options.workers = static_cast<std::int32_t>(workers);
   options.queue_capacity = static_cast<std::size_t>(queue_capacity);
   options.stats_interval_s = stats_interval;
+  options.fail_mode = fail_mode;
   qbp::service::Server server(options);
 
   int exit_code = 0;

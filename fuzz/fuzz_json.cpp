@@ -1,0 +1,33 @@
+// Fuzz target for the hand-rolled strict JSON parser (util/json.hpp) -- the
+// first code that touches every byte a qbpartd client sends.
+//
+// Properties checked on every input:
+//   * json::parse never crashes on arbitrary bytes (depth cap, number
+//     parsing, escape handling);
+//   * accepted documents are dump/parse idempotent: dump() reparses, and
+//     dumping the reparse reproduces the same bytes (canonical form is a
+//     fixed point).
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  qbp::json::Value value;
+  if (const auto parsed = qbp::json::parse(text, value); !parsed.ok) {
+    return 0;  // rejected with a message: fine
+  }
+
+  const std::string canonical = value.dump();
+  qbp::json::Value reparsed;
+  if (const auto again = qbp::json::parse(canonical, reparsed); !again.ok) {
+    std::abort();  // dump() produced text our own parser rejects
+  }
+  if (reparsed.dump() != canonical) {
+    std::abort();  // canonical form is not a fixed point
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fuzz target for the .qp problem parser (core/problem_io.hpp) -- the
+// service boundary that qbpartd feeds with untrusted bytes.
+//
+// Properties checked on every input:
+//   * read_problem never crashes, never overflows, never aborts -- hostile
+//     bytes must come back as a descriptive ParseResult (the contract
+//     framework's construction-boundary checks fire as ContractViolation
+//     here, which would surface as an uncaught-exception crash);
+//   * accepted problems round-trip: write_problem output reparses cleanly
+//     to a problem with the same shape (serializer/parser stay in sync).
+//
+// Build modes (fuzz/CMakeLists.txt): libFuzzer under QBPART_SANITIZE=fuzzer,
+// a corpus-replay main otherwise (also registered as a ctest regression
+// test over fuzz/corpus/problem_io/).
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/problem_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  qbp::PartitionProblem problem;
+  {
+    std::istringstream in(text);
+    if (const auto parsed = qbp::read_problem(in, problem); !parsed.ok) {
+      return 0;  // rejected with a message: the expected hostile-input path
+    }
+  }
+
+  std::ostringstream serialized;
+  qbp::write_problem(serialized, problem);
+
+  qbp::PartitionProblem reparsed;
+  std::istringstream in(serialized.str());
+  if (const auto parsed = qbp::read_problem(in, reparsed); !parsed.ok) {
+    std::abort();  // an accepted problem must serialize to parseable text
+  }
+  if (reparsed.num_components() != problem.num_components() ||
+      reparsed.num_partitions() != problem.num_partitions() ||
+      reparsed.netlist().total_wires() != problem.netlist().total_wires()) {
+    std::abort();  // round-trip changed the problem's shape
+  }
+  return 0;
+}

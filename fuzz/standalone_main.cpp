@@ -1,0 +1,32 @@
+// Replay driver for builds without libFuzzer (GCC, or QBPART_SANITIZE !=
+// fuzzer): runs every file named on the command line through the target's
+// LLVMFuzzerTestOneInput once.  This keeps the fuzz targets compiling in
+// every configuration and doubles as the ctest corpus-regression runner --
+// checked-in crash reproducers must stay fixed forever.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int k = 1; k < argc; ++k) {
+    std::ifstream in(argv[k], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", argv[k]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %d input(s)\n", replayed);
+  return 0;
+}

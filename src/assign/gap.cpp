@@ -1,10 +1,11 @@
 #include "assign/gap.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <queue>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -130,8 +131,8 @@ double gap_lower_bound(const GapProblem& problem, std::int32_t iterations) {
 GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
   const std::int32_t m = problem.cost.rows();
   const std::int32_t n = problem.cost.cols();
-  assert(static_cast<std::size_t>(n) == problem.sizes.size());
-  assert(static_cast<std::size_t>(m) == problem.capacities.size());
+  QBP_CHECK_EQ(static_cast<std::size_t>(n), problem.sizes.size());
+  QBP_CHECK_EQ(static_cast<std::size_t>(m), problem.capacities.size());
 
   GapResult result;
   result.agent_of_item.assign(static_cast<std::size_t>(n), -1);

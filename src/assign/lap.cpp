@@ -1,14 +1,15 @@
 #include "assign/lap.hpp"
 
-#include <cassert>
 #include <limits>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
 LapResult solve_lap(const Matrix<double>& cost) {
   const std::int32_t n = cost.rows();
   const std::int32_t m = cost.cols();
-  assert(n <= m && "solve_lap requires rows() <= cols()");
+  QBP_CHECK_LE(n, m) << "solve_lap requires rows() <= cols()";
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
   // 1-based arrays in the classic formulation: p[j] = row matched to
@@ -42,7 +43,7 @@ LapResult solve_lap(const Matrix<double>& cost) {
           j1 = j;
         }
       }
-      assert(j1 != -1 && "augmenting path search exhausted all columns");
+      QBP_DCHECK(j1 != -1) << "augmenting path search exhausted all columns";
       for (std::int32_t j = 0; j <= m; ++j) {
         if (used[static_cast<std::size_t>(j)]) {
           u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;

@@ -1,11 +1,12 @@
 #include "baselines/gfm.hpp"
 
-#include <cassert>
 #include <queue>
 #include <vector>
 
 #include "partition/cost.hpp"
 #include "util/timer.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -33,9 +34,9 @@ struct HeapEntry {
 
 GfmResult solve_gfm(const PartitionProblem& problem, const Assignment& initial,
                     const GfmOptions& options) {
-  assert(initial.is_complete());
-  assert(problem.is_feasible(initial) &&
-         "GFM requires a feasible starting solution (Section 5)");
+  QBP_CHECK(initial.is_complete());
+  QBP_CHECK(problem.is_feasible(initial))
+      << "GFM requires a feasible starting solution (Section 5)";
 
   const Timer timer;
   const std::int32_t n = problem.num_components();

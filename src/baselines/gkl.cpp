@@ -1,9 +1,10 @@
 #include "baselines/gkl.hpp"
 
-#include <cassert>
 #include <vector>
 
 #include "util/timer.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -18,9 +19,9 @@ struct Swap {
 
 GklResult solve_gkl(const PartitionProblem& problem, const Assignment& initial,
                     const GklOptions& options) {
-  assert(initial.is_complete());
-  assert(problem.is_feasible(initial) &&
-         "GKL requires a feasible starting solution (Section 5)");
+  QBP_CHECK(initial.is_complete());
+  QBP_CHECK(problem.is_feasible(initial))
+      << "GKL requires a feasible starting solution (Section 5)";
 
   const Timer timer;
   const std::int32_t n = problem.num_components();

@@ -1,11 +1,12 @@
 #include "baselines/sa.hpp"
 
-#include <cassert>
 #include <cmath>
 
 #include "partition/cost.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -23,9 +24,9 @@ struct Proposal {
 
 SaResult solve_sa(const PartitionProblem& problem, const Assignment& initial,
                   const SaOptions& options) {
-  assert(initial.is_complete());
-  assert(problem.is_feasible(initial) &&
-         "SA requires a feasible starting solution");
+  QBP_CHECK(initial.is_complete());
+  QBP_CHECK(problem.is_feasible(initial))
+      << "SA requires a feasible starting solution";
 
   const Timer timer;
   const std::int32_t n = problem.num_components();

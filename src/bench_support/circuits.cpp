@@ -1,9 +1,10 @@
 #include "bench_support/circuits.hpp"
 
-#include <cassert>
 
 #include "netlist/generator.hpp"
 #include "timing/constraints.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -71,8 +72,8 @@ CircuitInstance make_circuit(const CircuitPreset& preset,
       PartitionProblem(std::move(generated.netlist), std::move(topology),
                        std::move(timing)),
       Assignment(std::move(generated.hidden_slot), kPartitions), preset};
-  assert(instance.problem.is_feasible(instance.hidden_placement) &&
-         "construction must guarantee a feasible reference placement");
+  QBP_CHECK(instance.problem.is_feasible(instance.hidden_placement))
+      << "construction must guarantee a feasible reference placement";
   return instance;
 }
 

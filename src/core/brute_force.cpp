@@ -1,19 +1,22 @@
 #include "core/brute_force.hpp"
 
-#include <cassert>
 #include <cmath>
 
 #include "core/qhat.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
 void enumerate_assignments(std::int32_t num_components,
                            std::int32_t num_partitions,
                            const std::function<void(const Assignment&)>& visit) {
-  assert(num_components >= 0 && num_partitions >= 1);
+  QBP_CHECK(num_components >= 0 && num_partitions >= 1)
+      << "brute force needs a sane shape (" << num_components << " components, "
+      << num_partitions << " partitions)";
   const double total = std::pow(num_partitions, num_components);
-  assert(total <= double(1 << 24) && "instance too large for brute force");
-  (void)total;
+  QBP_CHECK_LE(total, double(1 << 24))
+      << "instance too large for brute force";
 
   Assignment assignment(num_components, num_partitions);
   for (std::int32_t j = 0; j < num_components; ++j) assignment.set(j, 0);

@@ -1,6 +1,5 @@
 #include "core/burkard.hpp"
 
-#include <cassert>
 #include <cmath>
 
 #include "core/delta_evaluator.hpp"
@@ -8,6 +7,8 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -124,8 +125,8 @@ void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
 
 BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initial,
                         const BurkardOptions& options) {
-  assert(initial.num_components() == problem.num_components());
-  assert(initial.is_complete() && "the starting solution must satisfy C3");
+  QBP_CHECK_EQ(initial.num_components(), problem.num_components());
+  QBP_CHECK(initial.is_complete()) << "the starting solution must satisfy C3";
 
   const Timer timer;
   const QhatMatrix qhat(problem, options.penalty);
@@ -266,7 +267,7 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
 BurkardResult solve_qbp_multistart(const PartitionProblem& problem,
                                    std::int32_t starts, std::uint64_t seed,
                                    const BurkardOptions& options) {
-  assert(starts >= 1);
+  QBP_CHECK_GE(starts, 1);
   const Timer timer;
   Rng rng(seed);
   BurkardResult best;

@@ -1,9 +1,10 @@
 #include "core/delta_evaluator.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "partition/cost.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -94,7 +95,7 @@ DeltaEvaluator::DeltaEvaluator(const PartitionProblem& problem, double penalty)
       moved_at_(static_cast<std::size_t>(problem.num_components()), 0),
       rows_(static_cast<std::size_t>(problem.num_components())),
       deltas_(static_cast<std::size_t>(problem.num_partitions()), 0.0) {
-  assert(penalty >= 0.0);
+  QBP_CHECK_GE(penalty, 0.0);
 }
 
 double DeltaEvaluator::move_delta(const Assignment& assignment,

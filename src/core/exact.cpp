@@ -1,10 +1,11 @@
 #include "core/exact.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -168,7 +169,7 @@ class Search {
 
 ExactResult solve_exact(const PartitionProblem& problem,
                         const ExactOptions& options) {
-  assert(problem.validate().empty());
+  QBP_CHECK(problem.validate().empty()) << problem.validate();
   Search search(problem, options);
   return search.run();
 }

@@ -1,11 +1,12 @@
 #include "core/multilevel.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -122,7 +123,7 @@ CoarseProblem coarsen(const PartitionProblem& problem,
 
 Assignment uncoarsen(const CoarseProblem& coarse,
                      const Assignment& coarse_assignment) {
-  assert(coarse_assignment.num_components() == coarse.num_clusters);
+  QBP_CHECK_EQ(coarse_assignment.num_components(), coarse.num_clusters);
   Assignment fine(static_cast<std::int32_t>(coarse.cluster_of.size()),
                   coarse_assignment.num_partitions());
   for (std::size_t j = 0; j < coarse.cluster_of.size(); ++j) {

@@ -1,9 +1,10 @@
 #include "core/problem.hpp"
 
-#include <cassert>
 #include <sstream>
 
 #include "partition/cost.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -26,8 +27,8 @@ PartitionProblem::PartitionProblem(Netlist netlist, PartitionTopology topology,
 }
 
 std::vector<std::uint8_t> PartitionProblem::to_y(const Assignment& assignment) const {
-  assert(assignment.num_components() == num_components());
-  assert(assignment.is_complete());
+  QBP_CHECK_EQ(assignment.num_components(), num_components());
+  QBP_CHECK(assignment.is_complete());
   std::vector<std::uint8_t> y(static_cast<std::size_t>(flat_size()), 0);
   for (std::int32_t j = 0; j < num_components(); ++j) {
     y[static_cast<std::size_t>(flat_index(assignment[j], j))] = 1;
@@ -36,16 +37,17 @@ std::vector<std::uint8_t> PartitionProblem::to_y(const Assignment& assignment) c
 }
 
 Assignment PartitionProblem::from_y(const std::vector<std::uint8_t>& y) const {
-  assert(static_cast<std::int64_t>(y.size()) == flat_size());
+  QBP_CHECK_EQ(static_cast<std::int64_t>(y.size()), flat_size());
   Assignment assignment(num_components(), num_partitions());
   for (std::int64_t r = 0; r < flat_size(); ++r) {
     if (y[static_cast<std::size_t>(r)] != 0) {
-      assert(assignment[component_of(r)] == Assignment::kUnassigned &&
-             "y has more than one 1 in a component column (violates C3)");
+      QBP_CHECK(assignment[component_of(r)] == Assignment::kUnassigned)
+          << "y has more than one 1 in a component column (violates C3)";
       assignment.set(component_of(r), partition_of(r));
     }
   }
-  assert(assignment.is_complete() && "y misses a component (violates C3)");
+  QBP_CHECK(assignment.is_complete())
+      << "y misses a component (violates C3)";
   return assignment;
 }
 

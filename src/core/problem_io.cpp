@@ -20,6 +20,15 @@ namespace {
 // (2 * 8 MB at the cap); wire multiplicities accumulate into int32 totals.
 constexpr long long kMaxPartitions = 1024;
 constexpr long long kMaxWireMultiplicity = 1000000000;  // 1e9
+// Caps on the *totals*, not just per-line values: duplicate wire lines (and
+// repeated nets over the same pins) are combined by addition in
+// Netlist::finalize() / Csr::from_triplets, so per-pair multiplicities must
+// stay int32-safe after any amount of combining.  Capping the file-wide sum
+// at 1e9 (< INT32_MAX) makes overflow unreachable.  The bundle cap bounds
+// memory against nets with huge pin lists (a k-pin `net` expands to
+// k*(k-1)/2 stored bundles).
+constexpr long long kMaxTotalWires = kMaxWireMultiplicity;
+constexpr long long kMaxWireBundles = 4000000;
 
 ParseResult fail(int line_number, std::string_view what) {
   std::ostringstream out;
@@ -48,6 +57,9 @@ struct Builder {
   bool have_capacities = false;
   std::vector<Triplet<double>> constraints;
   std::vector<Triplet<double>> linear_entries;
+  // Running totals guarded by kMaxTotalWires / kMaxWireBundles.
+  long long total_wires = 0;
+  long long total_bundles = 0;
 };
 
 bool parse_metric(std::string_view token, CostKind& out) {
@@ -205,6 +217,15 @@ ParseResult read_problem(std::istream& in, PartitionProblem& out) {
           mult <= 0 || mult > kMaxWireMultiplicity) {
         return fail(line_number, "bad wire endpoints or multiplicity");
       }
+      builder.total_wires += mult;
+      if (builder.total_wires > kMaxTotalWires) {
+        return fail(line_number, "total wire multiplicity exceeds limit " +
+                                     std::to_string(kMaxTotalWires));
+      }
+      if (++builder.total_bundles > kMaxWireBundles) {
+        return fail(line_number, "too many wire bundles (limit " +
+                                     std::to_string(kMaxWireBundles) + ")");
+      }
       builder.netlist.add_wires(static_cast<ComponentId>(a),
                                 static_cast<ComponentId>(b),
                                 static_cast<std::int32_t>(mult));
@@ -231,6 +252,21 @@ ParseResult read_problem(std::istream& in, PartitionProblem& out) {
             return fail(line_number, "net lists a pin twice");
           }
         }
+      }
+      // Budget the expansion before performing it; checking pairs against
+      // the bundle cap first keeps pairs * weight within int64.
+      const auto npins = static_cast<long long>(pins.size());
+      const long long pairs =
+          keyword == "net" ? npins * (npins - 1) / 2 : npins - 1;
+      if (builder.total_bundles + pairs > kMaxWireBundles) {
+        return fail(line_number, "too many wire bundles (limit " +
+                                     std::to_string(kMaxWireBundles) + ")");
+      }
+      builder.total_bundles += pairs;
+      builder.total_wires += pairs * weight;
+      if (builder.total_wires > kMaxTotalWires) {
+        return fail(line_number, "total wire multiplicity exceeds limit " +
+                                     std::to_string(kMaxTotalWires));
       }
       if (keyword == "net") {
         for (std::size_t x = 0; x < pins.size(); ++x) {

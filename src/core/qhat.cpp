@@ -1,16 +1,17 @@
 #include "core/qhat.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "core/delta_evaluator.hpp"
 #include "partition/cost.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
 QhatMatrix::QhatMatrix(const PartitionProblem& problem, double penalty)
     : problem_(&problem), penalty_(penalty) {
-  assert(penalty > 0.0);
+  QBP_CHECK_GT(penalty, 0.0) << "Q-hat penalty must be positive";
 }
 
 bool QhatMatrix::violates(PartitionId i1, std::int32_t j1, PartitionId i2,
@@ -85,8 +86,8 @@ double QhatMatrix::swap_delta_penalized(const Assignment& assignment,
 void QhatMatrix::eta(const Assignment& u, std::span<double> eta) const {
   const std::int32_t m = problem_->num_partitions();
   const std::int32_t n = problem_->num_components();
-  assert(static_cast<std::int64_t>(eta.size()) == problem_->flat_size());
-  assert(u.is_complete());
+  QBP_DCHECK(static_cast<std::int64_t>(eta.size()) == problem_->flat_size());
+  QBP_DCHECK(u.is_complete());
 
   std::fill(eta.begin(), eta.end(), 0.0);
   const auto& adjacency = problem_->netlist().connection_matrix();
@@ -196,7 +197,7 @@ std::int64_t QhatMatrix::nominal_nonzeros() const {
 
 Matrix<double> QhatMatrix::materialize() const {
   const std::int64_t size = problem_->flat_size();
-  assert(size <= 4096 && "materialize() is for tiny test instances only");
+  QBP_CHECK_LE(size, 4096) << "materialize() is for tiny test instances only";
   Matrix<double> dense(static_cast<std::int32_t>(size),
                        static_cast<std::int32_t>(size), 0.0);
   for (std::int64_t r1 = 0; r1 < size; ++r1) {

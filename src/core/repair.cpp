@@ -1,9 +1,10 @@
 #include "core/repair.hpp"
 
-#include <cassert>
 #include <vector>
 
 #include "util/rng.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -31,7 +32,7 @@ std::int32_t conflicts_at(const PartitionProblem& problem,
 
 RepairResult repair_timing(const PartitionProblem& problem,
                            const Assignment& start, const RepairOptions& options) {
-  assert(start.is_complete());
+  QBP_CHECK(start.is_complete()) << "repair requires a complete assignment";
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
   const auto sizes = problem.netlist().sizes();

@@ -1,7 +1,6 @@
 #include "core/report.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -9,11 +8,13 @@
 #include "partition/cost.hpp"
 #include "util/strings.hpp"
 
+#include "util/check.hpp"
+
 namespace qbp {
 
 SolutionReport make_report(const PartitionProblem& problem,
                            const Assignment& assignment) {
-  assert(assignment.is_complete());
+  QBP_CHECK(assignment.is_complete());
   SolutionReport report;
 
   report.wirelength = problem.wirelength(assignment);

@@ -1,14 +1,16 @@
 #include "core/special_cases.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 
 namespace qbp {
 
 PartitionProblem make_qap_problem(const Matrix<std::int32_t>& flow,
                                   const Matrix<double>& distance) {
   const std::int32_t n = flow.rows();
-  assert(flow.cols() == n);
-  assert(distance.rows() == n && distance.cols() == n);
+  QBP_CHECK_EQ(flow.cols(), n);
+  QBP_CHECK(distance.rows() == n && distance.cols() == n)
+      << "distance matrix must be " << n << " x " << n;
 
   Netlist netlist("qap");
   for (std::int32_t j = 0; j < n; ++j) {
@@ -34,7 +36,7 @@ PartitionProblem make_qap_problem(const Matrix<std::int32_t>& flow,
 
 PartitionProblem make_lap_problem(const Matrix<double>& cost) {
   const std::int32_t n = cost.rows();
-  assert(cost.cols() == n);
+  QBP_CHECK_EQ(cost.cols(), n);
 
   Netlist netlist("lap");
   for (std::int32_t j = 0; j < n; ++j) {
@@ -56,8 +58,8 @@ PartitionProblem make_gap_problem(const Matrix<double>& cost,
                                   std::span<const double> capacities) {
   const std::int32_t m = cost.rows();
   const std::int32_t n = cost.cols();
-  assert(static_cast<std::size_t>(n) == sizes.size());
-  assert(static_cast<std::size_t>(m) == capacities.size());
+  QBP_CHECK_EQ(static_cast<std::size_t>(n), sizes.size());
+  QBP_CHECK_EQ(static_cast<std::size_t>(m), capacities.size());
 
   Netlist netlist("gap");
   for (std::int32_t j = 0; j < n; ++j) {

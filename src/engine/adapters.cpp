@@ -1,6 +1,5 @@
 #include "engine/adapters.hpp"
 
-#include <cassert>
 #include <utility>
 
 #include "core/initial.hpp"

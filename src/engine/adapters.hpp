@@ -31,6 +31,9 @@ class BurkardSolver final : public Solver {
   [[nodiscard]] SolverResult solve(const PartitionProblem& problem,
                                    const StartPoint& start,
                                    std::stop_token stop) const override;
+  [[nodiscard]] double penalized_with() const override {
+    return options_.penalty;
+  }
 
  private:
   BurkardOptions options_;
@@ -46,6 +49,10 @@ class MultilevelSolver final : public Solver {
   [[nodiscard]] SolverResult solve(const PartitionProblem& problem,
                                    const StartPoint& start,
                                    std::stop_token stop) const override;
+  /// The finest-level result comes from the refinement solver.
+  [[nodiscard]] double penalized_with() const override {
+    return options_.refine_solver.penalty;
+  }
 
  private:
   MultilevelOptions options_;
@@ -60,6 +67,11 @@ class GfmSolver final : public Solver {
   [[nodiscard]] SolverResult solve(const PartitionProblem& problem,
                                    const StartPoint& start,
                                    std::stop_token stop) const override;
+  /// Feasible-region walk: penalized == objective; the infeasible-start
+  /// fallback reports a kPaperPenalty-penalized value (the base default).
+  [[nodiscard]] double penalized_with() const override {
+    return kPaperPenalty;
+  }
 
  private:
   GfmOptions options_;
@@ -74,6 +86,11 @@ class GklSolver final : public Solver {
   [[nodiscard]] SolverResult solve(const PartitionProblem& problem,
                                    const StartPoint& start,
                                    std::stop_token stop) const override;
+  /// Feasible-region walk: penalized == objective; the infeasible-start
+  /// fallback reports a kPaperPenalty-penalized value (the base default).
+  [[nodiscard]] double penalized_with() const override {
+    return kPaperPenalty;
+  }
 
  private:
   GklOptions options_;
@@ -89,6 +106,11 @@ class SaSolver final : public Solver {
   [[nodiscard]] SolverResult solve(const PartitionProblem& problem,
                                    const StartPoint& start,
                                    std::stop_token stop) const override;
+  /// Feasible-region walk: penalized == objective; the infeasible-start
+  /// fallback reports a kPaperPenalty-penalized value (the base default).
+  [[nodiscard]] double penalized_with() const override {
+    return kPaperPenalty;
+  }
 
  private:
   SaOptions options_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cmath>
 #include <functional>
 #include <mutex>
@@ -10,6 +9,8 @@
 #include <string>
 #include <thread>
 
+#include "core/validate.hpp"
+#include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -37,12 +38,41 @@ StartPoint make_start(const PartitionProblem& problem, std::uint64_t master_seed
   return start;
 }
 
+/// Shadow-audit one completed start: recompute the reported numbers from
+/// scratch and cross-check the delta machinery, then route any mismatch
+/// through the contract framework (fail-mode aware).  Throws
+/// qbp::ContractViolation in throw mode; the worker catches it and turns
+/// the start into an errored slot.
+void audit_result(const PartitionProblem& problem, const Solver& solver,
+                  std::int32_t index, SolverResult& slot) {
+  ValidateOptions audit;
+  audit.penalty = solver.penalized_with();
+  ReportedOutcome outcome;
+  outcome.best = &slot.best;
+  outcome.best_penalized = slot.best_penalized;
+  if (slot.found_feasible) {
+    outcome.best_feasible = &slot.best_feasible;
+    outcome.best_feasible_objective = slot.best_feasible_objective;
+  }
+  ValidationReport report = validate_outcome(problem, outcome, audit);
+  if (slot.best.is_complete()) {
+    report.merge(validate_deltas(problem, slot.best, audit));
+  }
+  std::string context = "shadow validation failed for start ";
+  context += std::to_string(index);
+  context += " (";
+  context += slot.solver;
+  context += ")";
+  enforce(report, context);
+  slot.validated = true;
+}
+
 }  // namespace
 
 PortfolioResult Portfolio::run(const PartitionProblem& problem,
                                const Solver& solver,
                                std::int32_t starts) const {
-  assert(starts >= 0);
+  QBP_CHECK_GE(starts, 0);
   std::vector<const Solver*> list(static_cast<std::size_t>(starts), &solver);
   return run(problem, list);
 }
@@ -66,6 +96,7 @@ PortfolioResult Portfolio::run(
   threads = std::clamp(threads, 1, num_starts);
 
   const bool cancel_enabled = !std::isnan(options_.cancel_objective);
+  const bool validate_on = options_.validate.value_or(validation_enabled());
 
   std::vector<SolverResult> slots(static_cast<std::size_t>(num_starts));
   std::vector<std::uint8_t> ran(static_cast<std::size_t>(num_starts), 0);
@@ -98,9 +129,22 @@ PortfolioResult Portfolio::run(
       prefix += ' ';
       log::set_thread_prefix(std::move(prefix));
       const StartPoint start = make_start(problem, options_.seed, i);
-      slot = start_solvers[i]->solve(problem, start, cancel.get_token());
+      // Error containment: an uncaught exception in a jthread worker is
+      // std::terminate, so a throwing solve (or a shadow-audit violation in
+      // throw mode) must land in the slot, not escape.  The errored start
+      // is excluded from selection; the rest of the portfolio proceeds.
+      try {
+        slot = start_solvers[i]->solve(problem, start, cancel.get_token());
+        if (validate_on) audit_result(problem, *start_solvers[i], i, slot);
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+        if (slot.solver.empty()) {
+          slot.solver = std::string(start_solvers[i]->name());
+        }
+        log::error("portfolio start ", i, " failed: ", slot.error);
+      }
       ran[static_cast<std::size_t>(i)] = 1;
-      if (cancel_enabled && slot.found_feasible &&
+      if (cancel_enabled && slot.error.empty() && slot.found_feasible &&
           slot.best_feasible_objective <= options_.cancel_objective) {
         cancel.request_stop();
       }
@@ -124,7 +168,12 @@ PortfolioResult Portfolio::run(
     }
     ++result.starts_run;
     if (slot.cancelled) ++result.starts_cancelled;
+    if (slot.validated) ++result.starts_validated;
     result.seconds_total += slot.seconds;
+    if (!slot.error.empty()) {
+      ++result.starts_errored;
+      continue;  // never selectable
+    }
     if (result.best_start < 0 ||
         better_result(slot, slots[static_cast<std::size_t>(result.best_start)])) {
       result.best_start = i;

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
 #include <stop_token>
 #include <vector>
@@ -57,6 +58,13 @@ struct PortfolioOptions {
   /// fires keeps the determinism guarantee only for the starts that already
   /// completed.
   std::stop_token stop{};
+  /// Shadow-validate every completed start (core/validate.hpp): recompute
+  /// feasibility and objectives from scratch and cross-check the delta
+  /// machinery, firing a contract violation on mismatch.  nullopt defers to
+  /// the process default (qbp::validation_enabled(), i.e. the
+  /// QBPART_VALIDATE build option or set_validation_enabled()); the service
+  /// layer sets this per job.
+  std::optional<bool> validate;
 };
 
 struct PortfolioResult {
@@ -78,6 +86,8 @@ struct PortfolioResult {
   std::int32_t starts_run = 0;        // actually executed
   std::int32_t starts_cancelled = 0;  // executed but saw the stop token fire
   std::int32_t starts_skipped = 0;    // never started (early-cancel)
+  std::int32_t starts_errored = 0;    // threw (solve or audit); not selectable
+  std::int32_t starts_validated = 0;  // shadow-audited clean
   std::int32_t threads_used = 0;
 };
 

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/embedding.hpp"
 #include "core/problem.hpp"
 
 namespace qbp::engine {
@@ -69,6 +70,15 @@ struct SolverResult {
   double seconds = 0.0;
   /// The stop token fired while this run was in flight.
   bool cancelled = false;
+
+  /// Non-empty when the solve (or its shadow audit, under throw mode)
+  /// failed with an exception: carries the what() text.  Errored results
+  /// are excluded from portfolio selection and counted in starts_errored.
+  std::string error;
+  /// The shadow validator (core/validate.hpp) audited this result and found
+  /// no issue.  A failed audit lands in `error` (throw mode) or is logged
+  /// and counted (log-and-count mode) instead.
+  bool validated = false;
 };
 
 /// Strict "is `a` a better outcome than `b`" -- the selection rule every
@@ -103,6 +113,12 @@ class Solver {
                                    const StartPoint& start) const {
     return solve(problem, start, std::stop_token());
   }
+
+  /// The penalty this solver's best_penalized values are measured in
+  /// (y^T Qhat y with this embedded timing-violation cost).  The shadow
+  /// validator recomputes penalized values with the same constant, so
+  /// adapters with a configurable penalty must override.
+  [[nodiscard]] virtual double penalized_with() const { return kPaperPenalty; }
 };
 
 /// Build a solver by name: "qbp", "multilevel", "gfm", "gkl", "sa".

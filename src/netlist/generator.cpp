@@ -1,9 +1,10 @@
 #include "netlist/generator.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -48,9 +49,11 @@ std::vector<std::int32_t> balanced_hidden_placement(
 }  // namespace
 
 GeneratedNetlist generate_netlist(const RandomNetlistSpec& spec) {
-  assert(spec.num_components >= 2);
-  assert(spec.num_slots >= 1 && spec.grid_width >= 1);
-  assert(spec.total_wires >= spec.num_components - 1);
+  QBP_CHECK_GE(spec.num_components, 2);
+  QBP_CHECK(spec.num_slots >= 1 && spec.grid_width >= 1)
+      << "generator needs at least one slot and a positive grid width";
+  QBP_CHECK_GE(spec.total_wires, spec.num_components - 1)
+      << "too few wires to connect every component";
 
   Rng rng(spec.seed);
   Rng size_rng = rng.fork(1);
@@ -159,7 +162,7 @@ GeneratedNetlist generate_netlist(const RandomNetlistSpec& spec) {
   }
 
   result.netlist.finalize();
-  assert(result.netlist.total_wires() == spec.total_wires);
+  QBP_CHECK_EQ(result.netlist.total_wires(), spec.total_wires);
   return result;
 }
 

@@ -1,10 +1,11 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <sstream>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -14,8 +15,11 @@ ComponentId Netlist::add_component(std::string component_name, double size) {
 }
 
 void Netlist::add_wires(ComponentId a, ComponentId b, std::int32_t multiplicity) {
-  assert(a != b && "self-loop wires are not allowed");
-  assert(multiplicity > 0);
+  // Always-on: this is a boundary the parsers (problem_io, netlist/io) feed
+  // from untrusted bytes.  Under the server's throw mode a violation fails
+  // the one job instead of aborting the daemon.
+  QBP_CHECK_NE(a, b) << "self-loop wires are not allowed";
+  QBP_CHECK_GT(multiplicity, 0) << "wire multiplicity must be positive";
   if (a > b) std::swap(a, b);
   bundles_.push_back({a, b, multiplicity});
   bundles_dirty_ = true;

@@ -1,9 +1,10 @@
 #include "partition/assignment.hpp"
 
-#include <cassert>
 #include <sstream>
 
 #include "util/strings.hpp"
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -29,7 +30,8 @@ CapacityLedger::CapacityLedger(const Assignment& assignment,
                                std::span<const double> capacities)
     : usage_(capacities.size(), 0.0),
       capacity_(capacities.begin(), capacities.end()) {
-  assert(static_cast<std::size_t>(assignment.num_components()) == sizes.size());
+  QBP_CHECK_EQ(static_cast<std::size_t>(assignment.num_components()),
+               sizes.size());
   for (std::int32_t j = 0; j < assignment.num_components(); ++j) {
     const PartitionId p = assignment[j];
     if (p != Assignment::kUnassigned) {

@@ -1,12 +1,13 @@
 #include "partition/cost.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 
 namespace qbp {
 
 double wirelength(const Netlist& netlist, const PartitionTopology& topology,
                   const Assignment& assignment) {
-  assert(assignment.is_complete());
+  QBP_DCHECK(assignment.is_complete());
   const_cast<Netlist&>(netlist).finalize();
   double total = 0.0;
   for (const WireBundle& bundle : netlist.bundles()) {
@@ -18,7 +19,7 @@ double wirelength(const Netlist& netlist, const PartitionTopology& topology,
 
 double quadratic_cost(const Netlist& netlist, const PartitionTopology& topology,
                       const Assignment& assignment) {
-  assert(assignment.is_complete());
+  QBP_DCHECK(assignment.is_complete());
   const_cast<Netlist&>(netlist).finalize();
   double total = 0.0;
   for (const WireBundle& bundle : netlist.bundles()) {
@@ -33,11 +34,11 @@ double quadratic_cost(const Netlist& netlist, const PartitionTopology& topology,
 
 double linear_cost(const Matrix<double>& p, const Assignment& assignment) {
   if (p.empty()) return 0.0;
-  assert(p.cols() == assignment.num_components());
+  QBP_DCHECK(p.cols() == assignment.num_components());
   double total = 0.0;
   for (std::int32_t j = 0; j < assignment.num_components(); ++j) {
     const PartitionId partition = assignment[j];
-    assert(partition != Assignment::kUnassigned);
+    QBP_DCHECK(partition != Assignment::kUnassigned);
     total += p(partition, j);
   }
   return total;

@@ -1,6 +1,7 @@
 #include "partition/deviation.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 
 namespace qbp {
 
@@ -9,8 +10,8 @@ Matrix<double> deviation_cost_matrix(const PartitionTopology& topology,
                                      const Assignment& initial) {
   const std::int32_t m = topology.num_partitions();
   const std::int32_t n = initial.num_components();
-  assert(static_cast<std::size_t>(n) == sizes.size());
-  assert(initial.is_complete());
+  QBP_DCHECK(static_cast<std::size_t>(n) == sizes.size());
+  QBP_DCHECK(initial.is_complete());
   Matrix<double> p(m, n, 0.0);
   for (std::int32_t j = 0; j < n; ++j) {
     const PartitionId home = initial[j];
@@ -24,7 +25,7 @@ Matrix<double> deviation_cost_matrix(const PartitionTopology& topology,
 double total_deviation(const PartitionTopology& topology,
                        std::span<const double> sizes, const Assignment& initial,
                        const Assignment& current) {
-  assert(initial.num_components() == current.num_components());
+  QBP_DCHECK(initial.num_components() == current.num_components());
   double total = 0.0;
   for (std::int32_t j = 0; j < current.num_components(); ++j) {
     total += sizes[static_cast<std::size_t>(j)] *
@@ -35,7 +36,7 @@ double total_deviation(const PartitionTopology& topology,
 
 std::int32_t components_moved(const Assignment& initial,
                               const Assignment& current) {
-  assert(initial.num_components() == current.num_components());
+  QBP_DCHECK(initial.num_components() == current.num_components());
   std::int32_t moved = 0;
   for (std::int32_t j = 0; j < current.num_components(); ++j) {
     if (initial[j] != current[j]) ++moved;

@@ -1,14 +1,16 @@
 #include "partition/topology.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
 PartitionTopology PartitionTopology::grid(std::int32_t rows, std::int32_t cols,
                                           CostKind cost_kind, double capacity) {
-  assert(rows >= 1 && cols >= 1);
+  QBP_CHECK(rows >= 1 && cols >= 1)
+      << "grid topology needs at least a 1x1 grid";
   const std::int32_t m = rows * cols;
   PartitionTopology topo;
   topo.grid_cols_ = cols;
@@ -34,8 +36,10 @@ PartitionTopology PartitionTopology::custom(Matrix<double> wire_cost,
                                             Matrix<double> delay,
                                             std::vector<double> capacities) {
   const auto m = static_cast<std::int32_t>(capacities.size());
-  assert(wire_cost.rows() == m && wire_cost.cols() == m);
-  assert(delay.rows() == m && delay.cols() == m);
+  QBP_CHECK(wire_cost.rows() == m && wire_cost.cols() == m)
+      << "wire-cost matrix must be " << m << " x " << m;
+  QBP_CHECK(delay.rows() == m && delay.cols() == m)
+      << "delay matrix must be " << m << " x " << m;
   (void)m;
   PartitionTopology topo;
   topo.b_ = std::move(wire_cost);
@@ -46,7 +50,7 @@ PartitionTopology PartitionTopology::custom(Matrix<double> wire_cost,
 }
 
 void PartitionTopology::set_capacities(std::vector<double> capacities) {
-  assert(static_cast<std::int32_t>(capacities.size()) == num_partitions());
+  QBP_CHECK_EQ(static_cast<std::int32_t>(capacities.size()), num_partitions());
   capacities_ = std::move(capacities);
 }
 

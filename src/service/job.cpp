@@ -38,11 +38,17 @@ JobResult run_job(const Job& job) {
   const Timer timer;
 
   PartitionProblem problem;
-  {
+  try {
     std::istringstream in(job.problem_text);
     if (const auto parsed = read_problem(in, problem); !parsed.ok) {
       return error_result(job, "problem parse failed: " + parsed.message);
     }
+  } catch (const std::exception& failure) {
+    // Under the daemon's throw fail mode a contract violation at the parse
+    // boundary (netlist/csr/timing construction) surfaces here as
+    // qbp::ContractViolation: the job fails with a descriptive reason, the
+    // server survives.
+    return error_result(job, std::string("problem rejected: ") + failure.what());
   }
 
   const auto solver = make_spec_solver(job.solver);
@@ -55,6 +61,7 @@ JobResult run_job(const Job& job) {
   options.seed = job.solver.seed;
   options.threads = job.solver.threads;
   options.keep_start_results = false;
+  options.validate = job.solver.validate;  // absent = process default
   if (job.stop != nullptr) options.stop = job.stop->get_token();
 
   engine::PortfolioResult portfolio;
@@ -71,6 +78,7 @@ JobResult run_job(const Job& job) {
   result.id = job.id;
   result.solve_s = timer.seconds();
   result.starts_run = portfolio.starts_run;
+  result.starts_validated = portfolio.starts_validated;
 
   const StopCause cause = job.cause();
   const bool interrupted =
@@ -100,10 +108,14 @@ JobResult run_job(const Job& job) {
       result.status = best.found_feasible ? "ok" : "infeasible";
     }
   } else if (result.status.empty()) {
-    // No start ran at all and no stop cause recorded -- an empty portfolio,
-    // which the request validation should have prevented.
+    // Nothing selectable: either every start errored (solve threw, or the
+    // shadow audit failed under throw mode), or no start ran at all (an
+    // empty portfolio, which request validation should have prevented).
     result.status = "error";
-    result.reason = "no portfolio start ran";
+    result.reason = portfolio.starts_errored > 0
+                        ? "all " + std::to_string(portfolio.starts_errored) +
+                              " starts failed"
+                        : "no portfolio start ran";
   }
 
   log::info("job ", job.id, ": status=", result.status,

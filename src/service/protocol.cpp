@@ -77,6 +77,11 @@ ParseResult parse_request(std::string_view line, Request& out) {
     if (seed >= 0.0 && std::isfinite(seed)) {
       out.solver.seed = static_cast<std::uint64_t>(seed);
     }
+    if (const json::Value* validate = solver->find("validate");
+        validate != nullptr) {
+      if (!validate->is_bool()) return {false, "'validate' must be a boolean"};
+      out.solver.validate = validate->as_bool(false);
+    }
   }
 
   out.deadline_ms = value.get_number("deadline_ms", 0.0);
@@ -110,6 +115,9 @@ std::string format_request(const Request& request) {
     solver.set("threads", request.solver.threads);
     solver.set("iterations", request.solver.iterations);
     solver.set("seed", static_cast<std::int64_t>(request.solver.seed));
+    if (request.solver.validate.has_value()) {
+      solver.set("validate", *request.solver.validate);
+    }
     value.set("solver", std::move(solver));
     if (request.deadline_ms > 0.0) value.set("deadline_ms", request.deadline_ms);
     if (request.priority != 0) value.set("priority", request.priority);
@@ -137,6 +145,9 @@ json::Value result_to_json(const JobResult& result) {
   value.set("queue_wait_s", result.queue_wait_s);
   value.set("solve_s", result.solve_s);
   value.set("starts_run", result.starts_run);
+  if (result.starts_validated > 0) {
+    value.set("starts_validated", result.starts_validated);
+  }
   return value;
 }
 
@@ -156,6 +167,8 @@ ParseResult result_from_json(const json::Value& value, JobResult& out) {
   out.solve_s = value.get_number("solve_s", 0.0);
   out.starts_run =
       static_cast<std::int32_t>(value.get_number("starts_run", 0.0));
+  out.starts_validated =
+      static_cast<std::int32_t>(value.get_number("starts_validated", 0.0));
   if (const json::Value* assignment = value.find("assignment");
       assignment != nullptr && assignment->is_array()) {
     out.assignment.reserve(assignment->size());

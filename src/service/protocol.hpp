@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +53,10 @@ struct SolverSpec {
   std::int32_t threads = 1;       // portfolio worker threads for this job
   std::int32_t iterations = 100;  // QBP iteration budget (qbp method only)
   std::uint64_t seed = 1993;      // master seed; determinism anchor
+  /// Per-job shadow validation ("validate": true|false): every portfolio
+  /// start is re-verified from scratch (core/validate.hpp).  Absent =
+  /// follow the server's process default.
+  std::optional<bool> validate;
 };
 
 enum class RequestType { kSubmit, kCancel, kStats, kShutdown };
@@ -88,6 +93,8 @@ struct JobResult {
   double queue_wait_s = 0.0;
   double solve_s = 0.0;
   std::int32_t starts_run = 0;
+  /// Starts whose result passed the shadow audit (0 unless validation ran).
+  std::int32_t starts_validated = 0;
 };
 
 [[nodiscard]] json::Value result_to_json(const JobResult& result);

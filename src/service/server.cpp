@@ -52,8 +52,16 @@ Server::Server(ServerOptions options)
                                              Histogram::latency_bounds())),
       solve_seconds_(
           metrics_.histogram("solve_seconds", Histogram::latency_bounds())),
-      objective_(metrics_.histogram("objective")) {
+      objective_(metrics_.histogram("objective")),
+      contract_violations_(metrics_.counter("contract_violations")) {
   options_.workers = std::max<std::int32_t>(1, options_.workers);
+  // Contract framework wiring: violations fail one job, not the process,
+  // and every firing lands in the metrics snapshot.  Both settings are
+  // process-wide; one Server instance owns them at a time (the hook is
+  // uninstalled in the destructor).
+  check::set_fail_mode(options_.fail_mode);
+  check::set_violation_hook(
+      [this](std::string_view) { contract_violations_.inc(); });
   watchdog_ = std::thread([this] { watchdog_loop(); });
   if (options_.stats_interval_s > 0.0) {
     stats_thread_ = std::thread([this] { stats_loop(); });
@@ -63,6 +71,8 @@ Server::Server(ServerOptions options)
 
 Server::~Server() {
   drain();
+  // The hook captures `this`; detach it before the counter dies.
+  check::set_violation_hook({});
   {
     const std::lock_guard lock(deadline_mutex_);
     watchdog_exit_ = true;

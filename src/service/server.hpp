@@ -44,6 +44,7 @@
 #include "service/job.hpp"
 #include "service/metrics.hpp"
 #include "service/queue.hpp"
+#include "util/check.hpp"
 
 namespace qbp::service {
 
@@ -58,6 +59,13 @@ struct ServerOptions {
   /// Launch workers in the constructor.  Tests set this false and call
   /// start() after staging submissions, making pop order deterministic.
   bool autostart = true;
+  /// Contract-violation fail mode installed (process-wide) at construction.
+  /// The daemon default is throw: a violation -- hostile input reaching a
+  /// construction boundary, or a shadow-audit mismatch -- fails the one
+  /// offending job with a descriptive error and the server survives.
+  /// kAbort restores fail-fast; kLogAndCount audits without failing jobs.
+  /// Every violation in any mode bumps the `contract_violations` counter.
+  check::FailMode fail_mode = check::FailMode::kThrow;
 };
 
 class Server {
@@ -159,6 +167,7 @@ class Server {
   Histogram& queue_wait_seconds_;
   Histogram& solve_seconds_;
   Histogram& objective_;
+  Counter& contract_violations_;
 };
 
 /// Pipe / socket serve loops (POSIX).  Both read NDJSON requests until EOF,

@@ -9,10 +9,11 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -45,14 +46,14 @@ class Csr {
 
   /// Column indices of stored entries in `row`, ascending.
   [[nodiscard]] std::span<const std::int32_t> row_indices(std::int32_t row) const noexcept {
-    assert(row >= 0 && row < rows_);
+    QBP_DCHECK(row >= 0 && row < rows_);
     return {col_index_.data() + row_start_[row],
             static_cast<std::size_t>(row_start_[row + 1] - row_start_[row])};
   }
 
   /// Values of stored entries in `row`, parallel to row_indices().
   [[nodiscard]] std::span<const T> row_values(std::int32_t row) const noexcept {
-    assert(row >= 0 && row < rows_);
+    QBP_DCHECK(row >= 0 && row < rows_);
     return {values_.data() + row_start_[row],
             static_cast<std::size_t>(row_start_[row + 1] - row_start_[row])};
   }
@@ -124,16 +125,22 @@ class Csr {
 template <typename T>
 Csr<T> Csr<T>::from_triplets(std::int32_t rows, std::int32_t cols,
                              std::vector<Triplet<T>> triplets) {
-  assert(rows >= 0 && cols >= 0);
+  QBP_CHECK(rows >= 0 && cols >= 0)
+      << "Csr shape must be non-negative (" << rows << " x " << cols << ")";
   std::sort(triplets.begin(), triplets.end(),
             [](const Triplet<T>& a, const Triplet<T>& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
             });
-  // Combine duplicates by addition.
+  // Combine duplicates by addition.  The range checks stay on in release:
+  // triplets arrive from parsed (possibly hostile) inputs, and an
+  // out-of-range entry must surface as a contract violation, not a wild
+  // write when the CSR is later indexed.
   std::size_t out = 0;
   for (std::size_t k = 0; k < triplets.size(); ++k) {
-    assert(triplets[k].row >= 0 && triplets[k].row < rows);
-    assert(triplets[k].col >= 0 && triplets[k].col < cols);
+    QBP_CHECK(triplets[k].row >= 0 && triplets[k].row < rows)
+        << "triplet row " << triplets[k].row << " outside [0, " << rows << ")";
+    QBP_CHECK(triplets[k].col >= 0 && triplets[k].col < cols)
+        << "triplet col " << triplets[k].col << " outside [0, " << cols << ")";
     if (out > 0 && triplets[out - 1].row == triplets[k].row &&
         triplets[out - 1].col == triplets[k].col) {
       triplets[out - 1].value += triplets[k].value;
@@ -173,7 +180,7 @@ Csr<T> Csr<T>::transposed() const {
 
 template <typename T>
 Csr<T> Csr<T>::symmetrized() const {
-  assert(rows_ == cols_);
+  QBP_CHECK_EQ(rows_, cols_) << "symmetrized() requires a square matrix";
   std::vector<Triplet<T>> triplets;
   triplets.reserve(2 * nonzeros());
   for_each([&](std::int32_t r, std::int32_t c, const T& v) {

@@ -6,10 +6,11 @@
 // worked example (Section 3.3).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -23,7 +24,9 @@ class Matrix {
         cols_(cols),
         data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
               fill) {
-    assert(rows >= 0 && cols >= 0);
+    QBP_CHECK(rows >= 0 && cols >= 0)
+        << "Matrix shape must be non-negative (" << rows << " x " << cols
+        << ")";
   }
 
   /// Build from nested initializer-style data; every row must have `cols`
@@ -33,7 +36,9 @@ class Matrix {
     const std::int32_t c = r > 0 ? static_cast<std::int32_t>(rows.front().size()) : 0;
     Matrix matrix(r, c);
     for (std::int32_t i = 0; i < r; ++i) {
-      assert(static_cast<std::int32_t>(rows[static_cast<std::size_t>(i)].size()) == c);
+      QBP_CHECK_EQ(
+          static_cast<std::int32_t>(rows[static_cast<std::size_t>(i)].size()), c)
+          << "ragged row " << i << " in Matrix::from_rows";
       for (std::int32_t j = 0; j < c; ++j) {
         matrix(i, j) = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
       }
@@ -46,23 +51,23 @@ class Matrix {
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
   [[nodiscard]] T& operator()(std::int32_t row, std::int32_t col) noexcept {
-    assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    QBP_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
     return data_[static_cast<std::size_t>(row) * cols_ + col];
   }
 
   [[nodiscard]] const T& operator()(std::int32_t row, std::int32_t col) const noexcept {
-    assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    QBP_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
     return data_[static_cast<std::size_t>(row) * cols_ + col];
   }
 
   [[nodiscard]] std::span<T> row(std::int32_t r) noexcept {
-    assert(r >= 0 && r < rows_);
+    QBP_DCHECK(r >= 0 && r < rows_);
     return {data_.data() + static_cast<std::size_t>(r) * cols_,
             static_cast<std::size_t>(cols_)};
   }
 
   [[nodiscard]] std::span<const T> row(std::int32_t r) const noexcept {
-    assert(r >= 0 && r < rows_);
+    QBP_DCHECK(r >= 0 && r < rows_);
     return {data_.data() + static_cast<std::size_t>(r) * cols_,
             static_cast<std::size_t>(cols_)};
   }

@@ -1,18 +1,24 @@
 #include "timing/constraints.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "timing/timing_graph.hpp"
 #include "util/rng.hpp"
 
+#include "util/check.hpp"
+
 namespace qbp {
 
 void TimingConstraints::add(ComponentId j1, ComponentId j2, double max_delay) {
-  assert(j1 != j2);
-  assert(j1 >= 0 && j1 < num_components_ && j2 >= 0 && j2 < num_components_);
-  assert(max_delay >= 0.0 && std::isfinite(max_delay));
+  // Boundary checks stay on in release: constraints arrive from parsed
+  // problem files and the service protocol.
+  QBP_CHECK_NE(j1, j2) << "a timing constraint needs two distinct components";
+  QBP_CHECK(j1 >= 0 && j1 < num_components_ && j2 >= 0 && j2 < num_components_)
+      << "constraint endpoints (" << j1 << ", " << j2 << ") outside [0, "
+      << num_components_ << ")";
+  QBP_CHECK(max_delay >= 0.0 && std::isfinite(max_delay))
+      << "constraint bound must be finite and non-negative, got " << max_delay;
   if (j1 > j2) std::swap(j1, j2);
   pending_.push_back({j1, j2, max_delay});
   dirty_ = true;
@@ -113,8 +119,8 @@ TimingConstraints generate_timing_constraints(
     const Netlist& netlist, std::span<const std::int32_t> reference,
     const PartitionTopology& topology, const TimingSpec& spec) {
   const std::int32_t n = netlist.num_components();
-  assert(static_cast<std::size_t>(n) == reference.size());
-  assert(spec.target_count <= static_cast<std::int64_t>(n) * (n - 1) / 2);
+  QBP_CHECK_EQ(static_cast<std::size_t>(n), reference.size());
+  QBP_CHECK_LE(spec.target_count, static_cast<std::int64_t>(n) * (n - 1) / 2);
 
   Rng rng(spec.seed);
   Rng delay_rng = rng.fork(11);
@@ -222,7 +228,7 @@ TimingConstraints generate_timing_constraints(
     select_pair(a, b);
   }
 
-  assert(constraints.count() == spec.target_count);
+  QBP_CHECK_EQ(constraints.count(), spec.target_count);
   return constraints;
 }
 

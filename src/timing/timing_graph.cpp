@@ -1,8 +1,9 @@
 #include "timing/timing_graph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "util/check.hpp"
 
 namespace qbp {
 
@@ -10,7 +11,7 @@ TimingGraph TimingGraph::build(const Netlist& netlist,
                                std::span<const double> intrinsic_delay,
                                std::uint64_t seed) {
   const std::int32_t n = netlist.num_components();
-  assert(static_cast<std::size_t>(n) == intrinsic_delay.size());
+  QBP_CHECK_EQ(static_cast<std::size_t>(n), intrinsic_delay.size());
 
   TimingGraph graph;
   Rng rng(seed);

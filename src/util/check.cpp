@@ -1,0 +1,71 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace qbp::check {
+
+namespace {
+
+std::atomic<int> g_fail_mode{static_cast<int>(FailMode::kAbort)};
+std::atomic<std::uint64_t> g_violations{0};
+
+// The hook is set at process startup (qbpartd) or per test; reads happen on
+// the (cold) failure path only, so one mutex is plenty.
+std::mutex g_hook_mutex;
+ViolationHook g_hook;  // NOLINT(cert-err58-cpp) -- default ctor is noexcept
+
+}  // namespace
+
+void set_fail_mode(FailMode mode) noexcept {
+  g_fail_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+FailMode fail_mode() noexcept {
+  return static_cast<FailMode>(g_fail_mode.load(std::memory_order_relaxed));
+}
+
+void set_violation_hook(ViolationHook hook) {
+  const std::lock_guard lock(g_hook_mutex);
+  g_hook = std::move(hook);
+}
+
+std::uint64_t violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+Failure::Failure(const char* file, int line, const char* expression) {
+  stream_ << "contract violation at " << file << ":" << line << ": "
+          << expression << " ";
+}
+
+Failure::~Failure() noexcept(false) {
+  const std::string message = stream_.str();
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(g_hook_mutex);
+    if (g_hook) g_hook(message);
+  }
+  switch (fail_mode()) {
+    case FailMode::kThrow:
+      throw ContractViolation(message);
+    case FailMode::kLogAndCount:
+      log::error(message);
+      return;
+    case FailMode::kAbort:
+      break;
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace qbp::check

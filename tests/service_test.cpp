@@ -265,6 +265,36 @@ TEST(Server, EndToEndJobsProduceDeterministicResults) {
   }
 }
 
+TEST(Server, PerJobValidateFlagShadowAuditsEveryStart) {
+  // A submit carrying "validate": true must shadow-audit every start and
+  // report the count; one without the flag must not pay for the audit.
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  Server server(ServerOptions{});
+
+  Request audited;
+  audited.type = RequestType::kSubmit;
+  audited.id = "audited";
+  audited.problem_text = problem;
+  audited.solver.starts = 3;
+  audited.solver.iterations = 40;
+  audited.solver.validate = true;
+  server.handle_line(format_request(audited), log.sink());
+  server.handle_line(submit_line("plain", problem), log.sink());
+  server.drain();
+
+  auto results = log.results();
+  ASSERT_EQ(results.size(), 2u);
+  std::sort(results.begin(), results.end(),
+            [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+  EXPECT_EQ(results[0].id, "audited");
+  EXPECT_EQ(results[0].status, "ok");
+  EXPECT_EQ(results[0].starts_validated, 3);
+  EXPECT_EQ(results[1].id, "plain");
+  EXPECT_EQ(results[1].status, "ok");
+  EXPECT_EQ(results[1].starts_validated, 0);
+}
+
 TEST(Server, FifoWithinPriorityCompletionOrder) {
   const std::string problem = tiny_problem_text();
   ResponseLog log;
