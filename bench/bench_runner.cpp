@@ -1,0 +1,347 @@
+// Unified benchmark driver: runs every table/scaling experiment through
+// bench_support/experiment with one machine-readable output format, and
+// doubles as the CI bench-regression gate via --check.
+//
+//   bench_runner --suite all --json out.json          # full local baseline
+//   bench_runner --smoke --json out.json \
+//                --check bench/BENCH_smoke.json       # the CI gate
+//   bench_runner --smoke --profile                    # phase breakdown
+//
+// JSON schema (schema = 1):
+//   { "schema": 1, "mode": "smoke"|"full",
+//     "suites": { "table2": [row...], "table3": [row...],
+//                 "scaling": [{"n","wires","constraints","seconds",
+//                              "final","feasible"}...] },
+//     "phases": { "<phase>": {"seconds","count"}, ... } }     (--profile)
+//
+// --check BASELINE compares the current run against a baseline produced by
+// the same mode: objective values (start / per-method final / scaling final)
+// must match EXACTLY -- the solver is deterministic, so any drift means the
+// algorithm changed -- and wall-clock must satisfy
+//   new <= old * (1 + time_tolerance) + 0.1 s
+// (the absolute slack keeps sub-100ms smoke timings from tripping on noise).
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_support/circuits.hpp"
+#include "bench_support/experiment.hpp"
+#include "core/burkard.hpp"
+#include "core/initial.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/prof.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct RunnerConfig {
+  bool smoke = false;
+  double time_tolerance = 0.25;
+};
+
+struct ScalingRow {
+  std::int32_t n = 0;
+  std::int64_t wires = 0;
+  std::int64_t constraints = 0;
+  double seconds = 0.0;
+  double final_cost = 0.0;
+  bool feasible = false;
+};
+
+std::vector<qbp::ExperimentRow> run_table_suite(bool with_timing,
+                                                const RunnerConfig& config) {
+  qbp::ExperimentConfig experiment;
+  std::vector<std::string> circuits;
+  if (config.smoke) {
+    experiment.qbp_iterations = 30;
+    experiment.gkl_outer_loops = 3;
+    circuits = {"cktb"};
+  } else {
+    for (const auto& preset : qbp::shihkuh_presets())
+      circuits.push_back(preset.name);
+  }
+
+  std::vector<qbp::ExperimentRow> rows;
+  for (const auto& name : circuits) {
+    const qbp::CircuitPreset* preset = qbp::find_preset(name);
+    const auto instance = qbp::make_circuit(*preset);
+    // Shared start computed on the timing-constrained problem (Section 5);
+    // Table II then drops the constraints from the problem it solves.
+    const auto initial = qbp::make_initial(
+        instance.problem, qbp::InitialStrategy::kQbpZeroWireCost,
+        experiment.seed);
+    rows.push_back(qbp::run_experiment_from(
+        name,
+        with_timing ? instance.problem : instance.problem.without_timing(),
+        initial.assignment, initial.feasible, experiment));
+    std::fprintf(stderr, "  %s done\n", name.c_str());
+  }
+  return rows;
+}
+
+std::vector<ScalingRow> run_scaling_suite(const RunnerConfig& config) {
+  const std::vector<std::int32_t> sizes =
+      config.smoke ? std::vector<std::int32_t>{200, 400}
+                   : std::vector<std::int32_t>{200, 400, 800, 1600, 3200};
+  const std::int32_t iterations = config.smoke ? 10 : 30;
+
+  std::vector<ScalingRow> rows;
+  for (const std::int32_t n : sizes) {
+    const auto problem = qbp::make_scaling_problem(n, 7);
+    const auto initial = qbp::make_initial(
+        problem, qbp::InitialStrategy::kQbpZeroWireCost, 7);
+    const double start = problem.wirelength(initial.assignment);
+
+    qbp::BurkardOptions options;
+    options.iterations = iterations;
+    const qbp::Timer timer;
+    const auto result = qbp::solve_qbp(problem, initial.assignment, options);
+
+    ScalingRow row;
+    row.n = n;
+    row.wires = problem.netlist().total_wires();
+    row.constraints = problem.timing().count();
+    row.seconds = timer.seconds();
+    row.feasible = result.found_feasible;
+    row.final_cost = result.found_feasible
+                         ? problem.wirelength(result.best_feasible)
+                         : start;
+    rows.push_back(row);
+    std::fprintf(stderr, "  N=%d done (%.2fs)\n", n, row.seconds);
+  }
+  return rows;
+}
+
+qbp::json::Value scaling_to_json(const std::vector<ScalingRow>& rows) {
+  qbp::json::Value out = qbp::json::Value::array();
+  for (const auto& row : rows) {
+    qbp::json::Value entry = qbp::json::Value::object();
+    entry.set("n", static_cast<std::int64_t>(row.n));
+    entry.set("wires", row.wires);
+    entry.set("constraints", row.constraints);
+    entry.set("seconds", row.seconds);
+    entry.set("final", row.final_cost);
+    entry.set("feasible", row.feasible);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+// --- baseline comparison ---------------------------------------------------
+
+struct Gate {
+  double time_tolerance = 0.25;
+  int failures = 0;
+
+  void objective(const std::string& where, double baseline, double current) {
+    if (baseline == current) return;
+    std::fprintf(stderr,
+                 "GATE FAIL %s: objective changed (baseline %.6f, now %.6f)\n",
+                 where.c_str(), baseline, current);
+    ++failures;
+  }
+  void wall_clock(const std::string& where, double baseline, double current) {
+    const double limit = baseline * (1.0 + time_tolerance) + 0.1;
+    if (current <= limit) return;
+    std::fprintf(stderr,
+                 "GATE FAIL %s: time regressed (baseline %.3fs, limit %.3fs, "
+                 "now %.3fs)\n",
+                 where.c_str(), baseline, limit, current);
+    ++failures;
+  }
+  void missing(const std::string& what) {
+    std::fprintf(stderr, "GATE FAIL baseline is missing %s\n", what.c_str());
+    ++failures;
+  }
+};
+
+void check_table_suite(Gate& gate, const std::string& suite,
+                       const qbp::json::Value& baseline,
+                       const std::vector<qbp::ExperimentRow>& rows) {
+  for (const auto& row : rows) {
+    const qbp::json::Value* base_row = nullptr;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (baseline.at(i).get_string("circuit") == row.circuit) {
+        base_row = &baseline.at(i);
+        break;
+      }
+    }
+    const std::string where = suite + "/" + row.circuit;
+    if (base_row == nullptr) {
+      gate.missing(where);
+      continue;
+    }
+    gate.objective(where + "/start", base_row->get_number("start", -1.0),
+                   row.start_cost);
+    const auto method = [&](const char* name,
+                            const qbp::MethodOutcome& outcome) {
+      const qbp::json::Value* cell = base_row->find(name);
+      if (cell == nullptr) {
+        gate.missing(where + "/" + name);
+        return;
+      }
+      gate.objective(where + "/" + name + "/final",
+                     cell->get_number("final", -1.0), outcome.final_cost);
+      gate.wall_clock(where + "/" + name + "/cpu_s",
+                      cell->get_number("cpu_s", 0.0), outcome.cpu_seconds);
+    };
+    method("qbp", row.qbp);
+    method("gfm", row.gfm);
+    method("gkl", row.gkl);
+  }
+}
+
+void check_scaling_suite(Gate& gate, const qbp::json::Value& baseline,
+                         const std::vector<ScalingRow>& rows) {
+  for (const auto& row : rows) {
+    const qbp::json::Value* base_row = nullptr;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (static_cast<std::int32_t>(baseline.at(i).get_number("n", -1.0)) ==
+          row.n) {
+        base_row = &baseline.at(i);
+        break;
+      }
+    }
+    const std::string where = "scaling/N=" + std::to_string(row.n);
+    if (base_row == nullptr) {
+      gate.missing(where);
+      continue;
+    }
+    gate.objective(where + "/final", base_row->get_number("final", -1.0),
+                   row.final_cost);
+    gate.wall_clock(where + "/seconds", base_row->get_number("seconds", 0.0),
+                    row.seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunnerConfig config;
+  std::string json_path;
+  std::string check_path;
+  std::string suite = "all";
+  bool profile = false;
+
+  qbp::CliParser cli("bench_runner",
+                     "unified bench driver + CI regression gate");
+  cli.add_flag("smoke", config.smoke,
+               "reduced sizes/iterations for the CI gate");
+  cli.add_string("suite", suite, "table2|table3|scaling|all");
+  cli.add_string("json", json_path, "write machine-readable results here");
+  cli.add_string("check", check_path,
+                 "compare against this baseline JSON; exit 1 on regression");
+  cli.add_double("time-tolerance", config.time_tolerance,
+                 "relative wall-clock regression allowed by --check");
+  cli.add_flag("profile", profile,
+               "enable the phase profiler and report the breakdown");
+  if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+
+  if (suite != "all" && suite != "table2" && suite != "table3" &&
+      suite != "scaling") {
+    std::fprintf(stderr, "unknown --suite '%s'\n", suite.c_str());
+    return 2;
+  }
+  const auto want = [&](const char* name) {
+    return suite == "all" || suite == name;
+  };
+
+  if (profile) qbp::prof::set_enabled(true);
+
+  std::printf("bench_runner: mode=%s suite=%s\n",
+              config.smoke ? "smoke" : "full", suite.c_str());
+  qbp::json::Value suites = qbp::json::Value::object();
+  std::vector<qbp::ExperimentRow> table2;
+  std::vector<qbp::ExperimentRow> table3;
+  std::vector<ScalingRow> scaling;
+
+  if (want("table2")) {
+    std::fprintf(stderr, "suite table2 (no timing)\n");
+    table2 = run_table_suite(/*with_timing=*/false, config);
+    std::printf("%s\n",
+                qbp::format_table("Table II (no timing)", table2).c_str());
+    suites.set("table2", qbp::rows_to_json(table2));
+  }
+  if (want("table3")) {
+    std::fprintf(stderr, "suite table3 (with timing)\n");
+    table3 = run_table_suite(/*with_timing=*/true, config);
+    std::printf("%s\n",
+                qbp::format_table("Table III (with timing)", table3).c_str());
+    suites.set("table3", qbp::rows_to_json(table3));
+  }
+  if (want("scaling")) {
+    std::fprintf(stderr, "suite scaling\n");
+    scaling = run_scaling_suite(config);
+    qbp::TextTable table({"N", "solve (s)", "final", "feasible"});
+    for (const auto& row : scaling) {
+      table.add_row({std::to_string(row.n), qbp::format_double(row.seconds, 2),
+                     qbp::format_double(row.final_cost, 1),
+                     row.feasible ? "yes" : "no"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    suites.set("scaling", scaling_to_json(scaling));
+  }
+
+  qbp::json::Value out = qbp::json::Value::object();
+  out.set("schema", static_cast<std::int64_t>(1));
+  out.set("mode", config.smoke ? "smoke" : "full");
+  out.set("suites", std::move(suites));
+  if (profile) {
+    const qbp::prof::PhaseReport phases = qbp::prof::snapshot();
+    std::printf("%s\n", qbp::prof::to_string(phases).c_str());
+    out.set("phases", qbp::prof::to_json(phases));
+  }
+  if (!qbp::write_bench_json(json_path, out)) return 1;
+
+  if (check_path.empty()) return 0;
+
+  qbp::json::Value baseline;
+  std::string error;
+  if (!qbp::json::read_json_file(check_path, baseline, &error)) {
+    std::fprintf(stderr, "cannot read baseline: %s\n", error.c_str());
+    return 1;
+  }
+  const qbp::json::Value* base_suites = baseline.find("suites");
+  if (base_suites == nullptr) {
+    std::fprintf(stderr, "baseline has no \"suites\" member\n");
+    return 1;
+  }
+  if (baseline.get_string("mode") != (config.smoke ? "smoke" : "full")) {
+    std::fprintf(stderr, "baseline mode '%s' does not match this run\n",
+                 baseline.get_string("mode").c_str());
+    return 1;
+  }
+
+  Gate gate;
+  gate.time_tolerance = config.time_tolerance;
+  const auto suite_of = [&](const char* name) -> const qbp::json::Value* {
+    const qbp::json::Value* found = base_suites->find(name);
+    if (found == nullptr) gate.missing(std::string("suite ") + name);
+    return found;
+  };
+  if (want("table2")) {
+    if (const auto* base = suite_of("table2"))
+      check_table_suite(gate, "table2", *base, table2);
+  }
+  if (want("table3")) {
+    if (const auto* base = suite_of("table3"))
+      check_table_suite(gate, "table3", *base, table3);
+  }
+  if (want("scaling")) {
+    if (const auto* base = suite_of("scaling"))
+      check_scaling_suite(gate, *base, scaling);
+  }
+
+  if (gate.failures > 0) {
+    std::fprintf(stderr, "bench gate: %d failure(s) vs %s\n", gate.failures,
+                 check_path.c_str());
+    return 1;
+  }
+  std::printf("bench gate: OK vs %s (time tolerance %.0f%% + 0.1s)\n",
+              check_path.c_str(), gate.time_tolerance * 100.0);
+  return 0;
+}

@@ -8,43 +8,12 @@
 // GAP (its swap pass is worst-case quadratic), near-linear without it.
 #include <cstdio>
 
-#include <vector>
-
+#include "bench_support/circuits.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
-#include "netlist/generator.hpp"
-#include "timing/constraints.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
-
-namespace {
-
-qbp::PartitionProblem make_problem(std::int32_t n, std::uint64_t seed) {
-  qbp::RandomNetlistSpec spec;
-  spec.name = "scale" + std::to_string(n);
-  spec.num_components = n;
-  spec.total_wires = 6 * n;
-  spec.seed = seed;
-  auto generated = qbp::generate_netlist(spec);
-  auto topology = qbp::PartitionTopology::grid(4, 4, qbp::CostKind::kManhattan);
-  std::vector<double> usage(16, 0.0);
-  for (std::int32_t j = 0; j < n; ++j) {
-    usage[generated.hidden_slot[j]] += generated.netlist.component_size(j);
-  }
-  for (qbp::PartitionId i = 0; i < 16; ++i) {
-    topology.set_capacity(i, usage[i] * 1.15);
-  }
-  qbp::TimingSpec timing_spec;
-  timing_spec.target_count = 3 * n;
-  timing_spec.seed = seed ^ 0xabcd;
-  auto timing = qbp::generate_timing_constraints(
-      generated.netlist, generated.hidden_slot, topology, timing_spec);
-  return qbp::PartitionProblem(std::move(generated.netlist),
-                               std::move(topology), std::move(timing));
-}
-
-}  // namespace
 
 int main() {
   std::printf("Scaling: QBP whole-solve time vs circuit size "
@@ -53,7 +22,7 @@ int main() {
                         "ms / iteration", "final feasible", "improvement"});
 
   for (const std::int32_t n : {200, 400, 800, 1600, 3200}) {
-    const auto problem = make_problem(n, 7);
+    const auto problem = qbp::make_scaling_problem(n, 7);
     const auto initial = qbp::make_initial(
         problem, qbp::InitialStrategy::kQbpZeroWireCost, 7);
     const double start = problem.wirelength(initial.assignment);

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_support/circuits.hpp"
+#include "bench_support/experiment.hpp"
 #include "netlist/stats.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -59,13 +60,7 @@ int main(int argc, char** argv) {
     json_rows.push_back(std::move(entry));
   }
   std::printf("%s\n", table.render().c_str());
-  if (!json_path.empty()) {
-    if (!qbp::json::write_json_file(json_path, json_rows)) {
-      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
-      return 1;
-    }
-    std::printf("json rows written to %s\n", json_path.c_str());
-  }
+  if (!qbp::write_bench_json(json_path, json_rows)) return 1;
   std::printf("paper reference counts -- ckta: 339/8200/3464, cktb: 357/3017/1325,\n"
               "cktc: 545/12141/11545, cktd: 521/6309/6009, ckte: 380/3831/3760,\n"
               "cktf: 607/4809/4683, cktg: 472/3376/3376.  All matched exactly.\n");

@@ -32,10 +32,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", qbp::format_table("", rows).c_str());
   std::printf("csv:\n%s", qbp::rows_to_csv(rows).c_str());
-  if (!json_path.empty() &&
-      !qbp::json::write_json_file(json_path, qbp::rows_to_json(rows))) {
-    std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
-    return 1;
-  }
+  if (!qbp::write_bench_json(json_path, qbp::rows_to_json(rows))) return 1;
   return 0;
 }

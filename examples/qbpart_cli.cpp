@@ -27,6 +27,7 @@
 #include "core/report.hpp"
 #include "engine/engine.hpp"
 #include "util/cli.hpp"
+#include "util/prof.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   std::int64_t threads = 0;
   bool portfolio = false;
   bool quiet = false;
+  bool profile = false;
 
   qbp::CliParser cli("qbpart_cli",
                      "timing- and capacity-constrained partitioning from a "
@@ -101,7 +103,10 @@ int main(int argc, char** argv) {
   cli.add_string("emit-sample", emit_sample_path,
                  "write a sample problem file and exit");
   cli.add_flag("quiet", quiet, "suppress the capacity report");
+  cli.add_flag("profile", profile,
+               "time solver phases; the report gains a phase breakdown");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+  if (profile) qbp::prof::set_enabled(true);
   if (!emit_sample_path.empty()) return emit_sample(emit_sample_path);
   if (problem_path.empty()) {
     std::fprintf(stderr, "--problem is required (or --emit-sample)\n%s",

@@ -27,6 +27,7 @@
 #include "service/server.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/prof.hpp"
 
 namespace {
 
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
   bool pipe_mode = false;
   bool verbose = false;
   bool validate = false;
+  bool profile = false;
   std::string check_mode = "throw";
 
   qbp::CliParser cli("qbpartd",
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
   cli.add_string("check-mode", check_mode,
                  "contract-violation behavior: throw (fail the job; "
                  "default), abort (fail fast), count (log and continue)");
+  cli.add_flag("profile", profile,
+               "time solver phases; stats gain phase_seconds.* histograms");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
   if (workers < 1 || queue_capacity < 1) {
     std::fprintf(stderr, "--workers and --queue must be >= 1\n");
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   qbp::set_validation_enabled(validate);
+  qbp::prof::set_enabled(profile);
   qbp::log::set_level(verbose ? qbp::log::Level::kInfo
                               : qbp::log::Level::kWarn);
 

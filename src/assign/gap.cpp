@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "util/check.hpp"
+#include "util/prof.hpp"
 
 namespace qbp {
 
@@ -14,6 +15,22 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;
 constexpr double kCapTolerance = 1e-9;
+
+/// Column-major cost view: item j's M agent costs are contiguous at
+/// [j*M, (j+1)*M).  Every phase of the heuristic scans per-item agent costs,
+/// so this is the cache-friendly orientation; the Burkard flat vectors are
+/// already in this layout and bind zero-copy.
+struct ColCost {
+  const double* data = nullptr;
+  std::int32_t m = 0;
+
+  [[nodiscard]] const double* col(std::int32_t item) const noexcept {
+    return data + static_cast<std::size_t>(item) * static_cast<std::size_t>(m);
+  }
+  [[nodiscard]] double at(std::int32_t agent, std::int32_t item) const noexcept {
+    return col(item)[agent];
+  }
+};
 
 struct BestPair {
   std::int32_t best_agent = -1;
@@ -29,14 +46,17 @@ struct BestPair {
   }
 };
 
-BestPair best_agents(const GapProblem& problem, std::span<const double> slack,
-                     std::int32_t item) {
+/// Batched Martello-Toth profit evaluation for one item: a single contiguous
+/// scan over its M-entry cost column yields best and second-best feasible
+/// agents.
+BestPair best_agents(const ColCost& cost, std::span<const double> sizes,
+                     std::span<const double> slack, std::int32_t item) {
   BestPair best;
-  const std::int32_t m = problem.cost.rows();
-  const double size = problem.sizes[static_cast<std::size_t>(item)];
-  for (std::int32_t i = 0; i < m; ++i) {
+  const double* column = cost.col(item);
+  const double size = sizes[static_cast<std::size_t>(item)];
+  for (std::int32_t i = 0; i < cost.m; ++i) {
     if (slack[static_cast<std::size_t>(i)] + kCapTolerance < size) continue;
-    const double c = problem.cost(i, item);
+    const double c = column[i];
     if (c < best.best_cost ||
         (c == best.best_cost && best.best_agent >= 0 && i < best.best_agent)) {
       best.second_cost = best.best_cost;
@@ -55,7 +75,7 @@ double gap_cost(const GapProblem& problem,
                 std::span<const std::int32_t> agent_of_item) {
   double total = 0.0;
   for (std::size_t j = 0; j < agent_of_item.size(); ++j) {
-    total += problem.cost(agent_of_item[j], static_cast<std::int32_t>(j));
+    total += problem.cost_at(agent_of_item[j], static_cast<std::int32_t>(j));
   }
   return total;
 }
@@ -73,8 +93,8 @@ bool gap_feasible(const GapProblem& problem,
 }
 
 double gap_lower_bound(const GapProblem& problem, std::int32_t iterations) {
-  const std::int32_t m = problem.cost.rows();
-  const std::int32_t n = problem.cost.cols();
+  const std::int32_t m = problem.num_agents();
+  const std::int32_t n = problem.num_items();
   std::vector<double> lambda(static_cast<std::size_t>(m), 0.0);
   std::vector<double> usage(static_cast<std::size_t>(m), 0.0);
   double best_bound = -kInf;
@@ -84,7 +104,7 @@ double gap_lower_bound(const GapProblem& problem, std::int32_t iterations) {
   double cost_span = 0.0;
   for (std::int32_t i = 0; i < m; ++i) {
     for (std::int32_t j = 0; j < n; ++j) {
-      cost_span = std::max(cost_span, std::abs(problem.cost(i, j)));
+      cost_span = std::max(cost_span, std::abs(problem.cost_at(i, j)));
     }
   }
   if (cost_span == 0.0) cost_span = 1.0;
@@ -98,7 +118,7 @@ double gap_lower_bound(const GapProblem& problem, std::int32_t iterations) {
       std::int32_t best_agent = 0;
       double best_cost = kInf;
       for (std::int32_t i = 0; i < m; ++i) {
-        const double c = problem.cost(i, j) +
+        const double c = problem.cost_at(i, j) +
                          lambda[static_cast<std::size_t>(i)] *
                              problem.sizes[static_cast<std::size_t>(j)];
         if (c < best_cost) {
@@ -129,75 +149,96 @@ double gap_lower_bound(const GapProblem& problem, std::int32_t iterations) {
 }
 
 GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
-  const std::int32_t m = problem.cost.rows();
-  const std::int32_t n = problem.cost.cols();
+  const std::int32_t m = problem.num_agents();
+  const std::int32_t n = problem.num_items();
   QBP_CHECK_EQ(static_cast<std::size_t>(n), problem.sizes.size());
   QBP_CHECK_EQ(static_cast<std::size_t>(m), problem.capacities.size());
+
+  // Bind the column-major view; Matrix callers pay one transpose copy here,
+  // flat callers (the Burkard inner loop) bind zero-copy.
+  std::vector<double> transposed;
+  ColCost cost{problem.cost_flat.data(), m};
+  if (problem.cost_flat.empty()) {
+    transposed.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+    for (std::int32_t j = 0; j < n; ++j) {
+      for (std::int32_t i = 0; i < m; ++i) {
+        transposed[static_cast<std::size_t>(j) * static_cast<std::size_t>(m) +
+                   static_cast<std::size_t>(i)] = problem.cost(i, j);
+      }
+    }
+    cost.data = transposed.data();
+  }
+  const std::span<const double> sizes(problem.sizes);
 
   GapResult result;
   result.agent_of_item.assign(static_cast<std::size_t>(n), -1);
   std::vector<double> slack(problem.capacities.begin(), problem.capacities.end());
 
   // ---- Phase 1: max-regret construction (lazy priority queue). ----
-  struct HeapEntry {
-    double regret;
-    std::int32_t item;
-    bool operator<(const HeapEntry& other) const noexcept {
-      // max-heap on regret; deterministic tie-break on the smaller item id.
-      if (regret != other.regret) return regret < other.regret;
-      return item > other.item;
-    }
-  };
-  std::priority_queue<HeapEntry> heap;
-  std::vector<std::int32_t> hopeless;  // no feasible agent right now
-  for (std::int32_t j = 0; j < n; ++j) {
-    const BestPair best = best_agents(problem, slack, j);
-    if (best.best_agent < 0) {
-      hopeless.push_back(j);
-    } else {
-      heap.push({best.regret(), j});
-    }
-  }
-
-  const auto assign = [&](std::int32_t item, std::int32_t agent) {
-    result.agent_of_item[static_cast<std::size_t>(item)] = agent;
-    slack[static_cast<std::size_t>(agent)] -=
-        problem.sizes[static_cast<std::size_t>(item)];
-  };
-
-  while (!heap.empty()) {
-    const HeapEntry entry = heap.top();
-    heap.pop();
-    const std::int32_t j = entry.item;
-    if (result.agent_of_item[static_cast<std::size_t>(j)] >= 0) continue;
-    // Capacities may have changed since this key was computed: refresh.
-    const BestPair best = best_agents(problem, slack, j);
-    if (best.best_agent < 0) {
-      hopeless.push_back(j);
-      continue;
-    }
-    const double fresh = best.regret();
-    if (!heap.empty() && fresh + kEps < heap.top().regret) {
-      heap.push({fresh, j});  // someone else is more urgent now
-      continue;
-    }
-    assign(j, best.best_agent);
-  }
-
-  // Items with no capacity-feasible agent go to the agent with the most
-  // slack (cheapest such agent on ties); repair sorts it out below.
-  result.construction_failures = static_cast<std::int32_t>(hopeless.size());
-  for (const std::int32_t j : hopeless) {
-    std::int32_t chosen = 0;
-    for (std::int32_t i = 1; i < m; ++i) {
-      const double si = slack[static_cast<std::size_t>(i)];
-      const double sc = slack[static_cast<std::size_t>(chosen)];
-      if (si > sc + kEps ||
-          (std::abs(si - sc) <= kEps && problem.cost(i, j) < problem.cost(chosen, j))) {
-        chosen = i;
+  QBP_PROF_SCOPE("gap.solve");
+  {
+    QBP_PROF_SCOPE("gap.construct");
+    struct HeapEntry {
+      double regret;
+      std::int32_t item;
+      bool operator<(const HeapEntry& other) const noexcept {
+        // max-heap on regret; deterministic tie-break on the smaller item id.
+        if (regret != other.regret) return regret < other.regret;
+        return item > other.item;
+      }
+    };
+    std::priority_queue<HeapEntry> heap;
+    std::vector<std::int32_t> hopeless;  // no feasible agent right now
+    for (std::int32_t j = 0; j < n; ++j) {
+      const BestPair best = best_agents(cost, sizes, slack, j);
+      if (best.best_agent < 0) {
+        hopeless.push_back(j);
+      } else {
+        heap.push({best.regret(), j});
       }
     }
-    assign(j, chosen);
+
+    const auto assign = [&](std::int32_t item, std::int32_t agent) {
+      result.agent_of_item[static_cast<std::size_t>(item)] = agent;
+      slack[static_cast<std::size_t>(agent)] -=
+          problem.sizes[static_cast<std::size_t>(item)];
+    };
+
+    while (!heap.empty()) {
+      const HeapEntry entry = heap.top();
+      heap.pop();
+      const std::int32_t j = entry.item;
+      if (result.agent_of_item[static_cast<std::size_t>(j)] >= 0) continue;
+      // Capacities may have changed since this key was computed: refresh.
+      const BestPair best = best_agents(cost, sizes, slack, j);
+      if (best.best_agent < 0) {
+        hopeless.push_back(j);
+        continue;
+      }
+      const double fresh = best.regret();
+      if (!heap.empty() && fresh + kEps < heap.top().regret) {
+        heap.push({fresh, j});  // someone else is more urgent now
+        continue;
+      }
+      assign(j, best.best_agent);
+    }
+
+    // Items with no capacity-feasible agent go to the agent with the most
+    // slack (cheapest such agent on ties); repair sorts it out below.
+    result.construction_failures = static_cast<std::int32_t>(hopeless.size());
+    for (const std::int32_t j : hopeless) {
+      const double* column = cost.col(j);
+      std::int32_t chosen = 0;
+      for (std::int32_t i = 1; i < m; ++i) {
+        const double si = slack[static_cast<std::size_t>(i)];
+        const double sc = slack[static_cast<std::size_t>(chosen)];
+        if (si > sc + kEps ||
+            (std::abs(si - sc) <= kEps && column[i] < column[chosen])) {
+          chosen = i;
+        }
+      }
+      assign(j, chosen);
+    }
   }
 
   // ---- Phase 2: capacity repair. ----
@@ -205,6 +246,7 @@ GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
       options.max_repair_moves >= 0 ? options.max_repair_moves
                                     : 8 * static_cast<std::int64_t>(n);
   while (result.repair_moves < repair_budget) {
+    QBP_PROF_SCOPE("gap.repair");
     // Most-overflowing agent.
     std::int32_t worst = -1;
     double worst_overflow = kCapTolerance;
@@ -229,11 +271,12 @@ GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
     for (std::int32_t j = 0; j < n; ++j) {
       if (result.agent_of_item[static_cast<std::size_t>(j)] != worst) continue;
       const double size = problem.sizes[static_cast<std::size_t>(j)];
+      const double* column = cost.col(j);
       for (std::int32_t i = 0; i < m; ++i) {
         if (i == worst) continue;
         const double target_slack = slack[static_cast<std::size_t>(i)];
         if (target_slack + kCapTolerance >= size) {
-          const double delta = problem.cost(i, j) - problem.cost(worst, j);
+          const double delta = column[i] - column[worst];
           const double score = delta / size;
           if (score < move_score) {
             move_score = score;
@@ -260,17 +303,40 @@ GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
   }
 
   // ---- Phase 3: local improvement. ----
+  // The swap pass visits every item pair, so its four cost reads dominate
+  // the whole solve.  Two scratch arrays turn them into sequential streams:
+  // a row-major transpose (cost(a1, j2) contiguous in j2 for the scan's
+  // fixed a1) and the per-item assigned cost c(agent(j), j).  Values are
+  // copies of the same doubles, so results are bit-identical.
+  std::vector<double> row_major;
+  std::vector<double> assigned_cost;
+  std::vector<double> masked_column;
+  if (options.swap_improvement) {
+    row_major.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+    for (std::int32_t j = 0; j < n; ++j) {
+      const double* column = cost.col(j);
+      for (std::int32_t i = 0; i < m; ++i) {
+        row_major[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(j)] = column[i];
+      }
+    }
+    assigned_cost.resize(static_cast<std::size_t>(n));
+    masked_column.resize(static_cast<std::size_t>(m));
+  }
   for (int pass = 0; pass < options.improvement_passes; ++pass) {
+    QBP_PROF_SCOPE("gap.improve");
     bool improved = false;
     for (std::int32_t j = 0; j < n; ++j) {
       const std::int32_t from = result.agent_of_item[static_cast<std::size_t>(j)];
       const double size = problem.sizes[static_cast<std::size_t>(j)];
+      const double* column = cost.col(j);
+      const double from_cost = column[from];
       std::int32_t best_to = -1;
       double best_delta = -kEps;
       for (std::int32_t i = 0; i < m; ++i) {
         if (i == from) continue;
         if (slack[static_cast<std::size_t>(i)] + kCapTolerance < size) continue;
-        const double delta = problem.cost(i, j) - problem.cost(from, j);
+        const double delta = column[i] - from_cost;
         if (delta < best_delta) {
           best_delta = delta;
           best_to = i;
@@ -284,24 +350,63 @@ GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
       }
     }
     if (options.swap_improvement) {
+      QBP_PROF_SCOPE("gap.improve_swap");
+      std::int32_t* agent = result.agent_of_item.data();
+      for (std::int32_t j = 0; j < n; ++j) {
+        assigned_cost[static_cast<std::size_t>(j)] =
+            cost.col(j)[agent[j]];
+      }
+      // The O(N^2) pair scan is the hottest loop of the whole solver.  The
+      // inner body below is branch-light: the profitability test runs first
+      // over four sequential/L1 streams, and only the rare candidates pay the
+      // capacity checks.  Reordering the conjunction commits the exact same
+      // swaps (the conditions are independent of evaluation order), and the
+      // delta arithmetic keeps the original association, so results are
+      // bit-identical.  The same-agent case (j2 already on a1) is masked by
+      // an infinite cost entry instead of a branch: its delta becomes +inf
+      // and never passes the test.
       for (std::int32_t j1 = 0; j1 < n; ++j1) {
+        const double* column1 = cost.col(j1);
+        const double s1 = problem.sizes[static_cast<std::size_t>(j1)];
+        // j1's agent, cost, slack bound and cost row change only when a swap
+        // fires below; cache them across the inner scan, refresh on commit.
+        std::int32_t a1 = agent[j1];
+        double c11 = column1[a1];
+        double limit1 = slack[static_cast<std::size_t>(a1)] + s1 + kCapTolerance;
+        const double* row1 =
+            row_major.data() + static_cast<std::size_t>(a1) *
+                                   static_cast<std::size_t>(n);
+        double* masked = masked_column.data();
+        for (std::int32_t i = 0; i < m; ++i) masked[i] = column1[i];
+        masked[a1] = kInf;
         for (std::int32_t j2 = j1 + 1; j2 < n; ++j2) {
-          const std::int32_t a1 = result.agent_of_item[static_cast<std::size_t>(j1)];
-          const std::int32_t a2 = result.agent_of_item[static_cast<std::size_t>(j2)];
-          if (a1 == a2) continue;
-          const double s1 = problem.sizes[static_cast<std::size_t>(j1)];
+          // delta = cost(a1->a2 for j1) + cost(j2 on a1) - current pair cost,
+          // summed in the same order as the scalar formulation.
+          double delta = masked[agent[j2]];
+          delta += row1[j2];
+          delta -= c11;
+          delta -= assigned_cost[static_cast<std::size_t>(j2)];
+          if (!(delta < -kEps)) continue;
+          const std::int32_t a2 = agent[j2];
           const double s2 = problem.sizes[static_cast<std::size_t>(j2)];
-          if (slack[static_cast<std::size_t>(a1)] + s1 + kCapTolerance < s2) continue;
-          if (slack[static_cast<std::size_t>(a2)] + s2 + kCapTolerance < s1) continue;
-          const double delta = problem.cost(a2, j1) + problem.cost(a1, j2) -
-                               problem.cost(a1, j1) - problem.cost(a2, j2);
-          if (delta < -kEps) {
-            slack[static_cast<std::size_t>(a1)] += s1 - s2;
-            slack[static_cast<std::size_t>(a2)] += s2 - s1;
-            result.agent_of_item[static_cast<std::size_t>(j1)] = a2;
-            result.agent_of_item[static_cast<std::size_t>(j2)] = a1;
-            improved = true;
-          }
+          if (limit1 < s2) continue;
+          if (slack[static_cast<std::size_t>(a2)] + s2 + kCapTolerance < s1)
+            continue;
+          const double c12 = row1[j2];  // cost(a1, j2)
+          slack[static_cast<std::size_t>(a1)] += s1 - s2;
+          slack[static_cast<std::size_t>(a2)] += s2 - s1;
+          agent[j1] = a2;
+          agent[j2] = a1;
+          assigned_cost[static_cast<std::size_t>(j1)] = column1[a2];
+          assigned_cost[static_cast<std::size_t>(j2)] = c12;
+          improved = true;
+          a1 = a2;
+          c11 = column1[a1];
+          limit1 = slack[static_cast<std::size_t>(a1)] + s1 + kCapTolerance;
+          row1 = row_major.data() + static_cast<std::size_t>(a1) *
+                                        static_cast<std::size_t>(n);
+          for (std::int32_t i = 0; i < m; ++i) masked[i] = column1[i];
+          masked[a1] = kInf;
         }
       }
     }

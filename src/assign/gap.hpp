@@ -31,9 +31,35 @@
 namespace qbp {
 
 struct GapProblem {
-  Matrix<double> cost;             // M x N
+  /// M x N (row-major).  Ignored when `cost_flat` is set.
+  Matrix<double> cost;
+  /// Zero-copy alternative: the Burkard flat MN vector (r = i + j * M), i.e.
+  /// column-major with item j's M agent costs contiguous at [j*M, (j+1)*M).
+  /// This is the layout every solver phase scans, so the hot path consumes
+  /// it directly -- no reshape copy, no strided access.  `flat_agents` = M.
+  std::span<const double> cost_flat;
+  std::int32_t flat_agents = 0;
   std::vector<double> sizes;       // N, positive
   std::vector<double> capacities;  // M, non-negative
+
+  [[nodiscard]] std::int32_t num_agents() const noexcept {
+    return cost_flat.empty() ? cost.rows() : flat_agents;
+  }
+  [[nodiscard]] std::int32_t num_items() const noexcept {
+    if (cost_flat.empty()) return cost.cols();
+    return flat_agents > 0
+               ? static_cast<std::int32_t>(cost_flat.size() /
+                                           static_cast<std::size_t>(flat_agents))
+               : 0;
+  }
+  /// Cost of assigning `item` to `agent` under either representation.
+  [[nodiscard]] double cost_at(std::int32_t agent,
+                               std::int32_t item) const noexcept {
+    if (cost_flat.empty()) return cost(agent, item);
+    return cost_flat[static_cast<std::size_t>(item) *
+                         static_cast<std::size_t>(flat_agents) +
+                     static_cast<std::size_t>(agent)];
+  }
 };
 
 struct GapOptions {

@@ -77,4 +77,31 @@ CircuitInstance make_circuit(const CircuitPreset& preset,
   return instance;
 }
 
+PartitionProblem make_scaling_problem(std::int32_t n, std::uint64_t seed) {
+  RandomNetlistSpec spec;
+  spec.name = "scale" + std::to_string(n);
+  spec.num_components = n;
+  spec.total_wires = 6 * static_cast<std::int64_t>(n);
+  spec.seed = seed;
+  GeneratedNetlist generated = generate_netlist(spec);
+  PartitionTopology topology =
+      PartitionTopology::grid(4, 4, CostKind::kManhattan);
+  std::vector<double> usage(16, 0.0);
+  for (std::int32_t j = 0; j < n; ++j) {
+    usage[static_cast<std::size_t>(
+        generated.hidden_slot[static_cast<std::size_t>(j)])] +=
+        generated.netlist.component_size(j);
+  }
+  for (PartitionId i = 0; i < 16; ++i) {
+    topology.set_capacity(i, usage[static_cast<std::size_t>(i)] * 1.15);
+  }
+  TimingSpec timing_spec;
+  timing_spec.target_count = 3 * n;
+  timing_spec.seed = seed ^ 0xabcd;
+  TimingConstraints timing = generate_timing_constraints(
+      generated.netlist, generated.hidden_slot, topology, timing_spec);
+  return PartitionProblem(std::move(generated.netlist), std::move(topology),
+                          std::move(timing));
+}
+
 }  // namespace qbp

@@ -1,5 +1,6 @@
 #include "bench_support/experiment.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 #include "core/initial.hpp"
@@ -123,6 +124,16 @@ std::string rows_to_csv(const std::vector<ExperimentRow>& rows) {
         << "\n";
   }
   return out.str();
+}
+
+bool write_bench_json(const std::string& path, const json::Value& value) {
+  if (path.empty()) return true;
+  if (!json::write_json_file(path, value)) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "json written to %s\n", path.c_str());
+  return true;
 }
 
 json::Value rows_to_json(const std::vector<ExperimentRow>& rows) {

@@ -75,4 +75,11 @@ struct ExperimentRow {
 /// commits -- wall-clock fields aside.
 [[nodiscard]] json::Value rows_to_json(const std::vector<ExperimentRow>& rows);
 
+/// Shared --json tail of every bench binary: write `value` to `path`
+/// (no-op returning true when `path` is empty), printing a diagnostic to
+/// stderr on I/O failure.  Keeps the rows-to-file logic in one place
+/// instead of per bench target.
+[[nodiscard]] bool write_bench_json(const std::string& path,
+                                    const json::Value& value);
+
 }  // namespace qbp

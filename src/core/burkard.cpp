@@ -5,6 +5,7 @@
 #include "core/delta_evaluator.hpp"
 #include "core/qhat.hpp"
 #include "util/log.hpp"
+#include "util/prof.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -13,21 +14,6 @@
 namespace qbp {
 
 namespace {
-
-/// Reshape a flat MN cost vector into the M x N matrix a GAP solve expects
-/// (cost(i, j) = flat[i + j * M]).
-Matrix<double> reshape_cost(const PartitionProblem& problem,
-                            const std::vector<double>& flat) {
-  const std::int32_t m = problem.num_partitions();
-  const std::int32_t n = problem.num_components();
-  Matrix<double> cost(m, n, 0.0);
-  for (std::int32_t j = 0; j < n; ++j) {
-    for (std::int32_t i = 0; i < m; ++i) {
-      cost(i, j) = flat[static_cast<std::size_t>(problem.flat_index(i, j))];
-    }
-  }
-  return cost;
-}
 
 /// Greedy descent on the penalized objective: per round, a best-move sweep
 /// over every (component, partition) pair, then a first-improvement swap
@@ -74,6 +60,7 @@ void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
 
   const auto& adjacency = problem.netlist().connection_matrix();
   for (std::int32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    QBP_PROF_SCOPE("polish.sweep");
     bool improved = false;
 
     // Move sweep: best capacity-feasible improving move per component,
@@ -133,7 +120,11 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
   DeltaEvaluator evaluator(problem, options.penalty);
   const std::vector<double> omega = qhat.omega();  // STEP 2 bounds
 
+  // The flat eta / h vectors (r = i + j * M) are exactly the column-major
+  // layout the GAP heuristic scans, so they bind zero-copy via cost_flat --
+  // no per-iteration reshape allocation.
   GapProblem gap;
+  gap.flat_agents = problem.num_partitions();
   gap.sizes = problem.netlist().sizes();
   gap.capacities = problem.topology().capacities();
 
@@ -163,31 +154,43 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
 
   for (std::int32_t k = 1; k <= options.iterations; ++k) {
     // STEP 3: eta gather and xi.
-    qhat.eta(u, eta);
-    if (options.eta_includes_omega) {
-      for (std::int32_t j = 0; j < problem.num_components(); ++j) {
-        const std::int64_t r = problem.flat_index(u[j], j);
-        eta[static_cast<std::size_t>(r)] += omega[static_cast<std::size_t>(r)];
-      }
-    }
     double xi = 0.0;
-    for (std::int32_t j = 0; j < problem.num_components(); ++j) {
-      xi += omega[static_cast<std::size_t>(problem.flat_index(u[j], j))];
+    {
+      QBP_PROF_SCOPE("burkard.step3_eta");
+      qhat.eta(u, eta);
+      if (options.eta_includes_omega) {
+        for (std::int32_t j = 0; j < problem.num_components(); ++j) {
+          const std::int64_t r = problem.flat_index(u[j], j);
+          eta[static_cast<std::size_t>(r)] += omega[static_cast<std::size_t>(r)];
+        }
+      }
+      for (std::int32_t j = 0; j < problem.num_components(); ++j) {
+        xi += omega[static_cast<std::size_t>(problem.flat_index(u[j], j))];
+      }
     }
 
     // STEP 4: z = min_{u in S} eta . u  (a GAP; only the value is used).
-    gap.cost = reshape_cost(problem, eta);
-    const GapResult step4 = solve_gap(gap, options.gap_step4);
-    if (!step4.feasible) ++result.infeasible_inner_solves;
-    const double z = step4.cost;
+    double z = 0.0;
+    {
+      QBP_PROF_SCOPE("burkard.step4_gap");
+      gap.cost_flat = std::span<const double>(eta);
+      const GapResult step4 = solve_gap(gap, options.gap_step4);
+      if (!step4.feasible) ++result.infeasible_inner_solves;
+      z = step4.cost;
+    }
 
     // STEP 5: accumulate the normalized direction.
     const double scale = 1.0 / std::max(1.0, std::abs(z - xi));
     for (std::size_t r = 0; r < h.size(); ++r) h[r] += eta[r] * scale;
 
     // STEP 6: u(k+1) = argmin_{u in S} h . u.
-    gap.cost = reshape_cost(problem, h);
-    const GapResult step6 = solve_gap(gap, options.gap_step6);
+    std::optional<GapResult> step6_result;
+    {
+      QBP_PROF_SCOPE("burkard.step6_gap");
+      gap.cost_flat = std::span<const double>(h);
+      step6_result = solve_gap(gap, options.gap_step6);
+    }
+    const GapResult& step6 = *step6_result;
     if (!step6.feasible) ++result.infeasible_inner_solves;
     Assignment next(step6.agent_of_item, problem.num_partitions());
 

@@ -5,6 +5,7 @@
 #include "partition/cost.hpp"
 
 #include "util/check.hpp"
+#include "util/prof.hpp"
 
 namespace qbp {
 
@@ -92,7 +93,6 @@ double swap_delta_penalized(const PartitionProblem& problem, double penalty,
 DeltaEvaluator::DeltaEvaluator(const PartitionProblem& problem, double penalty)
     : problem_(&problem),
       penalty_(penalty),
-      moved_at_(static_cast<std::size_t>(problem.num_components()), 0),
       rows_(static_cast<std::size_t>(problem.num_components())),
       deltas_(static_cast<std::size_t>(problem.num_partitions()), 0.0) {
   QBP_CHECK_GE(penalty, 0.0);
@@ -123,23 +123,14 @@ double DeltaEvaluator::swap_delta(const Assignment& assignment,
                               component_b);
 }
 
-bool DeltaEvaluator::row_fresh(std::int32_t component, const Row& row) const {
-  if (!row.valid) return false;
-  // The row depends on the positions of the component's neighbors and
-  // timing partners only; the component's own position enters via the
-  // baseline subtraction in move_deltas, so its own moves keep the row hot.
+void DeltaEvaluator::mark_dependents_stale(std::int32_t component) {
   for (const std::int32_t other :
        problem_->netlist().connection_matrix().row_indices(component)) {
-    if (moved_at_[static_cast<std::size_t>(other)] > row.built_version) {
-      return false;
-    }
+    rows_[static_cast<std::size_t>(other)].valid = false;
   }
   for (const std::int32_t other : problem_->timing().partners(component)) {
-    if (moved_at_[static_cast<std::size_t>(other)] > row.built_version) {
-      return false;
-    }
+    rows_[static_cast<std::size_t>(other)].valid = false;
   }
-  return true;
 }
 
 void DeltaEvaluator::build_row(const Assignment& assignment,
@@ -200,12 +191,12 @@ void DeltaEvaluator::build_row(const Assignment& assignment,
 std::span<const double> DeltaEvaluator::move_deltas(const Assignment& assignment,
                                                     std::int32_t component) {
   Row& row = rows_[static_cast<std::size_t>(component)];
-  if (row_fresh(component, row)) {
+  if (row.valid) {
     ++hits_;
   } else {
+    QBP_PROF_SCOPE("delta.row_build");
     ++misses_;
     build_row(assignment, component, row);
-    row.built_version = version_;
     row.valid = true;
   }
   const double baseline =
@@ -219,7 +210,7 @@ std::span<const double> DeltaEvaluator::move_deltas(const Assignment& assignment
 void DeltaEvaluator::commit_move(Assignment& assignment, std::int32_t component,
                                  PartitionId target) {
   assignment.set(component, target);
-  moved_at_[static_cast<std::size_t>(component)] = ++version_;
+  mark_dependents_stale(component);
 }
 
 void DeltaEvaluator::commit_swap(Assignment& assignment,
@@ -228,14 +219,12 @@ void DeltaEvaluator::commit_swap(Assignment& assignment,
   const PartitionId pa = assignment[component_a];
   assignment.set(component_a, assignment[component_b]);
   assignment.set(component_b, pa);
-  ++version_;
-  moved_at_[static_cast<std::size_t>(component_a)] = version_;
-  moved_at_[static_cast<std::size_t>(component_b)] = version_;
+  mark_dependents_stale(component_a);
+  mark_dependents_stale(component_b);
 }
 
 void DeltaEvaluator::invalidate() {
-  ++version_;
-  std::fill(moved_at_.begin(), moved_at_.end(), version_);
+  for (Row& row : rows_) row.valid = false;
 }
 
 }  // namespace qbp

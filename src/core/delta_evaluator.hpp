@@ -15,12 +15,13 @@
 //     exists exactly once;
 //   * DeltaEvaluator adds per-component contribution caching on top: the
 //     full "incident cost of j by candidate partition" row is built once in
-//     O((deg_A(j) + deg_Dc(j)) * M) and each later delta against the same
-//     row costs O(1) after an O(degree) freshness check, while the row stays
-//     valid until a neighbor or timing partner of j moves.  Loops that
-//     scan all M targets of a component (the polish move sweep, FM-style
-//     gain updates) get their deltas at amortized O(degree) instead of
-//     O(degree * M).
+//     O((deg_A(j) + deg_Dc(j)) * M) and stays valid until a neighbor or
+//     timing partner of j moves.  Staleness is pushed at commit time (a
+//     commit marks the rows of the mover's neighbors and partners dirty in
+//     O(degree)), so the freshness check on every read is O(1) -- reads
+//     vastly outnumber commits in a polish sweep.  Loops that scan all M
+//     targets of a component (the polish move sweep, FM-style gain updates)
+//     get their deltas at amortized O(degree) instead of O(degree * M).
 //
 // The evaluator is not thread-safe; give each solver run its own instance
 // (they are cheap: O(N) bookkeeping plus rows built on demand).
@@ -101,19 +102,19 @@ class DeltaEvaluator {
     /// replacing a wire term whenever that direction violates its bound
     /// (penalized mode only).
     std::vector<double> incident;
-    std::uint64_t built_version = 0;
     bool valid = false;
   };
 
   void build_row(const Assignment& assignment, std::int32_t component, Row& row) const;
-  [[nodiscard]] bool row_fresh(std::int32_t component, const Row& row) const;
+  /// A commit of `component` invalidates the rows that depend on its
+  /// position: its neighbors' and timing partners' (never its own -- a row
+  /// does not depend on its own component's position).
+  void mark_dependents_stale(std::int32_t component);
 
   const PartitionProblem* problem_;
   double penalty_;
-  std::uint64_t version_ = 1;
-  std::vector<std::uint64_t> moved_at_;  // last-commit version per component
-  std::vector<Row> rows_;                // lazily built, one per component
-  std::vector<double> deltas_;           // scratch returned by move_deltas
+  std::vector<Row> rows_;       // lazily built, one per component
+  std::vector<double> deltas_;  // scratch returned by move_deltas
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

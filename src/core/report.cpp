@@ -71,6 +71,8 @@ SolutionReport make_report(const PartitionProblem& problem,
         if (slack == 0.0) ++report.critical_constraints;
       });
   if (!any_constraint) report.min_timing_slack = 0.0;
+
+  if (prof::enabled()) report.phases = prof::snapshot();
   return report;
 }
 
@@ -102,6 +104,7 @@ std::string to_string(const SolutionReport& report) {
     out << " d" << d << "=" << report.wires_at_distance[d];
   }
   out << "\n";
+  if (!report.phases.empty()) out << prof::to_string(report.phases);
   return out.str();
 }
 

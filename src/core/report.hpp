@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "util/prof.hpp"
 
 namespace qbp {
 
@@ -41,6 +42,12 @@ struct SolutionReport {
   double min_timing_slack = 0.0;
   /// Constraints with zero slack (met exactly) -- the critical set.
   std::int64_t critical_constraints = 0;
+
+  /// Where the run spent its time: the phase profiler's buckets at report
+  /// time (empty unless profiling is on -- see util/prof.hpp).  Snapshot
+  /// totals are process-wide, so a driver timing several runs should
+  /// prof::reset() between them.
+  prof::PhaseReport phases;
 };
 
 /// Build the report; `assignment` must be complete.

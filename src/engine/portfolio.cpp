@@ -12,6 +12,7 @@
 #include "core/validate.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/prof.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -134,6 +135,7 @@ PortfolioResult Portfolio::run(
       // throw mode) must land in the slot, not escape.  The errored start
       // is excluded from selection; the rest of the portfolio proceeds.
       try {
+        QBP_PROF_SCOPE("portfolio.start");
         slot = start_solvers[i]->solve(problem, start, cancel.get_token());
         if (validate_on) audit_result(problem, *start_solvers[i], i, slot);
       } catch (const std::exception& e) {

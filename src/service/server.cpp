@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "util/log.hpp"
+#include "util/prof.hpp"
 #include "util/strings.hpp"
 
 namespace qbp::service {
@@ -276,6 +277,20 @@ void Server::worker_loop(std::int32_t worker_index) {
       job.fire_stop(StopCause::kDeadline);
       result.id = job.id;
       result.status = "deadline_exceeded";
+    } else if (prof::enabled()) {
+      // Bracket the solve with two profiler snapshots and feed the per-phase
+      // deltas into the stats surface.  Snapshots are process-wide, so with
+      // several busy workers a job's delta includes its neighbors' phases --
+      // exact with --workers 1, an aggregate load profile otherwise.
+      const prof::PhaseReport before = prof::snapshot();
+      result = run_job(job);
+      for (const prof::PhaseStat& stat :
+           prof::snapshot().since(before).phases) {
+        metrics_
+            .histogram("phase_seconds." + stat.name,
+                       Histogram::latency_bounds())
+            .observe(stat.seconds);
+      }
     } else {
       result = run_job(job);
     }

@@ -409,4 +409,25 @@ bool write_json_file(const std::string& path, const Value& value) {
   return static_cast<bool>(out);
 }
 
+bool read_json_file(const std::string& path, Value& out,
+                    std::string* out_error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (out_error != nullptr) *out_error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) {
+    if (out_error != nullptr) *out_error = "read error on '" + path + "'";
+    return false;
+  }
+  const JsonParseResult parsed = parse(text.str(), out);
+  if (!parsed.ok) {
+    if (out_error != nullptr) *out_error = path + ": " + parsed.message;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace qbp::json

@@ -127,4 +127,9 @@ void append_quoted(std::string& out, std::string_view text);
 /// failure.
 [[nodiscard]] bool write_json_file(const std::string& path, const Value& value);
 
+/// Read and parse one JSON document from a file; false on I/O or parse
+/// failure (error details in `out_error` when non-null).
+[[nodiscard]] bool read_json_file(const std::string& path, Value& out,
+                                  std::string* out_error = nullptr);
+
 }  // namespace qbp::json

@@ -1,0 +1,240 @@
+#include "util/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+namespace qbp::prof {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+[[nodiscard]] std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One thread's accumulation, indexed by PhaseId.  Counters are relaxed
+/// atomics because snapshot() reads them from other threads while the owner
+/// keeps adding; the deque gives stable addresses so growth never moves a
+/// bucket under a concurrent reader.  `mutex` guards the deque's *structure*
+/// (growth vs. traversal), never the counter updates themselves.
+struct ThreadBuckets {
+  struct Bucket {
+    std::atomic<std::int64_t> ns{0};
+    std::atomic<std::int64_t> count{0};
+  };
+
+  mutable std::mutex mutex;
+  std::deque<Bucket> buckets;
+
+  void record(PhaseId id, std::int64_t ns) noexcept {
+    const auto index = static_cast<std::size_t>(id);
+    if (index >= buckets.size()) {
+      const std::scoped_lock lock(mutex);
+      while (buckets.size() <= index) buckets.emplace_back();
+    }
+    buckets[index].ns.fetch_add(ns, std::memory_order_relaxed);
+    buckets[index].count.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Process-wide registry: interned names, live threads, and the summed
+/// buckets of threads that have exited.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> names;
+  std::vector<ThreadBuckets*> threads;
+  std::vector<std::int64_t> retired_ns;
+  std::vector<std::int64_t> retired_count;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: worker
+  return *instance;  // threads may outlive static teardown order
+}
+
+/// Registers itself for the thread's lifetime; on thread exit the counts
+/// fold into the registry's retired totals so no samples are lost.
+struct ThreadHandle {
+  ThreadBuckets buckets;
+
+  ThreadHandle() {
+    Registry& reg = registry();
+    const std::scoped_lock lock(reg.mutex);
+    reg.threads.push_back(&buckets);
+  }
+
+  ~ThreadHandle() {
+    Registry& reg = registry();
+    const std::scoped_lock lock(reg.mutex);
+    if (reg.retired_ns.size() < buckets.buckets.size()) {
+      reg.retired_ns.resize(buckets.buckets.size(), 0);
+      reg.retired_count.resize(buckets.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < buckets.buckets.size(); ++i) {
+      reg.retired_ns[i] += buckets.buckets[i].ns.load(std::memory_order_relaxed);
+      reg.retired_count[i] +=
+          buckets.buckets[i].count.load(std::memory_order_relaxed);
+    }
+    std::erase(reg.threads, &buckets);
+  }
+};
+
+ThreadBuckets& thread_buckets() {
+  thread_local ThreadHandle handle;
+  return handle.buckets;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() noexcept {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  std::fill(reg.retired_ns.begin(), reg.retired_ns.end(), 0);
+  std::fill(reg.retired_count.begin(), reg.retired_count.end(), 0);
+  for (ThreadBuckets* thread : reg.threads) {
+    const std::scoped_lock thread_lock(thread->mutex);
+    for (auto& bucket : thread->buckets) {
+      bucket.ns.store(0, std::memory_order_relaxed);
+      bucket.count.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+PhaseId register_phase(std::string_view name) {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  for (std::size_t i = 0; i < reg.names.size(); ++i) {
+    if (reg.names[i] == name) return static_cast<PhaseId>(i);
+  }
+  reg.names.emplace_back(name);
+  return static_cast<PhaseId>(reg.names.size() - 1);
+}
+
+ScopedPhase::ScopedPhase(PhaseId id) noexcept {
+  if (!enabled()) return;
+  id_ = id;
+  start_ns_ = now_ns();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (id_ < 0) return;
+  thread_buckets().record(id_, now_ns() - start_ns_);
+}
+
+PhaseReport snapshot() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  std::vector<std::int64_t> ns(reg.names.size(), 0);
+  std::vector<std::int64_t> count(reg.names.size(), 0);
+  for (std::size_t i = 0; i < reg.retired_ns.size() && i < ns.size(); ++i) {
+    ns[i] = reg.retired_ns[i];
+    count[i] = reg.retired_count[i];
+  }
+  for (const ThreadBuckets* thread : reg.threads) {
+    const std::scoped_lock thread_lock(thread->mutex);
+    for (std::size_t i = 0; i < thread->buckets.size() && i < ns.size(); ++i) {
+      ns[i] += thread->buckets[i].ns.load(std::memory_order_relaxed);
+      count[i] += thread->buckets[i].count.load(std::memory_order_relaxed);
+    }
+  }
+
+  PhaseReport report;
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (count[i] == 0) continue;
+    report.phases.push_back(
+        {reg.names[i], static_cast<double>(ns[i]) * 1e-9, count[i]});
+  }
+  std::sort(report.phases.begin(), report.phases.end(),
+            [](const PhaseStat& a, const PhaseStat& b) { return a.name < b.name; });
+  return report;
+}
+
+const PhaseStat* PhaseReport::find(std::string_view name) const noexcept {
+  for (const PhaseStat& stat : phases) {
+    if (stat.name == name) return &stat;
+  }
+  return nullptr;
+}
+
+double PhaseReport::seconds(std::string_view name) const noexcept {
+  const PhaseStat* stat = find(name);
+  return stat != nullptr ? stat->seconds : 0.0;
+}
+
+PhaseReport PhaseReport::since(const PhaseReport& earlier) const {
+  PhaseReport delta;
+  for (const PhaseStat& stat : phases) {
+    PhaseStat diff = stat;
+    if (const PhaseStat* base = earlier.find(stat.name)) {
+      diff.seconds = std::max(0.0, diff.seconds - base->seconds);
+      diff.count = std::max<std::int64_t>(0, diff.count - base->count);
+    }
+    if (diff.count > 0 || diff.seconds > 0.0) delta.phases.push_back(diff);
+  }
+  return delta;
+}
+
+json::Value to_json(const PhaseReport& report) {
+  json::Value out = json::Value::object();
+  for (const PhaseStat& stat : report.phases) {
+    json::Value entry = json::Value::object();
+    entry.set("seconds", stat.seconds);
+    entry.set("count", stat.count);
+    out.set(stat.name, std::move(entry));
+  }
+  return out;
+}
+
+std::optional<PhaseReport> from_json(const json::Value& value) {
+  if (!value.is_object()) return std::nullopt;
+  PhaseReport report;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const std::string& name = value.key_at(i);
+    const json::Value* entry = value.find(name);
+    if (entry == nullptr || !entry->is_object()) return std::nullopt;
+    const json::Value* seconds = entry->find("seconds");
+    const json::Value* count = entry->find("count");
+    if (seconds == nullptr || !seconds->is_number() || count == nullptr ||
+        !count->is_number()) {
+      return std::nullopt;
+    }
+    report.phases.push_back({name, seconds->as_number(),
+                             static_cast<std::int64_t>(count->as_number())});
+  }
+  std::sort(report.phases.begin(), report.phases.end(),
+            [](const PhaseStat& a, const PhaseStat& b) { return a.name < b.name; });
+  return report;
+}
+
+std::string to_string(const PhaseReport& report) {
+  std::vector<const PhaseStat*> order;
+  order.reserve(report.phases.size());
+  for (const PhaseStat& stat : report.phases) order.push_back(&stat);
+  std::sort(order.begin(), order.end(),
+            [](const PhaseStat* a, const PhaseStat* b) {
+              if (a->seconds != b->seconds) return a->seconds > b->seconds;
+              return a->name < b->name;
+            });
+  std::ostringstream out;
+  out << "phase breakdown (seconds, calls):\n";
+  for (const PhaseStat* stat : order) {
+    out << "  " << stat->seconds << "  x" << stat->count << "  " << stat->name
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qbp::prof

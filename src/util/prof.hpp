@@ -1,0 +1,118 @@
+// Lightweight phase profiler: scoped wall-clock timers accumulated into
+// named phase buckets (e.g. "burkard.step6_gap", "delta.row_build").
+//
+// Design constraints, in order:
+//
+//   1. Near-zero overhead when disabled (the default).  QBP_PROF_SCOPE in a
+//      hot loop costs one relaxed atomic load and a predictable branch; no
+//      clock read, no allocation, no lock.
+//   2. Thread-local accumulation.  Portfolio workers time their own starts
+//      without contending on shared counters; snapshot() merges every
+//      thread's buckets (live and exited) into one report.
+//   3. Stable identity.  QBP_PROF_SCOPE interns its name once (a
+//      function-local static), so the per-scope work while enabled is two
+//      clock reads plus two relaxed atomic adds -- cheap enough to leave the
+//      instrumentation in release builds permanently.
+//
+// Nested scopes each accumulate their own bucket: a parent phase's seconds
+// INCLUDE time spent in instrumented child phases (self time is
+// parent - children, computed by the reader).  Reports round-trip through
+// util/json for the bench_runner dumps and qbpartd's stats surface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace qbp::prof {
+
+/// Interned phase identifier; process-global, never recycled.
+using PhaseId = std::int32_t;
+
+/// Is collection currently on?  Relaxed read; safe from any thread.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Turn collection on/off process-wide.  Scopes already entered record on
+/// exit regardless; scopes entered while disabled never record.
+void set_enabled(bool on) noexcept;
+
+/// Zero every bucket (live threads and retired accumulation).  Phase names
+/// stay interned.  Call between experiments to isolate their profiles.
+void reset() noexcept;
+
+/// Intern `name`, returning its stable id.  Repeat calls with an equal name
+/// return the same id.  Thread-safe; intended to be called once per site
+/// via QBP_PROF_SCOPE's function-local static.
+[[nodiscard]] PhaseId register_phase(std::string_view name);
+
+/// One merged bucket: total seconds and entry count across all threads.
+struct PhaseStat {
+  std::string name;
+  double seconds = 0.0;
+  std::int64_t count = 0;
+
+  friend bool operator==(const PhaseStat&, const PhaseStat&) = default;
+};
+
+/// Snapshot of every phase with a nonzero count, sorted by name.
+struct PhaseReport {
+  std::vector<PhaseStat> phases;
+
+  /// Lookup by name; nullptr when absent.
+  [[nodiscard]] const PhaseStat* find(std::string_view name) const noexcept;
+  /// Seconds for `name`, 0 when absent.
+  [[nodiscard]] double seconds(std::string_view name) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return phases.empty(); }
+
+  /// Per-phase difference `this - earlier` (clamped at zero), for callers
+  /// that bracket a region with two snapshots (e.g. qbpartd per-job stats).
+  [[nodiscard]] PhaseReport since(const PhaseReport& earlier) const;
+
+  friend bool operator==(const PhaseReport&, const PhaseReport&) = default;
+};
+
+/// Merge all threads' buckets into one report.  Cheap (phase count is
+/// small); safe to call concurrently with recording scopes.
+[[nodiscard]] PhaseReport snapshot();
+
+/// RAII phase timer.  When profiling is disabled at construction the object
+/// is inert.  Not copyable or movable; construct through QBP_PROF_SCOPE.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseId id) noexcept;
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  std::int64_t start_ns_ = 0;
+  PhaseId id_ = -1;  // -1: disabled at entry, record nothing
+};
+
+/// {"<phase>": {"seconds": s, "count": c}, ...} -- object keyed by phase
+/// name in report order (sorted).
+[[nodiscard]] json::Value to_json(const PhaseReport& report);
+
+/// Inverse of to_json; nullopt when the shape is wrong.
+[[nodiscard]] std::optional<PhaseReport> from_json(const json::Value& value);
+
+/// Multi-line "seconds  count  name" rendering, widest phase first.
+[[nodiscard]] std::string to_string(const PhaseReport& report);
+
+}  // namespace qbp::prof
+
+#define QBP_PROF_CONCAT_INNER(a, b) a##b
+#define QBP_PROF_CONCAT(a, b) QBP_PROF_CONCAT_INNER(a, b)
+
+/// Time the rest of the enclosing block as phase `name` (a string literal).
+#define QBP_PROF_SCOPE(name)                                             \
+  static const ::qbp::prof::PhaseId QBP_PROF_CONCAT(qbp_prof_id_,        \
+                                                    __LINE__) =          \
+      ::qbp::prof::register_phase(name);                                 \
+  const ::qbp::prof::ScopedPhase QBP_PROF_CONCAT(qbp_prof_scope_,        \
+                                                 __LINE__)(              \
+      QBP_PROF_CONCAT(qbp_prof_id_, __LINE__))

@@ -19,11 +19,13 @@
 #include <vector>
 
 #include "core/problem_io.hpp"
+#include "core/validate.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/queue.hpp"
 #include "service/server.hpp"
 #include "test_support.hpp"
+#include "util/prof.hpp"
 
 namespace qbp::service {
 namespace {
@@ -292,7 +294,9 @@ TEST(Server, PerJobValidateFlagShadowAuditsEveryStart) {
   EXPECT_EQ(results[0].starts_validated, 3);
   EXPECT_EQ(results[1].id, "plain");
   EXPECT_EQ(results[1].status, "ok");
-  EXPECT_EQ(results[1].starts_validated, 0);
+  // Without the per-job flag the process-wide default applies: 0 audits in
+  // a stock build, every start audited under -DQBPART_VALIDATE=ON.
+  EXPECT_EQ(results[1].starts_validated, validation_enabled() ? 2 : 0);
 }
 
 TEST(Server, FifoWithinPriorityCompletionOrder) {
@@ -454,6 +458,35 @@ TEST(Server, StatsRequestReportsCountersAndHistograms) {
   const json::Value* solve = histograms->find("solve_seconds");
   ASSERT_NE(solve, nullptr);
   EXPECT_EQ(solve->get_number("count", 0), 1.0);
+}
+
+TEST(Server, PhaseProfilerSurfacesHistogramsInStats) {
+  // With the phase profiler on (qbpartd --profile), each job's per-phase
+  // time deltas land in phase_seconds.* histograms in the stats snapshot.
+  prof::set_enabled(true);
+  prof::reset();
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  {
+    Server server(ServerOptions{});
+    server.handle_line(submit_line("p1", problem), log.sink());
+    server.handle_line(submit_line("p2", problem, /*seed=*/2), log.sink());
+    server.drain();
+    server.handle_line("{\"type\":\"stats\"}", log.sink());
+  }
+  prof::set_enabled(false);
+  prof::reset();
+
+  json::Value stats;
+  ASSERT_TRUE(json::parse(log.lines().back(), stats).ok);
+  const json::Value* histograms = stats.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* starts = histograms->find("phase_seconds.portfolio.start");
+  ASSERT_NE(starts, nullptr);
+  EXPECT_EQ(starts->get_number("count", 0), 2.0);  // one observation per job
+  const json::Value* gap = histograms->find("phase_seconds.burkard.step6_gap");
+  ASSERT_NE(gap, nullptr);
+  EXPECT_EQ(gap->get_number("count", 0), 2.0);
 }
 
 TEST(Server, ShutdownRequestFlagsTheServeLoop) {

@@ -121,7 +121,10 @@ TEST(SpecialCases, GapReductionMatchesDedicatedSolverSemantics) {
   EXPECT_DOUBLE_EQ(problem.beta(), 0.0);
 
   // Feasibility semantics match the dedicated GAP checker.
-  GapProblem gap{cost, sizes, capacities};
+  GapProblem gap;
+  gap.cost = cost;
+  gap.sizes = sizes;
+  gap.capacities = capacities;
   Rng walk(11);
   for (int trial = 0; trial < 30; ++trial) {
     const auto assignment = test::random_complete(n, m, walk);
