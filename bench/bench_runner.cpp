@@ -3,14 +3,17 @@
 // doubles as the CI bench-regression gate via --check.
 //
 //   bench_runner --suite all --json out.json          # full local baseline
-//   bench_runner --smoke --json out.json \
-//                --check bench/BENCH_smoke.json       # the CI gate
+//   bench_runner --smoke --json out.json --check bench/BENCH_smoke.json
+//                                                    # ^ the CI gate
 //   bench_runner --smoke --profile                    # phase breakdown
 //
 // JSON schema (schema = 1):
-//   { "schema": 1, "mode": "smoke"|"full",
-//     "suites": { "table2": [row...], "table3": [row...],
-//                 "scaling": [{"n","wires","constraints","seconds",
+//   { "schema": 1, "mode": "smoke"|"full", "inner_threads": K,
+//     "suites": { "table1": [{"circuit","components","wires",
+//                             "timing_constraints","gen_seconds",...}...],
+//                 "table2": [row...], "table3": [row...],
+//                 "scaling": [{"n","wires","constraints","iterations",
+//                              "threads","seconds","ms_per_iter",
 //                              "final","feasible"}...] },
 //     "phases": { "<phase>": {"seconds","count"}, ... } }     (--profile)
 //
@@ -29,6 +32,7 @@
 #include "bench_support/experiment.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
+#include "netlist/stats.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/prof.hpp"
@@ -41,13 +45,17 @@ namespace {
 struct RunnerConfig {
   bool smoke = false;
   double time_tolerance = 0.25;
+  std::int64_t inner_threads = 1;
 };
 
 struct ScalingRow {
   std::int32_t n = 0;
   std::int64_t wires = 0;
   std::int64_t constraints = 0;
+  std::int32_t iterations = 0;
+  std::int32_t threads = 1;
   double seconds = 0.0;
+  double ms_per_iter = 0.0;
   double final_cost = 0.0;
   bool feasible = false;
 };
@@ -56,6 +64,7 @@ std::vector<qbp::ExperimentRow> run_table_suite(bool with_timing,
                                                 const RunnerConfig& config) {
   qbp::ExperimentConfig experiment;
   std::vector<std::string> circuits;
+  experiment.inner_threads = static_cast<std::int32_t>(config.inner_threads);
   if (config.smoke) {
     experiment.qbp_iterations = 30;
     experiment.gkl_outer_loops = 3;
@@ -98,6 +107,7 @@ std::vector<ScalingRow> run_scaling_suite(const RunnerConfig& config) {
 
     qbp::BurkardOptions options;
     options.iterations = iterations;
+    options.inner_threads = static_cast<std::int32_t>(config.inner_threads);
     const qbp::Timer timer;
     const auto result = qbp::solve_qbp(problem, initial.assignment, options);
 
@@ -105,7 +115,12 @@ std::vector<ScalingRow> run_scaling_suite(const RunnerConfig& config) {
     row.n = n;
     row.wires = problem.netlist().total_wires();
     row.constraints = problem.timing().count();
+    row.iterations = result.iterations_run;
+    row.threads = static_cast<std::int32_t>(config.inner_threads);
     row.seconds = timer.seconds();
+    row.ms_per_iter = result.iterations_run > 0
+                          ? row.seconds * 1000.0 / result.iterations_run
+                          : 0.0;
     row.feasible = result.found_feasible;
     row.final_cost = result.found_feasible
                          ? problem.wirelength(result.best_feasible)
@@ -116,6 +131,48 @@ std::vector<ScalingRow> run_scaling_suite(const RunnerConfig& config) {
   return rows;
 }
 
+// Table I rows: structural circuit descriptions (no solving).  The gate
+// treats the counts like objectives -- generation is deterministic, so any
+// drift means the synthesis changed -- and the generation time like
+// wall-clock.
+qbp::json::Value run_table1_suite(const RunnerConfig& config) {
+  std::vector<std::string> circuits;
+  if (config.smoke) {
+    circuits = {"cktb"};
+  } else {
+    for (const auto& preset : qbp::shihkuh_presets())
+      circuits.push_back(preset.name);
+  }
+
+  qbp::json::Value rows = qbp::json::Value::array();
+  qbp::TextTable table({"ckt", "components", "wires", "timing constraints",
+                        "gen time (s)"});
+  for (const auto& name : circuits) {
+    const qbp::Timer timer;
+    const auto instance = qbp::make_circuit(*qbp::find_preset(name));
+    const double gen_seconds = timer.seconds();
+    const auto stats = qbp::compute_stats(instance.problem.netlist());
+
+    table.add_row({name, std::to_string(stats.num_components),
+                   std::to_string(stats.total_wires),
+                   std::to_string(instance.problem.timing().count()),
+                   qbp::format_double(gen_seconds, 2)});
+    qbp::json::Value entry = qbp::json::Value::object();
+    entry.set("circuit", name);
+    entry.set("components", stats.num_components);
+    entry.set("wires", static_cast<std::int64_t>(stats.total_wires));
+    entry.set("timing_constraints",
+              static_cast<std::int64_t>(instance.problem.timing().count()));
+    entry.set("size_ratio", stats.size_ratio);
+    entry.set("avg_degree", stats.avg_degree);
+    entry.set("gen_seconds", gen_seconds);
+    rows.push_back(std::move(entry));
+    std::fprintf(stderr, "  %s done\n", name.c_str());
+  }
+  std::printf("%s\n", table.render().c_str());
+  return rows;
+}
+
 qbp::json::Value scaling_to_json(const std::vector<ScalingRow>& rows) {
   qbp::json::Value out = qbp::json::Value::array();
   for (const auto& row : rows) {
@@ -123,7 +180,10 @@ qbp::json::Value scaling_to_json(const std::vector<ScalingRow>& rows) {
     entry.set("n", static_cast<std::int64_t>(row.n));
     entry.set("wires", row.wires);
     entry.set("constraints", row.constraints);
+    entry.set("iterations", static_cast<std::int64_t>(row.iterations));
+    entry.set("threads", static_cast<std::int64_t>(row.threads));
     entry.set("seconds", row.seconds);
+    entry.set("ms_per_iter", row.ms_per_iter);
     entry.set("final", row.final_cost);
     entry.set("feasible", row.feasible);
     out.push_back(std::move(entry));
@@ -195,6 +255,33 @@ void check_table_suite(Gate& gate, const std::string& suite,
   }
 }
 
+void check_table1_suite(Gate& gate, const qbp::json::Value& baseline,
+                        const qbp::json::Value& rows) {
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const qbp::json::Value& row = rows.at(r);
+    const std::string circuit = row.get_string("circuit");
+    const qbp::json::Value* base_row = nullptr;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (baseline.at(i).get_string("circuit") == circuit) {
+        base_row = &baseline.at(i);
+        break;
+      }
+    }
+    const std::string where = "table1/" + circuit;
+    if (base_row == nullptr) {
+      gate.missing(where);
+      continue;
+    }
+    for (const char* field : {"components", "wires", "timing_constraints"}) {
+      gate.objective(where + "/" + field, base_row->get_number(field, -1.0),
+                     row.get_number(field, -2.0));
+    }
+    gate.wall_clock(where + "/gen_seconds",
+                    base_row->get_number("gen_seconds", 0.0),
+                    row.get_number("gen_seconds", 0.0));
+  }
+}
+
 void check_scaling_suite(Gate& gate, const qbp::json::Value& baseline,
                          const std::vector<ScalingRow>& rows) {
   for (const auto& row : rows) {
@@ -231,7 +318,10 @@ int main(int argc, char** argv) {
                      "unified bench driver + CI regression gate");
   cli.add_flag("smoke", config.smoke,
                "reduced sizes/iterations for the CI gate");
-  cli.add_string("suite", suite, "table2|table3|scaling|all");
+  cli.add_string("suite", suite, "table1|table2|table3|scaling|all");
+  cli.add_int("inner-threads", config.inner_threads,
+              "threads inside each QBP solve (0 = all hardware); objectives "
+              "are bit-identical at every value, so --check still applies");
   cli.add_string("json", json_path, "write machine-readable results here");
   cli.add_string("check", check_path,
                  "compare against this baseline JSON; exit 1 on regression");
@@ -241,8 +331,8 @@ int main(int argc, char** argv) {
                "enable the phase profiler and report the breakdown");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
 
-  if (suite != "all" && suite != "table2" && suite != "table3" &&
-      suite != "scaling") {
+  if (suite != "all" && suite != "table1" && suite != "table2" &&
+      suite != "table3" && suite != "scaling") {
     std::fprintf(stderr, "unknown --suite '%s'\n", suite.c_str());
     return 2;
   }
@@ -255,10 +345,16 @@ int main(int argc, char** argv) {
   std::printf("bench_runner: mode=%s suite=%s\n",
               config.smoke ? "smoke" : "full", suite.c_str());
   qbp::json::Value suites = qbp::json::Value::object();
+  qbp::json::Value table1;
   std::vector<qbp::ExperimentRow> table2;
   std::vector<qbp::ExperimentRow> table3;
   std::vector<ScalingRow> scaling;
 
+  if (want("table1")) {
+    std::fprintf(stderr, "suite table1 (circuit descriptions)\n");
+    table1 = run_table1_suite(config);
+    suites.set("table1", table1);
+  }
   if (want("table2")) {
     std::fprintf(stderr, "suite table2 (no timing)\n");
     table2 = run_table_suite(/*with_timing=*/false, config);
@@ -289,6 +385,7 @@ int main(int argc, char** argv) {
   qbp::json::Value out = qbp::json::Value::object();
   out.set("schema", static_cast<std::int64_t>(1));
   out.set("mode", config.smoke ? "smoke" : "full");
+  out.set("inner_threads", config.inner_threads);
   out.set("suites", std::move(suites));
   if (profile) {
     const qbp::prof::PhaseReport phases = qbp::prof::snapshot();
@@ -323,6 +420,10 @@ int main(int argc, char** argv) {
     if (found == nullptr) gate.missing(std::string("suite ") + name);
     return found;
   };
+  if (want("table1")) {
+    if (const auto* base = suite_of("table1"))
+      check_table1_suite(gate, *base, table1);
+  }
   if (want("table2")) {
     if (const auto* base = suite_of("table2"))
       check_table_suite(gate, "table2", *base, table2);

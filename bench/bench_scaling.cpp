@@ -6,20 +6,46 @@
 // fixed density (wires ~ 6N, constraints ~ 3N, M = 16), reporting seconds
 // per iteration -- mildly super-linear in N with the default strong inner
 // GAP (its swap pass is worst-case quadratic), near-linear without it.
+//
+//   bench_scaling --json out.json --inner-threads 8
+//
+// The JSON rows carry ms_per_iter so per-iteration cost can be compared
+// across commits without re-deriving it from seconds / iterations.
 #include <cstdio>
+#include <string>
 
 #include "bench_support/circuits.hpp"
+#include "bench_support/experiment.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::int64_t inner_threads = 1;
+  std::int64_t iterations = 30;
+
+  qbp::CliParser cli("bench_scaling",
+                     "QBP whole-solve time vs circuit size");
+  cli.add_string("json", json_path, "write machine-readable rows here");
+  cli.add_int("inner-threads", inner_threads,
+              "threads inside each solve (0 = all hardware); objectives are "
+              "bit-identical at every value");
+  cli.add_int("iterations", iterations, "QBP iteration budget per size");
+  if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+
   std::printf("Scaling: QBP whole-solve time vs circuit size "
-              "(M = 16, wires = 6N, constraints = 3N, 30 iterations)\n\n");
+              "(M = 16, wires = 6N, constraints = 3N, %lld iterations, "
+              "%lld inner threads)\n\n",
+              static_cast<long long>(iterations),
+              static_cast<long long>(inner_threads));
   qbp::TextTable table({"N", "wires", "constraints", "solve (s)",
                         "ms / iteration", "final feasible", "improvement"});
+  qbp::json::Value rows = qbp::json::Value::array();
 
   for (const std::int32_t n : {200, 400, 800, 1600, 3200}) {
     const auto problem = qbp::make_scaling_problem(n, 7);
@@ -28,10 +54,14 @@ int main() {
     const double start = problem.wirelength(initial.assignment);
 
     qbp::BurkardOptions options;
-    options.iterations = 30;
+    options.iterations = static_cast<std::int32_t>(iterations);
+    options.inner_threads = static_cast<std::int32_t>(inner_threads);
     const qbp::Timer timer;
     const auto result = qbp::solve_qbp(problem, initial.assignment, options);
     const double seconds = timer.seconds();
+    const double ms_per_iter =
+        result.iterations_run > 0 ? seconds * 1000.0 / result.iterations_run
+                                  : 0.0;
 
     const double final_cost = result.found_feasible
                                   ? problem.wirelength(result.best_feasible)
@@ -39,13 +69,25 @@ int main() {
     table.add_row(
         {std::to_string(n), qbp::format_grouped(problem.netlist().total_wires()),
          qbp::format_grouped(problem.timing().count()),
-         qbp::format_double(seconds, 2),
-         qbp::format_double(seconds / options.iterations * 1e3, 1),
+         qbp::format_double(seconds, 2), qbp::format_double(ms_per_iter, 1),
          result.found_feasible ? "yes" : "no",
          qbp::format_double((start - final_cost) / start * 100.0, 1) + "%"});
+
+    qbp::json::Value entry = qbp::json::Value::object();
+    entry.set("n", static_cast<std::int64_t>(n));
+    entry.set("wires", problem.netlist().total_wires());
+    entry.set("constraints", problem.timing().count());
+    entry.set("iterations", static_cast<std::int64_t>(result.iterations_run));
+    entry.set("threads", inner_threads);
+    entry.set("seconds", seconds);
+    entry.set("ms_per_iter", ms_per_iter);
+    entry.set("final", final_cost);
+    entry.set("feasible", result.found_feasible);
+    rows.push_back(std::move(entry));
     std::fprintf(stderr, "  N=%d done\n", n);
   }
   std::printf("%s\n", table.render().c_str());
+  if (!qbp::write_bench_json(json_path, rows)) return 1;
   std::printf("expected shape: ms/iteration grows mildly super-linearly "
               "(~N^1.4): the sparse STEP 3 is O(N) but the strong inner\n"
               "GAP's swap-improvement pass is quadratic in the worst case. "

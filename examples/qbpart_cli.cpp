@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   std::int64_t seed = 1993;
   std::int64_t starts = 1;
   std::int64_t threads = 0;
+  std::int64_t inner_threads = 1;
   bool portfolio = false;
   bool quiet = false;
   bool profile = false;
@@ -98,6 +99,9 @@ int main(int argc, char** argv) {
               "independent portfolio starts (> 1 implies --portfolio)");
   cli.add_int("threads", threads,
               "portfolio worker threads (0 = all hardware threads)");
+  cli.add_int("inner-threads", inner_threads,
+              "threads inside one QBP solve (0 = all hardware threads); "
+              "results are bit-identical at every value");
   cli.add_flag("portfolio", portfolio,
                "run through the parallel portfolio driver even for 1 start");
   cli.add_string("emit-sample", emit_sample_path,
@@ -133,6 +137,7 @@ int main(int argc, char** argv) {
     if (method == "qbp") {
       qbp::BurkardOptions options;
       options.iterations = static_cast<std::int32_t>(iterations);
+      options.inner_threads = static_cast<std::int32_t>(inner_threads);
       solver = std::make_unique<qbp::engine::BurkardSolver>(options);
     } else {
       solver = qbp::engine::make_solver(method);
@@ -197,6 +202,7 @@ int main(int argc, char** argv) {
   if (method == "qbp") {
     qbp::BurkardOptions options;
     options.iterations = static_cast<std::int32_t>(iterations);
+    options.inner_threads = static_cast<std::int32_t>(inner_threads);
     const auto result = qbp::solve_qbp(problem, initial, options);
     if (!result.found_feasible) {
       std::fprintf(stderr,

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   std::string cancel_id;
   std::int64_t starts = 1;
   std::int64_t threads = 1;
+  std::int64_t inner_threads = 1;
   std::int64_t iterations = 100;
   std::int64_t seed = 1993;
   std::int64_t priority = 0;
@@ -60,6 +61,9 @@ int main(int argc, char** argv) {
   cli.add_string("id", id, "job id (server assigns one when empty)");
   cli.add_int("starts", starts, "portfolio start count");
   cli.add_int("threads", threads, "portfolio threads per job");
+  cli.add_int("inner-threads", inner_threads,
+              "threads inside one solve (0 = all hardware; the server "
+              "clamps against its combined thread budget)");
   cli.add_int("iterations", iterations, "QBP iteration budget");
   cli.add_int("seed", seed, "random seed (determinism key)");
   cli.add_int("priority", priority, "higher runs first");
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
     request.solver.method = method;
     request.solver.starts = static_cast<std::int32_t>(starts);
     request.solver.threads = static_cast<std::int32_t>(threads);
+    request.solver.inner_threads = static_cast<std::int32_t>(inner_threads);
     request.solver.iterations = static_cast<std::int32_t>(iterations);
     request.solver.seed = static_cast<std::uint64_t>(seed);
     request.deadline_ms = deadline_ms;

@@ -24,6 +24,9 @@ struct ExperimentConfig {
   std::int32_t qbp_iterations = 100;
   double penalty = kPaperPenalty;
   std::int32_t gkl_outer_loops = 6;
+  /// Threads inside the QBP solve (util/parallel pool); results are
+  /// bit-identical at every value, only wall-clock changes.
+  std::int32_t inner_threads = 1;
   /// Seed for the shared initial solution.
   std::uint64_t seed = 1993;
   bool run_qbp = true;

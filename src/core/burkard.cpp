@@ -5,6 +5,7 @@
 #include "core/delta_evaluator.hpp"
 #include "core/qhat.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/prof.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -25,7 +26,7 @@ namespace {
 /// cache stamps exact.
 void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
                     Assignment& u, std::int32_t max_sweeps,
-                    std::uint64_t sweep_seed) {
+                    std::uint64_t sweep_seed, std::int32_t inner_threads) {
   if (max_sweeps <= 0) return;
   evaluator.invalidate();  // `u` changed hands since the last polish
   const std::int32_t n = problem.num_components();
@@ -62,6 +63,15 @@ void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
   for (std::int32_t sweep = 0; sweep < max_sweeps; ++sweep) {
     QBP_PROF_SCOPE("polish.sweep");
     bool improved = false;
+
+    // Build all stale evaluator rows for the sweep up front, in parallel.
+    // A row still valid when the serial scan below reaches it is byte-for-
+    // byte what the lazy build would have produced (its component's
+    // neighbors have not moved since, by definition of validity), so this
+    // only shifts *when* rows are built -- results are unchanged, and at
+    // inner_threads == 1 the prefetch is skipped to keep the serial path
+    // free of double builds.
+    if (inner_threads > 1) evaluator.prefetch_rows(u, inner_threads);
 
     // Move sweep: best capacity-feasible improving move per component,
     // selected from the evaluator's cached all-targets row.
@@ -120,6 +130,10 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
   DeltaEvaluator evaluator(problem, options.penalty);
   const std::vector<double> omega = qhat.omega();  // STEP 2 bounds
 
+  // Intra-solve thread budget; every hot phase below receives it.  The
+  // shared pool fair-shares when several solves run concurrently.
+  const std::int32_t inner = par::resolve_threads(options.inner_threads);
+
   // The flat eta / h vectors (r = i + j * M) are exactly the column-major
   // layout the GAP heuristic scans, so they bind zero-copy via cost_flat --
   // no per-iteration reshape allocation.
@@ -127,6 +141,10 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
   gap.flat_agents = problem.num_partitions();
   gap.sizes = problem.netlist().sizes();
   gap.capacities = problem.topology().capacities();
+  GapOptions gap_step4 = options.gap_step4;
+  gap_step4.threads = inner;
+  GapOptions gap_step6 = options.gap_step6;
+  gap_step6.threads = inner;
 
   BurkardResult result;
   // STEP 2: u* <- u(1), z* <- u*^T Qhat u*.
@@ -157,7 +175,7 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
     double xi = 0.0;
     {
       QBP_PROF_SCOPE("burkard.step3_eta");
-      qhat.eta(u, eta);
+      qhat.eta(u, eta, inner);
       if (options.eta_includes_omega) {
         for (std::int32_t j = 0; j < problem.num_components(); ++j) {
           const std::int64_t r = problem.flat_index(u[j], j);
@@ -174,21 +192,32 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
     {
       QBP_PROF_SCOPE("burkard.step4_gap");
       gap.cost_flat = std::span<const double>(eta);
-      const GapResult step4 = solve_gap(gap, options.gap_step4);
+      const GapResult step4 = solve_gap(gap, gap_step4);
       if (!step4.feasible) ++result.infeasible_inner_solves;
       z = step4.cost;
     }
 
-    // STEP 5: accumulate the normalized direction.
-    const double scale = 1.0 / std::max(1.0, std::abs(z - xi));
-    for (std::size_t r = 0; r < h.size(); ++r) h[r] += eta[r] * scale;
+    // STEP 5: accumulate the normalized direction.  Element-wise over
+    // fixed chunks: no FP reassociation, bit-identical at any thread count.
+    {
+      QBP_PROF_SCOPE("burkard.step5_h");
+      const double scale = 1.0 / std::max(1.0, std::abs(z - xi));
+      par::parallel_for(flat_size, /*grain=*/8192, inner,
+                        [&](std::int64_t begin, std::int64_t end,
+                            std::int32_t) {
+                          for (std::int64_t r = begin; r < end; ++r) {
+                            const auto s = static_cast<std::size_t>(r);
+                            h[s] += eta[s] * scale;
+                          }
+                        });
+    }
 
     // STEP 6: u(k+1) = argmin_{u in S} h . u.
     std::optional<GapResult> step6_result;
     {
       QBP_PROF_SCOPE("burkard.step6_gap");
       gap.cost_flat = std::span<const double>(h);
-      step6_result = solve_gap(gap, options.gap_step6);
+      step6_result = solve_gap(gap, gap_step6);
     }
     const GapResult& step6 = *step6_result;
     if (!step6.feasible) ++result.infeasible_inner_solves;
@@ -198,7 +227,7 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
     // (capacity-preserving moves only) before evaluating it.
     if (step6.feasible) {
       polish_iterate(problem, evaluator, next, options.polish_sweeps,
-                     0x9b1eu ^ static_cast<std::uint64_t>(k));
+                     0x9b1eu ^ static_cast<std::uint64_t>(k), inner);
     }
 
     // STEP 7: incumbent update by penalized value; feasible incumbent is
@@ -242,7 +271,7 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
         // only diversifies if the following descent happens before the
         // global field re-absorbs it.
         polish_iterate(problem, evaluator, u, options.polish_sweeps,
-                       0x15edu ^ static_cast<std::uint64_t>(k));
+                       0x15edu ^ static_cast<std::uint64_t>(k), inner);
         const double kicked = qhat.penalized_value(u);
         if (kicked < result.best_penalized) {
           result.best_penalized = kicked;

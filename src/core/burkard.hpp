@@ -75,6 +75,15 @@ struct BurkardOptions {
   /// evaluates the iterate.  0 reproduces the literal STEP 1-8 listing;
   /// the ablation bench quantifies the difference.
   std::int32_t polish_sweeps = 3;
+  /// Intra-solve parallelism: threads for the hot phases of ONE solve (the
+  /// STEP 3 eta gather, the GAP candidate scans of STEPs 4/6, the STEP 5
+  /// accumulation, and the polish row prefetch), executed on the shared
+  /// deterministic pool in util/parallel.  Results are bit-identical at
+  /// every value -- this knob trades wall-clock only.  1 (default) keeps
+  /// the hot loops on the calling thread; <= 0 means "all hardware".
+  /// Orthogonal to portfolio `threads` (across-start parallelism); the
+  /// pool fair-shares when both are active.
+  std::int32_t inner_threads = 1;
   /// Restart the line search every `restart_period` iterations: h is reset
   /// to zero and the iteration continues from the best incumbent so far.
   /// Burkard's accumulation makes h a time-average -- after it converges to

@@ -4,6 +4,7 @@
 
 #include "core/delta_evaluator.hpp"
 #include "partition/cost.hpp"
+#include "util/parallel.hpp"
 
 #include "util/check.hpp"
 
@@ -83,19 +84,27 @@ double QhatMatrix::swap_delta_penalized(const Assignment& assignment,
                                             component_a, component_b);
 }
 
-void QhatMatrix::eta(const Assignment& u, std::span<double> eta) const {
+void QhatMatrix::eta(const Assignment& u, std::span<double> eta,
+                     std::int32_t threads) const {
   const std::int32_t m = problem_->num_partitions();
   const std::int32_t n = problem_->num_components();
   QBP_DCHECK(static_cast<std::int64_t>(eta.size()) == problem_->flat_size());
   QBP_DCHECK(u.is_complete());
 
-  std::fill(eta.begin(), eta.end(), 0.0);
   const auto& adjacency = problem_->netlist().connection_matrix();
   const auto& topology = problem_->topology();
   const double beta = problem_->beta();
 
-  for (std::int32_t j2 = 0; j2 < n; ++j2) {
+  // Column j2 of the gather touches only eta[flat_index(0..m, j2)], so a
+  // chunk of components owns a disjoint slice of the flat buffer: the
+  // parallel gather writes the same bits as the serial loop.
+  par::parallel_for(n, /*grain=*/64, threads, [&](std::int64_t chunk_begin,
+                                                  std::int64_t chunk_end,
+                                                  std::int32_t /*chunk*/) {
+  for (std::int32_t j2 = static_cast<std::int32_t>(chunk_begin);
+       j2 < static_cast<std::int32_t>(chunk_end); ++j2) {
     double* column = eta.data() + problem_->flat_index(0, j2);
+    std::fill(column, column + m, 0.0);
 
     // Wire blocks: sum over neighbors j1 of beta * a * B(u(j1), i2).
     const auto neighbors = adjacency.row_indices(j2);
@@ -128,6 +137,7 @@ void QhatMatrix::eta(const Assignment& u, std::span<double> eta) const {
     // Diagonal: q-hat(r, r) = alpha * p contributes when u_r = 1.
     column[u[j2]] += problem_->alpha() * problem_->linear_cost(u[j2], j2);
   }
+  });
 }
 
 std::vector<double> QhatMatrix::omega() const {

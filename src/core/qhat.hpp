@@ -70,7 +70,11 @@ class QhatMatrix {
   /// STEP 3 gather: eta[s] = sum_r q-hat(r, s) * u_r for a complete
   /// assignment u; `eta` must have flat_size() entries.
   /// O((nnz(A) + nnz(Dc)) * M) via the sparse representation.
-  void eta(const Assignment& u, std::span<double> eta) const;
+  /// `threads > 1` gathers columns in parallel through util/parallel --
+  /// each component's column is written by exactly one chunk, so the
+  /// result is bit-identical at every thread count.
+  void eta(const Assignment& u, std::span<double> eta,
+           std::int32_t threads = 1) const;
 
   /// Upper bounds omega_r >= max_{y in S} sum_s q-hat(r, s) y_s of
   /// equation (2); computed once per solve.  Exploits C3: each component

@@ -13,6 +13,8 @@
 // adapter returns found_feasible = false with the start itself as `best`.
 #pragma once
 
+#include <algorithm>
+
 #include "baselines/gfm.hpp"
 #include "baselines/gkl.hpp"
 #include "baselines/sa.hpp"
@@ -34,6 +36,9 @@ class BurkardSolver final : public Solver {
   [[nodiscard]] double penalized_with() const override {
     return options_.penalty;
   }
+  [[nodiscard]] std::int32_t inner_threads() const override {
+    return options_.inner_threads;
+  }
 
  private:
   BurkardOptions options_;
@@ -52,6 +57,12 @@ class MultilevelSolver final : public Solver {
   /// The finest-level result comes from the refinement solver.
   [[nodiscard]] double penalized_with() const override {
     return options_.refine_solver.penalty;
+  }
+  /// Per-level Burkard runs inherit their own inner_threads knobs; report
+  /// the larger so the portfolio sizes the pool for the hungriest level.
+  [[nodiscard]] std::int32_t inner_threads() const override {
+    return std::max(options_.coarse_solver.inner_threads,
+                    options_.refine_solver.inner_threads);
   }
 
  private:

@@ -12,6 +12,7 @@
 #include "core/validate.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/prof.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -95,6 +96,25 @@ PortfolioResult Portfolio::run(
     threads = static_cast<std::int32_t>(std::thread::hardware_concurrency());
   }
   threads = std::clamp(threads, 1, num_starts);
+
+  // Nested-parallelism arbitration: when starts carry an inner_threads
+  // budget, grow the shared util/parallel pool once up front (instead of
+  // every start racing to spawn helpers mid-solve) and let the pool's
+  // fair-share tokens split helpers among the starts running concurrently.
+  // Scheduling only -- per-start results are bit-identical regardless.
+  std::int32_t inner = 1;
+  for (const Solver* start_solver : start_solvers) {
+    inner = std::max(inner, par::resolve_threads(start_solver->inner_threads()));
+  }
+  if (inner > 1) {
+    const std::int64_t helpers =
+        static_cast<std::int64_t>(threads) * inner - 1;
+    par::Pool::instance().warm(static_cast<std::int32_t>(
+        std::min<std::int64_t>(helpers, par::kMaxHelpers)));
+    log::debug("portfolio: ", threads, " start workers x ", inner,
+               " inner threads fair-share ", par::fair_share_base(),
+               " pool slots");
+  }
 
   const bool cancel_enabled = !std::isnan(options_.cancel_objective);
   const bool validate_on = options_.validate.value_or(validation_enabled());

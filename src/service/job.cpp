@@ -19,7 +19,14 @@ std::unique_ptr<engine::Solver> make_spec_solver(const SolverSpec& spec) {
   if (spec.method == "qbp") {
     BurkardOptions options;
     options.iterations = spec.iterations;
+    options.inner_threads = spec.inner_threads;
     return std::make_unique<engine::BurkardSolver>(options);
+  }
+  if (spec.method == "multilevel" && spec.inner_threads != 1) {
+    MultilevelOptions options;
+    options.coarse_solver.inner_threads = spec.inner_threads;
+    options.refine_solver.inner_threads = spec.inner_threads;
+    return std::make_unique<engine::MultilevelSolver>(options);
   }
   return engine::make_solver(spec.method);
 }

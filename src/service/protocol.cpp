@@ -67,11 +67,16 @@ ParseResult parse_request(std::string_view line, Request& out) {
     }
     if (!read_int32(*solver, "starts", out.solver.starts, error) ||
         !read_int32(*solver, "threads", out.solver.threads, error) ||
+        !read_int32(*solver, "inner_threads", out.solver.inner_threads,
+                    error) ||
         !read_int32(*solver, "iterations", out.solver.iterations, error)) {
       return {false, error};
     }
     if (out.solver.starts < 1) return {false, "'starts' must be >= 1"};
     if (out.solver.threads < 0) return {false, "'threads' must be >= 0"};
+    if (out.solver.inner_threads < 0) {
+      return {false, "'inner_threads' must be >= 0"};
+    }
     if (out.solver.iterations < 1) return {false, "'iterations' must be >= 1"};
     const double seed = solver->get_number("seed", -1.0);
     if (seed >= 0.0 && std::isfinite(seed)) {
@@ -113,6 +118,7 @@ std::string format_request(const Request& request) {
     solver.set("method", request.solver.method);
     solver.set("starts", request.solver.starts);
     solver.set("threads", request.solver.threads);
+    solver.set("inner_threads", request.solver.inner_threads);
     solver.set("iterations", request.solver.iterations);
     solver.set("seed", static_cast<std::int64_t>(request.solver.seed));
     if (request.solver.validate.has_value()) {

@@ -51,6 +51,11 @@ struct SolverSpec {
   std::string method = "qbp";     // qbp | multilevel | gfm | gkl | sa
   std::int32_t starts = 1;        // independent portfolio starts
   std::int32_t threads = 1;       // portfolio worker threads for this job
+  /// Intra-solve threads per start on the shared deterministic pool (qbp /
+  /// multilevel methods; 0 = all hardware).  Pure wall-clock knob: results
+  /// are bit-identical at every value.  The server clamps the combined
+  /// workers x starts x inner_threads budget against the machine.
+  std::int32_t inner_threads = 1;
   std::int32_t iterations = 100;  // QBP iteration budget (qbp method only)
   std::uint64_t seed = 1993;      // master seed; determinism anchor
   /// Per-job shadow validation ("validate": true|false): every portfolio

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/prof.hpp"
 #include "util/strings.hpp"
 
@@ -49,6 +50,8 @@ Server::Server(ServerOptions options)
       jobs_error_(metrics_.counter("jobs_error")),
       queue_depth_(metrics_.gauge("queue_depth")),
       workers_busy_(metrics_.gauge("workers_busy")),
+      inner_threads_effective_(metrics_.gauge("inner_threads_effective")),
+      pool_utilization_(metrics_.gauge("pool_utilization")),
       queue_wait_seconds_(metrics_.histogram("queue_wait_seconds",
                                              Histogram::latency_bounds())),
       solve_seconds_(
@@ -133,6 +136,31 @@ void Server::handle_line(std::string_view line, const Sink& respond) {
   }
 }
 
+std::int32_t Server::clamp_inner_threads(const SolverSpec& spec) const {
+  const std::int32_t requested = par::resolve_threads(spec.inner_threads);
+  std::int32_t limit = options_.thread_limit;
+  if (limit <= 0) {
+    limit = static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    if (limit <= 0) limit = 1;
+  }
+  // Concurrent leaf threads: server workers x concurrently-running portfolio
+  // starts x inner solver threads.  Only the last factor is ours to shrink.
+  const std::int32_t concurrent_starts =
+      std::max<std::int32_t>(1, std::min(spec.threads, spec.starts));
+  const std::int32_t per_job = std::max<std::int32_t>(
+      1, limit / std::max<std::int32_t>(1, options_.workers));
+  const std::int32_t allowed = std::max<std::int32_t>(
+      1, per_job / concurrent_starts);
+  if (requested > allowed) {
+    log::warn("inner_threads ", requested, " would oversubscribe (",
+              options_.workers, " workers x ", concurrent_starts,
+              " concurrent starts x ", requested, " > limit ", limit,
+              "); clamping to ", allowed);
+    return allowed;
+  }
+  return requested;
+}
+
 void Server::handle_submit(Request request, const Sink& respond) {
   if (!request.problem_file.empty() &&
       !read_file_to_string(request.problem_file, request.problem_text)) {
@@ -141,6 +169,9 @@ void Server::handle_submit(Request request, const Sink& respond) {
                                                 request.problem_file + "'"));
     return;
   }
+
+  request.solver.inner_threads = clamp_inner_threads(request.solver);
+  inner_threads_effective_.set(request.solver.inner_threads);
 
   Job job;
   job.priority = request.priority;
@@ -378,6 +409,10 @@ json::Value Server::stats_json() {
               .count());
   out.set("workers", options_.workers);
   out.set("queue_capacity", static_cast<std::int64_t>(queue_.capacity()));
+  // Snapshot the shared work pool: busy helpers / spawned helpers, as an
+  // integer percentage (0 when no helper has ever been needed).
+  pool_utilization_.set(
+      static_cast<std::int64_t>(par::utilization() * 100.0 + 0.5));
   const json::Value instruments = metrics_.to_json();
   for (std::size_t k = 0; k < instruments.size(); ++k) {
     out.set(instruments.key_at(k), instruments.at(k));

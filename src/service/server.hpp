@@ -59,6 +59,13 @@ struct ServerOptions {
   /// Launch workers in the constructor.  Tests set this false and call
   /// start() after staging submissions, making pop order deterministic.
   bool autostart = true;
+  /// Combined thread budget for the whole process: workers x portfolio
+  /// starts x inner solver threads is clamped so it never exceeds this.
+  /// 0 means hardware_concurrency().  A submit whose solver spec would
+  /// oversubscribe gets its inner_threads clamped (with a warning log and
+  /// the `inner_threads_effective` gauge updated); the job itself is never
+  /// rejected for asking too much.
+  std::int32_t thread_limit = 0;
   /// Contract-violation fail mode installed (process-wide) at construction.
   /// The daemon default is throw: a violation -- hostile input reaching a
   /// construction boundary, or a shadow-audit mismatch -- fails the one
@@ -117,6 +124,9 @@ class Server {
   };
 
   void handle_submit(Request request, const Sink& respond);
+  /// Resolve and clamp a spec's inner_threads against the combined budget
+  /// (workers x starts x inner <= thread_limit); logs when it clamps.
+  [[nodiscard]] std::int32_t clamp_inner_threads(const SolverSpec& spec) const;
   void handle_cancel(const Request& request, const Sink& respond);
   void worker_loop(std::int32_t worker_index);
   void finish_job(const Job& job, JobResult result);
@@ -164,6 +174,8 @@ class Server {
   Counter& jobs_error_;
   Gauge& queue_depth_;
   Gauge& workers_busy_;
+  Gauge& inner_threads_effective_;
+  Gauge& pool_utilization_;
   Histogram& queue_wait_seconds_;
   Histogram& solve_seconds_;
   Histogram& objective_;

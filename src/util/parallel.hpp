@@ -1,0 +1,277 @@
+// Deterministic fork-join parallelism for the solver hot paths.
+//
+// The repo-wide invariant is bit-identical assignments and objectives at
+// every thread count (engine determinism tests, the shadow validator, and
+// the exact-objective bench gate all enforce it).  This pool is built so
+// that invariant holds *by construction*:
+//
+//   1. Static chunking.  A range [0, n) is cut into chunks whose boundaries
+//      are a pure function of (n, grain) -- never of the thread count.
+//      Thread count only decides which thread *executes* a chunk, and every
+//      chunk writes to its own disjoint outputs, so FP results cannot
+//      re-associate across thread counts.
+//   2. Fixed reduction tree.  parallel_reduce stores one partial per chunk
+//      and folds them left-to-right in chunk-index order on the calling
+//      thread.  Running with 1 thread or 64 produces the same fold.
+//   3. No atomics on results.  Atomics are used only to hand out chunks and
+//      (in find_first) to skip chunks that provably cannot contain the
+//      answer; results always travel through per-chunk slots.
+//
+// Execution model: one process-wide pool of helper threads, grown lazily
+// and shared by every caller (portfolio starts included).  A parallel
+// region claims helpers up to its requested thread count, capped by a fair
+// share of the machine: base / active_regions.  Concurrent regions
+// therefore split the pool instead of oversubscribing, and a region that
+// gets zero helpers simply runs its chunks inline -- same chunks, same
+// results.  Nested regions (a parallel_for issued from inside a pool
+// worker) always run inline for the same reason.
+//
+// The bodies/maps/scans passed in run concurrently on pool threads: they
+// must only write state that is private per chunk (or per call), and any
+// shared state they read must be frozen for the duration of the region.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace qbp::par {
+
+/// Hard ceiling on pool helper threads (the caller participates too, so a
+/// region can use at most kMaxHelpers + 1 threads).
+inline constexpr std::int32_t kMaxHelpers = 63;
+
+/// Regions with fewer chunks than this run inline even when threads were
+/// requested: waking a helper costs microseconds, so tiny scans (small
+/// problems, a find_first cursor near the end of its range) would pay more
+/// in scheduling than the chunks are worth.  Scheduling-only -- the chunk
+/// plan is the same either way, so results cannot change.
+inline constexpr std::int32_t kMinFanoutChunks = 4;
+
+/// The static chunk layout for a range: a pure function of (n, grain) so
+/// every thread count sees identical chunk boundaries.
+struct ChunkPlan {
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  std::int32_t count = 0;
+
+  [[nodiscard]] static ChunkPlan make(std::int64_t n, std::int64_t grain) {
+    ChunkPlan plan;
+    plan.n = n < 0 ? 0 : n;
+    plan.grain = grain < 1 ? 1 : grain;
+    plan.count = plan.n == 0
+                     ? 0
+                     : static_cast<std::int32_t>((plan.n + plan.grain - 1) /
+                                                 plan.grain);
+    return plan;
+  }
+
+  [[nodiscard]] std::int64_t begin(std::int32_t chunk) const {
+    return static_cast<std::int64_t>(chunk) * grain;
+  }
+  [[nodiscard]] std::int64_t end(std::int32_t chunk) const {
+    const std::int64_t e = begin(chunk) + grain;
+    return e < n ? e : n;
+  }
+};
+
+/// The denominator of the fair-share arbitration: how many hardware slots
+/// concurrent regions divide among themselves.  Defaults to
+/// max(hardware_concurrency(), 8) -- the floor keeps the multi-thread code
+/// paths genuinely exercised (determinism tests, TSan) on tiny containers;
+/// actual oversubscription *policy* lives in the service layer, which
+/// clamps requested thread counts against the real core count.
+[[nodiscard]] std::int32_t fair_share_base();
+/// Override the fair-share base (tests; 0 restores the default).
+void set_fair_share_base(std::int32_t base);
+
+class Pool {
+ public:
+  /// The process-wide shared pool.
+  [[nodiscard]] static Pool& instance();
+
+  /// True while the calling thread is a pool helper executing chunks --
+  /// regions started from such a thread run inline (no nested fan-out).
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// Execute `body(ctx, chunk_begin, chunk_end, chunk_index)` for every
+  /// chunk of ChunkPlan::make(n, grain), using at most `threads` threads
+  /// (the caller plus claimed helpers).  Returns after every chunk ran.
+  /// Chunk boundaries, and therefore results, do not depend on `threads`.
+  void run(std::int64_t n, std::int64_t grain, std::int32_t threads,
+           void (*body)(void*, std::int64_t, std::int64_t, std::int32_t),
+           void* ctx);
+
+  /// Make sure at least `count` helper threads exist (bounded by
+  /// kMaxHelpers).  Portfolio calls this once up front so concurrent starts
+  /// do not race to spawn threads mid-solve.
+  void warm(std::int32_t count);
+
+  /// Observability for the metrics layer (instantaneous).
+  [[nodiscard]] std::int32_t helpers_spawned() const;
+  [[nodiscard]] std::int32_t helpers_busy() const;
+  /// Cumulative region counts: every run() call, and the subset that
+  /// actually fanned out to at least one helper.
+  [[nodiscard]] std::uint64_t regions_run() const noexcept;
+  [[nodiscard]] std::uint64_t regions_parallel() const noexcept;
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+ private:
+  struct Task {
+    void (*body)(void*, std::int64_t, std::int64_t, std::int32_t) = nullptr;
+    void* ctx = nullptr;
+    ChunkPlan plan;
+    std::atomic<std::int32_t> next_chunk{0};
+    /// Helpers this task may still recruit (set at submit, read under mu_).
+    std::int32_t helpers_allowed = 0;
+    std::int32_t helpers_joined = 0;
+    /// Helpers currently executing chunks; the submitter waits for 0.
+    std::atomic<std::int32_t> helpers_active{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  Pool() = default;
+  ~Pool();
+
+  void helper_main();
+  void ensure_helpers_locked(std::int32_t count);
+  static void process_chunks(Task& task);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> helpers_;
+  std::vector<Task*> pending_;
+  std::int32_t active_regions_ = 0;
+  std::int32_t busy_ = 0;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> regions_run_{0};
+  std::atomic<std::uint64_t> regions_parallel_{0};
+};
+
+/// Instantaneous pool utilization in [0, 1]: busy helpers / spawned
+/// helpers (0 when no helper was ever needed).
+[[nodiscard]] double utilization();
+
+/// Canonical interpretation of a thread-count knob: > 0 is taken literally,
+/// <= 0 means "all hardware"; both are clamped to [1, kMaxHelpers + 1].
+[[nodiscard]] inline std::int32_t resolve_threads(std::int32_t requested) {
+  std::int32_t threads = requested;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<std::int32_t>(hw);
+  }
+  return std::clamp(threads, 1, kMaxHelpers + 1);
+}
+
+namespace detail {
+
+template <class Body>
+void invoke_body(void* ctx, std::int64_t begin, std::int64_t end,
+                 std::int32_t chunk) {
+  (*static_cast<Body*>(ctx))(begin, end, chunk);
+}
+
+}  // namespace detail
+
+/// body(chunk_begin, chunk_end, chunk_index) over [0, n) in chunks of
+/// `grain`.  Bit-identical contract: the body must write only chunk-private
+/// state (boundaries never depend on `threads`).
+template <class Body>
+void parallel_for(std::int64_t n, std::int64_t grain, std::int32_t threads,
+                  Body&& body) {
+  using Fn = std::remove_reference_t<Body>;
+  Pool::instance().run(n, grain, threads, &detail::invoke_body<Fn>,
+                       const_cast<void*>(static_cast<const void*>(&body)));
+}
+
+/// Chunk-wise reduction with a fixed tree: map(chunk_begin, chunk_end)
+/// produces one partial per chunk (in parallel), then the partials are
+/// folded left-to-right in chunk order on the calling thread:
+/// combine(combine(init, p0), p1)...  Identical at every thread count.
+template <class T, class Map, class Combine>
+[[nodiscard]] T parallel_reduce(std::int64_t n, std::int64_t grain,
+                                std::int32_t threads, T init, Map&& map,
+                                Combine&& combine) {
+  const ChunkPlan plan = ChunkPlan::make(n, grain);
+  if (plan.count == 0) return init;
+  if (plan.count == 1) return combine(std::move(init), map(plan.begin(0), plan.end(0)));
+  std::vector<T> partial(static_cast<std::size_t>(plan.count));
+  parallel_for(n, grain, threads,
+               [&](std::int64_t begin, std::int64_t end, std::int32_t chunk) {
+                 partial[static_cast<std::size_t>(chunk)] = map(begin, end);
+               });
+  T acc = std::move(init);
+  for (std::int32_t c = 0; c < plan.count; ++c) {
+    acc = combine(std::move(acc), std::move(partial[static_cast<std::size_t>(c)]));
+  }
+  return acc;
+}
+
+/// First index in [start, n) accepted by `scan`, or -1.  `scan(begin, end)`
+/// must return the smallest accepted index in [begin, end) or -1, reading
+/// only state that is frozen for the duration of the call.  Results travel
+/// through per-chunk slots; a relaxed atomic only *skips* chunks that lie
+/// entirely after an already-found index (those cannot contain the
+/// answer), so the returned index is the true first at every thread count.
+template <class Scan>
+[[nodiscard]] std::int64_t find_first(std::int64_t n, std::int64_t start,
+                                      std::int64_t grain, std::int32_t threads,
+                                      Scan&& scan) {
+  if (start < 0) start = 0;
+  if (start >= n) return -1;
+  const ChunkPlan plan = ChunkPlan::make(n, grain);
+  // Serial when few chunks remain past the cursor: the parallel path would
+  // dispatch every chunk (pre-cursor ones no-op) only to inline them below
+  // the pool's own fan-out threshold anyway, and the serial walk stops at
+  // the first hit mid-chunk instead of finishing the chunk.
+  const std::int32_t start_chunk =
+      static_cast<std::int32_t>(start / plan.grain);
+  const bool serial = threads <= 1 ||
+                      plan.count - start_chunk < kMinFanoutChunks ||
+                      Pool::on_worker_thread();
+  if (serial) {
+    // Same chunk walk as the parallel path, stopping at the first hit --
+    // this is exactly the plain left-to-right scan.
+    for (std::int32_t c = 0; c < plan.count; ++c) {
+      const std::int64_t begin = std::max(plan.begin(c), start);
+      const std::int64_t end = plan.end(c);
+      if (begin >= end) continue;
+      const std::int64_t index = scan(begin, end);
+      if (index >= 0) return index;
+    }
+    return -1;
+  }
+  std::vector<std::int64_t> found(static_cast<std::size_t>(plan.count), -1);
+  std::atomic<std::int64_t> hint{std::numeric_limits<std::int64_t>::max()};
+  parallel_for(n, grain, threads,
+               [&](std::int64_t begin, std::int64_t end, std::int32_t chunk) {
+                 if (begin > hint.load(std::memory_order_relaxed)) return;
+                 if (begin < start) begin = start;
+                 if (begin >= end) return;
+                 const std::int64_t index = scan(begin, end);
+                 if (index < 0) return;
+                 found[static_cast<std::size_t>(chunk)] = index;
+                 std::int64_t cur = hint.load(std::memory_order_relaxed);
+                 while (index < cur && !hint.compare_exchange_weak(
+                                           cur, index, std::memory_order_relaxed)) {
+                 }
+               });
+  for (std::int32_t c = 0; c < plan.count; ++c) {
+    if (found[static_cast<std::size_t>(c)] >= 0) {
+      return found[static_cast<std::size_t>(c)];
+    }
+  }
+  return -1;
+}
+
+}  // namespace qbp::par

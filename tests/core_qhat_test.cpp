@@ -153,6 +153,30 @@ TEST_P(QhatSweep, EtaMatchesDenseColumnGather) {
   }
 }
 
+// The parallel gather owns one column slice per chunk, so the flat buffer
+// must come out bitwise identical at every thread count -- including on a
+// problem large enough (> the 64-column grain) to actually fan out.
+TEST(QhatEta, ParallelGatherIsBitIdentical) {
+  auto spec = test::TinySpec{};
+  spec.num_components = 300;
+  spec.num_partitions = 8;
+  spec.with_linear_term = true;
+  spec.seed = 5;
+  const auto problem = test::make_tiny_problem(spec);
+  const QhatMatrix qhat(problem, 50.0);
+  Rng rng(0x77);
+  const auto u = test::random_complete(problem.num_components(),
+                                       problem.num_partitions(), rng);
+  std::vector<double> serial(static_cast<std::size_t>(problem.flat_size()));
+  qhat.eta(u, serial);
+  for (const std::int32_t threads : {2, 8}) {
+    std::vector<double> parallel(static_cast<std::size_t>(problem.flat_size()),
+                                 -1.0);
+    qhat.eta(u, parallel, threads);
+    EXPECT_EQ(parallel, serial) << "threads " << threads;
+  }
+}
+
 TEST_P(QhatSweep, OmegaUpperBoundsRowActivity) {
   // Equation (2): omega_r >= sum_s qhat_{rs} y_s for every y in S.
   const auto problem = test::make_tiny_problem({.seed = GetParam()});

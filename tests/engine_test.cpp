@@ -9,6 +9,8 @@
 #include <stop_token>
 #include <vector>
 
+#include "bench_support/circuits.hpp"
+#include "core/initial.hpp"
 #include "core/qhat.hpp"
 #include "engine/engine.hpp"
 #include "test_support.hpp"
@@ -292,6 +294,68 @@ TEST(Portfolio, SameSeedTwiceIsBitIdenticalAndDifferentSeedUsuallyDiffers) {
     }
   }
   EXPECT_TRUE(any_start_differs);
+}
+
+// The PR-5 tentpole contract: intra-solve parallelism must be invisible in
+// the results.  Sweep inner_threads over {1, 2, 8} on an instance large
+// enough that every parallel phase (eta gather, GAP construct/repair/
+// improve/swap scans, polish row prefetch) actually chunks, and require
+// bit-identical assignments and objectives.  Under TSan this doubles as
+// the race check for the shared pool.
+TEST(InnerThreads, BitIdenticalAcrossInnerThreadCounts) {
+  const PartitionProblem problem = make_scaling_problem(800, 7);
+  const Assignment initial =
+      make_initial(problem, InitialStrategy::kQbpZeroWireCost, 7).assignment;
+
+  std::vector<BurkardResult> results;
+  for (const std::int32_t inner : {1, 2, 8}) {
+    BurkardOptions options;
+    options.iterations = 8;
+    options.inner_threads = inner;
+    results.push_back(solve_qbp(problem, initial, options));
+  }
+  const BurkardResult& reference = results.front();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE("inner_threads variant " + std::to_string(i));
+    EXPECT_EQ(results[i].best, reference.best);
+    EXPECT_EQ(results[i].best_penalized, reference.best_penalized);
+    EXPECT_EQ(results[i].found_feasible, reference.found_feasible);
+    EXPECT_EQ(results[i].best_feasible, reference.best_feasible);
+    EXPECT_EQ(results[i].best_feasible_objective,
+              reference.best_feasible_objective);
+    EXPECT_EQ(results[i].history, reference.history);
+  }
+}
+
+// Starts x inner threads through the portfolio: the fair-share pool must
+// not perturb either the per-start outcomes or the winner selection.
+TEST(InnerThreads, PortfolioSweepIsBitIdentical) {
+  const PartitionProblem problem = engine_problem();
+  constexpr std::int32_t kStarts = 4;
+
+  std::vector<PortfolioResult> results;
+  for (const std::int32_t inner : {1, 2, 8}) {
+    BurkardOptions solver_options = fast_qbp_options();
+    solver_options.inner_threads = inner;
+    const BurkardSolver solver(solver_options);
+    PortfolioOptions options;
+    options.seed = 2026;
+    options.threads = 2;
+    results.push_back(Portfolio(options).run(problem, solver, kStarts));
+  }
+  const PortfolioResult& reference = results.front();
+  ASSERT_GE(reference.best_start, 0);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE("inner_threads variant " + std::to_string(i));
+    EXPECT_EQ(results[i].best_start, reference.best_start);
+    EXPECT_EQ(results[i].best.best, reference.best.best);
+    EXPECT_EQ(results[i].best.best_penalized, reference.best.best_penalized);
+    ASSERT_EQ(results[i].starts.size(), reference.starts.size());
+    for (std::size_t s = 0; s < reference.starts.size(); ++s) {
+      EXPECT_EQ(results[i].starts[s].best, reference.starts[s].best)
+          << "start " << s;
+    }
+  }
 }
 
 }  // namespace

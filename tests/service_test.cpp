@@ -109,6 +109,7 @@ TEST(Protocol, SubmitRoundTripPreservesEveryField) {
   request.solver.method = "sa";
   request.solver.starts = 7;
   request.solver.threads = 3;
+  request.solver.inner_threads = 4;
   request.solver.iterations = 250;
   request.solver.seed = 987654321;
   request.deadline_ms = 1500.5;
@@ -123,6 +124,7 @@ TEST(Protocol, SubmitRoundTripPreservesEveryField) {
   EXPECT_EQ(decoded.solver.method, "sa");
   EXPECT_EQ(decoded.solver.starts, 7);
   EXPECT_EQ(decoded.solver.threads, 3);
+  EXPECT_EQ(decoded.solver.inner_threads, 4);
   EXPECT_EQ(decoded.solver.iterations, 250);
   EXPECT_EQ(decoded.solver.seed, 987654321u);
   EXPECT_DOUBLE_EQ(decoded.deadline_ms, 1500.5);
@@ -265,6 +267,83 @@ TEST(Server, EndToEndJobsProduceDeterministicResults) {
     EXPECT_DOUBLE_EQ(serial[k].objective, parallel[k].objective);
     EXPECT_EQ(serial[k].assignment, parallel[k].assignment) << serial[k].id;
   }
+}
+
+TEST(Server, InnerThreadsAreBitIdenticalEndToEnd) {
+  // The same job spec at every inner_threads value must produce the same
+  // assignment and objective, bit for bit -- the util/parallel contract
+  // surfaced through protocol -> job -> engine -> solver.
+  const std::string problem = tiny_problem_text(29);
+
+  const auto run_one = [&](std::int32_t inner_threads) {
+    ResponseLog log;
+    ServerOptions options;
+    options.thread_limit = 64;  // roomy budget: nothing gets clamped
+    Server server(options);
+    Request request;
+    request.type = RequestType::kSubmit;
+    request.id = "inner";
+    request.problem_text = problem;
+    request.solver.starts = 3;
+    request.solver.iterations = 40;
+    request.solver.seed = 7;
+    request.solver.inner_threads = inner_threads;
+    server.handle_line(format_request(request), log.sink());
+    server.drain();
+    const auto results = log.results();
+    EXPECT_EQ(results.size(), 1u);
+    return results.empty() ? JobResult{} : results.front();
+  };
+
+  const JobResult reference = run_one(1);
+  ASSERT_EQ(reference.status, "ok");
+  for (const std::int32_t inner : {2, 8}) {
+    const JobResult got = run_one(inner);
+    EXPECT_EQ(got.status, reference.status) << "inner_threads " << inner;
+    EXPECT_EQ(got.objective, reference.objective) << "inner_threads " << inner;
+    EXPECT_EQ(got.assignment, reference.assignment)
+        << "inner_threads " << inner;
+  }
+}
+
+TEST(Server, OversubscribedInnerThreadsAreClampedAndReported) {
+  // workers x concurrent starts x inner_threads must fit thread_limit: a
+  // spec asking for 2 x 2 x 8 = 32 leaf threads against a budget of 8 gets
+  // inner_threads clamped to 8 / 2 workers / 2 concurrent starts = 2, and
+  // the stats snapshot reports both the clamp and the pool gauge.
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  ServerOptions options;
+  options.workers = 2;
+  options.thread_limit = 8;
+  Server server(options);
+
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.id = "greedy";
+  request.problem_text = problem;
+  request.solver.starts = 4;
+  request.solver.threads = 2;
+  request.solver.iterations = 10;
+  request.solver.inner_threads = 8;
+  server.handle_line(format_request(request), log.sink());
+  server.drain();
+  server.handle_line("{\"type\":\"stats\"}", log.sink());
+
+  const auto results = log.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results.front().status, "ok");
+
+  json::Value stats;
+  ASSERT_TRUE(json::parse(log.lines().back(), stats).ok);
+  const json::Value* gauges = stats.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->get_number("inner_threads_effective", -1.0), 2.0);
+  // The utilization gauge always exists; its value is a point-in-time
+  // sample in [0, 100].
+  const double utilization = gauges->get_number("pool_utilization", -1.0);
+  EXPECT_GE(utilization, 0.0);
+  EXPECT_LE(utilization, 100.0);
 }
 
 TEST(Server, PerJobValidateFlagShadowAuditsEveryStart) {
