@@ -46,7 +46,14 @@ struct RunnerConfig {
   bool smoke = false;
   double time_tolerance = 0.25;
   std::int64_t inner_threads = 1;
+  /// Presolve before the QBP legs.  The standard circuits have no reducible
+  /// structure, so on/off runs are bit-identical there and --check works
+  /// against one shared baseline in both modes.
+  bool presolve = true;
 };
+
+constexpr const char* kSuiteNames[] = {"table1", "table2",  "table3",
+                                       "scaling", "presolve", "all"};
 
 struct ScalingRow {
   std::int32_t n = 0;
@@ -65,6 +72,7 @@ std::vector<qbp::ExperimentRow> run_table_suite(bool with_timing,
   qbp::ExperimentConfig experiment;
   std::vector<std::string> circuits;
   experiment.inner_threads = static_cast<std::int32_t>(config.inner_threads);
+  experiment.presolve.enabled = config.presolve;
   if (config.smoke) {
     experiment.qbp_iterations = 30;
     experiment.gkl_outer_loops = 3;
@@ -108,6 +116,7 @@ std::vector<ScalingRow> run_scaling_suite(const RunnerConfig& config) {
     qbp::BurkardOptions options;
     options.iterations = iterations;
     options.inner_threads = static_cast<std::int32_t>(config.inner_threads);
+    options.presolve.enabled = config.presolve;
     const qbp::Timer timer;
     const auto result = qbp::solve_qbp(problem, initial.assignment, options);
 
@@ -129,6 +138,87 @@ std::vector<ScalingRow> run_scaling_suite(const RunnerConfig& config) {
     std::fprintf(stderr, "  N=%d done (%.2fs)\n", n, row.seconds);
   }
   return rows;
+}
+
+// Presolve suite: reducible scaling instances (make_presolve_problem),
+// solved once with presolve off and once with presolve on.  Rows report the
+// reduction-rule counters (exact-gated: the reducer is deterministic) plus
+// both solve times, so the baseline pins the speedup presolve buys.
+struct PresolveRow {
+  std::int32_t n = 0;
+  qbp::PresolveStats stats;
+  double reduction_pct = 0.0;
+  double seconds_off = 0.0;
+  double seconds_on = 0.0;
+  double final_off = 0.0;  // feasible objective, or penalized value
+  double final_on = 0.0;
+  bool feasible_off = false;
+  bool feasible_on = false;
+};
+
+std::vector<PresolveRow> run_presolve_suite(const RunnerConfig& config) {
+  const std::vector<std::int32_t> sizes =
+      config.smoke ? std::vector<std::int32_t>{200, 400}
+                   : std::vector<std::int32_t>{200, 400, 800, 1600, 3200};
+  const std::int32_t iterations = config.smoke ? 10 : 30;
+
+  std::vector<PresolveRow> rows;
+  for (const std::int32_t n : sizes) {
+    const auto problem = qbp::make_presolve_problem(n, 7);
+    const auto initial = qbp::make_initial(
+        problem, qbp::InitialStrategy::kQbpZeroWireCost, 7);
+
+    PresolveRow row;
+    row.n = n;
+    row.stats = qbp::presolve(problem).stats;
+    row.reduction_pct = 100.0 * row.stats.components_removed / n;
+
+    qbp::BurkardOptions options;
+    options.iterations = iterations;
+    options.inner_threads = static_cast<std::int32_t>(config.inner_threads);
+    const auto record = [&](double& seconds, double& final_cost,
+                            bool& feasible) {
+      const qbp::Timer timer;
+      const auto result = qbp::solve_qbp(problem, initial.assignment, options);
+      seconds = timer.seconds();
+      feasible = result.found_feasible;
+      final_cost = result.found_feasible ? result.best_feasible_objective
+                                         : result.best_penalized;
+    };
+    record(row.seconds_off, row.final_off, row.feasible_off);
+    options.presolve.enabled = true;
+    record(row.seconds_on, row.final_on, row.feasible_on);
+
+    rows.push_back(row);
+    std::fprintf(stderr, "  N=%d done (off %.2fs, on %.2fs, -%d comps)\n", n,
+                 row.seconds_off, row.seconds_on,
+                 row.stats.components_removed);
+  }
+  return rows;
+}
+
+qbp::json::Value presolve_to_json(const std::vector<PresolveRow>& rows) {
+  qbp::json::Value out = qbp::json::Value::array();
+  for (const auto& row : rows) {
+    qbp::json::Value entry = qbp::json::Value::object();
+    entry.set("n", static_cast<std::int64_t>(row.n));
+    entry.set("r0", static_cast<std::int64_t>(row.stats.r0));
+    entry.set("r1", static_cast<std::int64_t>(row.stats.r1));
+    entry.set("r2", static_cast<std::int64_t>(row.stats.r2));
+    entry.set("rn", static_cast<std::int64_t>(row.stats.rn));
+    entry.set("components_removed",
+              static_cast<std::int64_t>(row.stats.components_removed));
+    entry.set("reduction_pct", row.reduction_pct);
+    entry.set("presolve_seconds", row.stats.seconds);
+    entry.set("seconds_off", row.seconds_off);
+    entry.set("seconds_on", row.seconds_on);
+    entry.set("final_off", row.final_off);
+    entry.set("final_on", row.final_on);
+    entry.set("feasible_off", row.feasible_off);
+    entry.set("feasible_on", row.feasible_on);
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 // Table I rows: structural circuit descriptions (no solving).  The gate
@@ -282,6 +372,41 @@ void check_table1_suite(Gate& gate, const qbp::json::Value& baseline,
   }
 }
 
+void check_presolve_suite(Gate& gate, const qbp::json::Value& baseline,
+                          const std::vector<PresolveRow>& rows) {
+  for (const auto& row : rows) {
+    const qbp::json::Value* base_row = nullptr;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (static_cast<std::int32_t>(baseline.at(i).get_number("n", -1.0)) ==
+          row.n) {
+        base_row = &baseline.at(i);
+        break;
+      }
+    }
+    const std::string where = "presolve/N=" + std::to_string(row.n);
+    if (base_row == nullptr) {
+      gate.missing(where);
+      continue;
+    }
+    // The reducer is deterministic: counter drift means the rules changed.
+    gate.objective(where + "/r0", base_row->get_number("r0", -1.0), row.stats.r0);
+    gate.objective(where + "/r1", base_row->get_number("r1", -1.0), row.stats.r1);
+    gate.objective(where + "/r2", base_row->get_number("r2", -1.0), row.stats.r2);
+    gate.objective(where + "/rn", base_row->get_number("rn", -1.0), row.stats.rn);
+    gate.objective(where + "/components_removed",
+                   base_row->get_number("components_removed", -1.0),
+                   row.stats.components_removed);
+    gate.objective(where + "/final_off",
+                   base_row->get_number("final_off", -1.0), row.final_off);
+    gate.objective(where + "/final_on", base_row->get_number("final_on", -1.0),
+                   row.final_on);
+    gate.wall_clock(where + "/seconds_off",
+                    base_row->get_number("seconds_off", 0.0), row.seconds_off);
+    gate.wall_clock(where + "/seconds_on",
+                    base_row->get_number("seconds_on", 0.0), row.seconds_on);
+  }
+}
+
 void check_scaling_suite(Gate& gate, const qbp::json::Value& baseline,
                          const std::vector<ScalingRow>& rows) {
   for (const auto& row : rows) {
@@ -312,16 +437,23 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string check_path;
   std::string suite = "all";
+  std::string presolve_mode = "on";
   bool profile = false;
+  bool list_suites = false;
 
   qbp::CliParser cli("bench_runner",
                      "unified bench driver + CI regression gate");
   cli.add_flag("smoke", config.smoke,
                "reduced sizes/iterations for the CI gate");
-  cli.add_string("suite", suite, "table1|table2|table3|scaling|all");
+  cli.add_string("suite", suite, "table1|table2|table3|scaling|presolve|all");
+  cli.add_flag("list-suites", list_suites,
+               "print the valid --suite values and exit");
   cli.add_int("inner-threads", config.inner_threads,
               "threads inside each QBP solve (0 = all hardware); objectives "
               "are bit-identical at every value, so --check still applies");
+  cli.add_string("presolve", presolve_mode,
+                 "on | off: presolve before the QBP legs; bit-identical on "
+                 "the standard suites, so --check holds in both modes");
   cli.add_string("json", json_path, "write machine-readable results here");
   cli.add_string("check", check_path,
                  "compare against this baseline JSON; exit 1 on regression");
@@ -331,9 +463,26 @@ int main(int argc, char** argv) {
                "enable the phase profiler and report the breakdown");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
 
-  if (suite != "all" && suite != "table1" && suite != "table2" &&
-      suite != "table3" && suite != "scaling") {
-    std::fprintf(stderr, "unknown --suite '%s'\n", suite.c_str());
+  if (list_suites) {
+    for (const char* name : kSuiteNames) std::printf("%s\n", name);
+    return 0;
+  }
+  if (presolve_mode != "on" && presolve_mode != "off") {
+    std::fprintf(stderr, "--presolve must be on|off\n");
+    return 2;
+  }
+  config.presolve = presolve_mode == "on";
+
+  bool suite_known = false;
+  for (const char* name : kSuiteNames) suite_known |= suite == name;
+  if (!suite_known) {
+    std::string valid;
+    for (const char* name : kSuiteNames) {
+      if (!valid.empty()) valid += ", ";
+      valid += name;
+    }
+    std::fprintf(stderr, "unknown --suite '%s' (valid suites: %s)\n",
+                 suite.c_str(), valid.c_str());
     return 2;
   }
   const auto want = [&](const char* name) {
@@ -349,6 +498,7 @@ int main(int argc, char** argv) {
   std::vector<qbp::ExperimentRow> table2;
   std::vector<qbp::ExperimentRow> table3;
   std::vector<ScalingRow> scaling;
+  std::vector<PresolveRow> presolve;
 
   if (want("table1")) {
     std::fprintf(stderr, "suite table1 (circuit descriptions)\n");
@@ -380,6 +530,28 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.render().c_str());
     suites.set("scaling", scaling_to_json(scaling));
+  }
+  if (want("presolve")) {
+    std::fprintf(stderr, "suite presolve (reducible instances)\n");
+    presolve = run_presolve_suite(config);
+    qbp::TextTable table({"N", "removed", "r0", "r1", "r2", "rn",
+                          "presolve (s)", "off (s)", "on (s)", "speedup"});
+    for (const auto& row : presolve) {
+      table.add_row(
+          {std::to_string(row.n),
+           std::to_string(row.stats.components_removed) + " (" +
+               qbp::format_double(row.reduction_pct, 1) + "%)",
+           std::to_string(row.stats.r0), std::to_string(row.stats.r1),
+           std::to_string(row.stats.r2), std::to_string(row.stats.rn),
+           qbp::format_double(row.stats.seconds, 3),
+           qbp::format_double(row.seconds_off, 2),
+           qbp::format_double(row.seconds_on, 2),
+           row.seconds_on > 0.0
+               ? qbp::format_double(row.seconds_off / row.seconds_on, 2) + "x"
+               : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    suites.set("presolve", presolve_to_json(presolve));
   }
 
   qbp::json::Value out = qbp::json::Value::object();
@@ -435,6 +607,10 @@ int main(int argc, char** argv) {
   if (want("scaling")) {
     if (const auto* base = suite_of("scaling"))
       check_scaling_suite(gate, *base, scaling);
+  }
+  if (want("presolve")) {
+    if (const auto* base = suite_of("presolve"))
+      check_presolve_suite(gate, *base, presolve);
   }
 
   if (gate.failures > 0) {

@@ -23,9 +23,11 @@
 #include "bench_support/circuits.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
+#include "core/presolve.hpp"
 #include "core/problem_io.hpp"
 #include "core/report.hpp"
 #include "engine/engine.hpp"
+#include "engine/pipeline.hpp"
 #include "util/cli.hpp"
 #include "util/prof.hpp"
 #include "util/strings.hpp"
@@ -65,6 +67,14 @@ int finish(const qbp::PartitionProblem& problem,
   return 0;
 }
 
+void print_presolve(const qbp::PresolveStats& stats, std::int32_t original) {
+  std::printf(
+      "presolve: removed %d of %d components (r0=%d r1=%d r2=%d rn=%d, "
+      "%d passes) in %.3f s\n",
+      stats.components_removed, original, stats.r0, stats.r1, stats.r2,
+      stats.rn, stats.passes, stats.seconds);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,6 +92,9 @@ int main(int argc, char** argv) {
   bool portfolio = false;
   bool quiet = false;
   bool profile = false;
+  std::string presolve_mode = "on";
+  std::string presolve_rules = "r0,r1,r2,rn";
+  std::int64_t presolve_rn = 4;
 
   qbp::CliParser cli("qbpart_cli",
                      "timing- and capacity-constrained partitioning from a "
@@ -109,7 +122,28 @@ int main(int argc, char** argv) {
   cli.add_flag("quiet", quiet, "suppress the capacity report");
   cli.add_flag("profile", profile,
                "time solver phases; the report gains a phase breakdown");
+  cli.add_string("presolve", presolve_mode,
+                 "on | off: reduce the instance (forced fixes, interaction "
+                 "elimination, co-location merges, exact tiny remainders) "
+                 "before solving; bit-identical to off when nothing reduces");
+  cli.add_string("presolve-rules", presolve_rules,
+                 "comma list of enabled reduction rules (subset of "
+                 "r0,r1,r2,rn)");
+  cli.add_int("presolve-rn", presolve_rn,
+              "solve remainders with at most this many free components "
+              "exactly (RN rule)");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+  if (presolve_mode != "on" && presolve_mode != "off") {
+    std::fprintf(stderr, "--presolve must be on|off\n");
+    return 1;
+  }
+  qbp::PresolveOptions presolve_options;
+  presolve_options.enabled = presolve_mode == "on";
+  presolve_options.rule_r0 = presolve_rules.find("r0") != std::string::npos;
+  presolve_options.rule_r1 = presolve_rules.find("r1") != std::string::npos;
+  presolve_options.rule_r2 = presolve_rules.find("r2") != std::string::npos;
+  presolve_options.rule_rn = presolve_rules.find("rn") != std::string::npos;
+  presolve_options.rn_max_components = static_cast<std::int32_t>(presolve_rn);
   if (profile) qbp::prof::set_enabled(true);
   if (!emit_sample_path.empty()) return emit_sample(emit_sample_path);
   if (problem_path.empty()) {
@@ -146,11 +180,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());
       return 1;
     }
-    qbp::engine::PortfolioOptions options;
-    options.seed = static_cast<std::uint64_t>(seed);
-    options.threads = static_cast<std::int32_t>(threads);
-    const auto result = qbp::engine::Portfolio(options).run(
-        problem, *solver, static_cast<std::int32_t>(starts));
+    qbp::engine::PipelineOptions options;
+    options.presolve = presolve_options;
+    options.portfolio.seed = static_cast<std::uint64_t>(seed);
+    options.portfolio.threads = static_cast<std::int32_t>(threads);
+    const qbp::engine::SolvePipeline pipeline(problem, options);
+    const auto run =
+        pipeline.run(*solver, static_cast<std::int32_t>(starts));
+    if (run.reduced) {
+      print_presolve(run.presolve, problem.num_components());
+    }
+    const auto& result = run.portfolio;
     std::printf(
         "portfolio: %d/%d starts on %d threads, %.2f s wall (%.2f s total "
         "work, winner start %d in %.2f s)\n",
@@ -203,6 +243,7 @@ int main(int argc, char** argv) {
     qbp::BurkardOptions options;
     options.iterations = static_cast<std::int32_t>(iterations);
     options.inner_threads = static_cast<std::int32_t>(inner_threads);
+    options.presolve = presolve_options;  // solver reduces + lifts itself
     const auto result = qbp::solve_qbp(problem, initial, options);
     if (!result.found_feasible) {
       std::fprintf(stderr,
@@ -220,26 +261,52 @@ int main(int argc, char** argv) {
                    method.c_str());
       return 2;
     }
-    if (method == "gfm") {
-      const auto result = qbp::solve_gfm(problem, initial);
-      final_assignment = result.assignment;
-      std::printf("GFM: %d passes, %lld moves kept, %.2f s\n", result.passes,
-                  static_cast<long long>(result.moves_kept), result.seconds);
-    } else if (method == "gkl") {
-      const auto result = qbp::solve_gkl(problem, initial);
-      final_assignment = result.assignment;
-      std::printf("GKL: %d outer loops, %lld swaps kept, %.2f s\n",
-                  result.outer_loops,
-                  static_cast<long long>(result.swaps_kept), result.seconds);
+    // Presolve wrap for the baseline heuristics: solve the reduced instance,
+    // lift the final assignment back.  Identity reductions keep the original
+    // problem, so the run is bit-identical to --presolve=off.
+    qbp::ReducedProblem reduced;
+    bool use_reduced = false;
+    if (presolve_options.enabled) {
+      const bool needs_normalize =
+          problem.alpha() != 1.0 || problem.beta() != 1.0;
+      reduced = qbp::presolve(
+          needs_normalize ? problem.normalized() : problem, presolve_options);
+      use_reduced = !reduced.identity() || reduced.rn_feasible;
+      if (use_reduced) print_presolve(reduced.stats, problem.num_components());
+    }
+    if (use_reduced && reduced.rn_feasible) {
+      final_assignment = reduced.lift.lift(reduced.rn_assignment);
+      std::printf("presolve: remainder solved exactly (RN), objective %.1f\n",
+                  reduced.rn_objective + reduced.lift.objective_offset);
     } else {
-      qbp::SaOptions options;
-      options.seed = static_cast<std::uint64_t>(seed);
-      const auto result = qbp::solve_sa(problem, initial, options);
-      final_assignment = result.assignment;
-      std::printf("SA: %d temperature steps, %lld/%lld accepted, %.2f s\n",
-                  result.temperature_steps,
-                  static_cast<long long>(result.accepted),
-                  static_cast<long long>(result.proposed), result.seconds);
+      const qbp::PartitionProblem& solve_problem =
+          use_reduced ? reduced.problem : problem;
+      const qbp::Assignment solve_start =
+          use_reduced ? reduced.lift.restrict_to_reduced(initial) : initial;
+      if (method == "gfm") {
+        const auto result = qbp::solve_gfm(solve_problem, solve_start);
+        final_assignment = result.assignment;
+        std::printf("GFM: %d passes, %lld moves kept, %.2f s\n", result.passes,
+                    static_cast<long long>(result.moves_kept), result.seconds);
+      } else if (method == "gkl") {
+        const auto result = qbp::solve_gkl(solve_problem, solve_start);
+        final_assignment = result.assignment;
+        std::printf("GKL: %d outer loops, %lld swaps kept, %.2f s\n",
+                    result.outer_loops,
+                    static_cast<long long>(result.swaps_kept), result.seconds);
+      } else {
+        qbp::SaOptions options;
+        options.seed = static_cast<std::uint64_t>(seed);
+        const auto result = qbp::solve_sa(solve_problem, solve_start, options);
+        final_assignment = result.assignment;
+        std::printf("SA: %d temperature steps, %lld/%lld accepted, %.2f s\n",
+                    result.temperature_steps,
+                    static_cast<long long>(result.accepted),
+                    static_cast<long long>(result.proposed), result.seconds);
+      }
+      if (use_reduced) {
+        final_assignment = reduced.lift.lift(final_assignment);
+      }
     }
   } else {
     std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());

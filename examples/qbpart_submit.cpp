@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
   std::int64_t priority = 0;
   std::int64_t count = 1;
   std::int64_t tcp_port = -1;
+  std::int64_t presolve_rn = 4;
+  std::string presolve_mode = "on";
   double deadline_ms = 0.0;
   bool by_path = false;
   bool stats = false;
@@ -66,6 +68,10 @@ int main(int argc, char** argv) {
               "clamps against its combined thread budget)");
   cli.add_int("iterations", iterations, "QBP iteration budget");
   cli.add_int("seed", seed, "random seed (determinism key)");
+  cli.add_string("presolve", presolve_mode,
+                 "on | off: reduce the instance server-side before solving");
+  cli.add_int("presolve-rn", presolve_rn,
+              "exact brute-force threshold for tiny presolved remainders");
   cli.add_int("priority", priority, "higher runs first");
   cli.add_double("deadline-ms", deadline_ms, "per-job deadline; 0 = none");
   cli.add_int("count", count, "submit the job spec this many times");
@@ -78,6 +84,10 @@ int main(int argc, char** argv) {
   cli.add_int("tcp", tcp_port, "deliver to 127.0.0.1:PORT and await replies");
   cli.add_flag("print", print_only, "print request lines to stdout only");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+  if (presolve_mode != "on" && presolve_mode != "off") {
+    std::fprintf(stderr, "--presolve must be on|off\n");
+    return 1;
+  }
 
   std::vector<std::string> lines;
   std::size_t expected_replies = 0;
@@ -91,6 +101,8 @@ int main(int argc, char** argv) {
     request.solver.inner_threads = static_cast<std::int32_t>(inner_threads);
     request.solver.iterations = static_cast<std::int32_t>(iterations);
     request.solver.seed = static_cast<std::uint64_t>(seed);
+    request.solver.presolve = presolve_mode == "on";
+    request.solver.presolve_rn = static_cast<std::int32_t>(presolve_rn);
     request.deadline_ms = deadline_ms;
     request.priority = static_cast<std::int32_t>(priority);
     if (by_path) {

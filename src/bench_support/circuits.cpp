@@ -1,10 +1,13 @@
 #include "bench_support/circuits.hpp"
 
+#include <algorithm>
+#include <utility>
 
 #include "netlist/generator.hpp"
 #include "timing/constraints.hpp"
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace qbp {
 
@@ -102,6 +105,115 @@ PartitionProblem make_scaling_problem(std::int32_t n, std::uint64_t seed) {
       generated.netlist, generated.hidden_slot, topology, timing_spec);
   return PartitionProblem(std::move(generated.netlist), std::move(topology),
                           std::move(timing));
+}
+
+PartitionProblem make_presolve_problem(std::int32_t n, std::uint64_t seed) {
+  constexpr std::int32_t kPartitions = 16;
+  // The grid's minimum separable delay is 1; any pair bound strictly below
+  // that forces co-location (rule R2).
+  constexpr double kCoLocationBound = 0.5;
+  QBP_CHECK(n >= 64) << "presolve instances need room for the bait";
+
+  const std::int32_t num_r2 = n * 15 / 100;
+  const std::int32_t num_r1 = n * 5 / 100;
+  const std::int32_t num_r0 = std::min<std::int32_t>(kPartitions, n / 50);
+  const std::int32_t num_base = n - num_r2 - num_r1 - num_r0;
+
+  RandomNetlistSpec spec;
+  spec.name = "presolve" + std::to_string(n);
+  spec.num_components = num_base;
+  spec.total_wires = 6 * static_cast<std::int64_t>(num_base);
+  spec.seed = seed;
+  GeneratedNetlist generated = generate_netlist(spec);
+  generated.netlist.finalize();
+
+  PartitionTopology topology =
+      PartitionTopology::grid(4, 4, CostKind::kManhattan);
+
+  // Rebuild the base netlist so the bait can be appended after it.
+  Netlist netlist(spec.name);
+  std::vector<std::int32_t> slot = generated.hidden_slot;
+  for (std::int32_t j = 0; j < num_base; ++j) {
+    netlist.add_component("c" + std::to_string(j),
+                          generated.netlist.component_size(j));
+  }
+  for (const WireBundle& bundle : generated.netlist.bundles()) {
+    netlist.add_wires(bundle.a, bundle.b, bundle.multiplicity);
+  }
+
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  // R2 companions: wired to a base host, co-location bound added below,
+  // hidden at the host's slot so the reference placement satisfies it.
+  std::vector<std::pair<std::int32_t, std::int32_t>> co_located;
+  co_located.reserve(static_cast<std::size_t>(num_r2));
+  for (std::int32_t k = 0; k < num_r2; ++k) {
+    const auto host =
+        static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(num_base)));
+    const std::int32_t id = netlist.add_component(
+        "r2_" + std::to_string(k), rng.next_double(0.2, 0.8));
+    netlist.add_wires(host, id,
+                      static_cast<std::int32_t>(1 + rng.next_below(3)));
+    slot.push_back(slot[static_cast<std::size_t>(host)]);
+    co_located.emplace_back(host, id);
+  }
+  // R1 stragglers: tiny timing-free pendants (one wire, no constraints).
+  for (std::int32_t k = 0; k < num_r1; ++k) {
+    const auto host =
+        static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(num_base)));
+    const std::int32_t id =
+        netlist.add_component("r1_" + std::to_string(k), 0.25);
+    netlist.add_wires(host, id, 1);
+    slot.push_back(slot[static_cast<std::size_t>(host)]);
+  }
+
+  // Capacities from everything placed so far (the macros are accounted for
+  // separately: each home partition is widened by exactly its macro).
+  std::vector<double> capacities(kPartitions, 0.0);
+  for (std::size_t j = 0; j < slot.size(); ++j) {
+    capacities[static_cast<std::size_t>(slot[j])] +=
+        netlist.component_size(static_cast<std::int32_t>(j));
+  }
+  for (double& capacity : capacities) capacity *= 1.15;
+
+  // R0 macros: geometrically growing sizes, one distinct home partition
+  // each, so the largest free macro always has a singleton capacity domain
+  // and R0 fixes them in a cascade.
+  double macro_size = 2.0 * *std::max_element(capacities.begin(),
+                                              capacities.end());
+  for (std::int32_t k = 0; k < num_r0; ++k) {
+    const auto host =
+        static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(num_base)));
+    const std::int32_t id =
+        netlist.add_component("r0_" + std::to_string(k), macro_size);
+    netlist.add_wires(host, id, 1);
+    slot.push_back(k % kPartitions);
+    capacities[static_cast<std::size_t>(k % kPartitions)] += macro_size;
+    macro_size *= 3.0;
+  }
+  topology.set_capacities(std::move(capacities));
+  netlist.finalize();
+
+  // Timing lives on the base circuit only (the stragglers must stay
+  // timing-free), plus the co-location bounds that feed R2.
+  TimingSpec timing_spec;
+  timing_spec.target_count = 3 * num_base;
+  timing_spec.seed = seed ^ 0xabcd;
+  const TimingConstraints base_timing = generate_timing_constraints(
+      generated.netlist, generated.hidden_slot, topology, timing_spec);
+  TimingConstraints timing(n);
+  base_timing.matrix().for_each(
+      [&](std::int32_t j1, std::int32_t j2, double bound) {
+        if (j1 < j2) timing.add(j1, j2, bound);
+      });
+  for (const auto& [host, companion] : co_located) {
+    timing.add(host, companion, kCoLocationBound);
+  }
+
+  PartitionProblem problem(std::move(netlist), std::move(topology),
+                           std::move(timing));
+  QBP_CHECK(problem.is_feasible(Assignment(std::move(slot), kPartitions)))
+      << "construction must guarantee a feasible reference placement";
+  return problem;
 }
 
 }  // namespace qbp

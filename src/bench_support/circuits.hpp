@@ -74,4 +74,22 @@ struct CircuitConfig {
 [[nodiscard]] PartitionProblem make_scaling_problem(std::int32_t n,
                                                     std::uint64_t seed);
 
+/// Scaling instance with deliberately reducible structure (the bench_runner
+/// `presolve` suite).  Built like make_scaling_problem, then ~20% of the N
+/// components are replaced by reduction bait while keeping a feasible
+/// placement by construction:
+///   - R2 companions (~15%): tiny components wired to a host with a
+///     co-location timing bound (0.5, below the grid's minimum separable
+///     delay of 1), so presolve must merge them into the host;
+///   - R1 stragglers (~5%): tiny timing-free pendants with one wire, so
+///     presolve can fold them out with a response table;
+///   - R0 macros (up to 16): components so large they fit exactly one
+///     partition, forcing a fix cascade (largest first, freed capacity
+///     never re-admits a smaller macro elsewhere).
+/// The standard circuits reduce to nothing by design; this family is how
+/// the reduction rules (and their speedup) are actually measured.
+/// Deterministic in (n, seed).
+[[nodiscard]] PartitionProblem make_presolve_problem(std::int32_t n,
+                                                     std::uint64_t seed);
+
 }  // namespace qbp

@@ -50,6 +50,7 @@ ExperimentRow run_experiment_from(const std::string& circuit_name,
     options.iterations = config.qbp_iterations;
     options.penalty = config.penalty;
     options.inner_threads = config.inner_threads;
+    options.presolve = config.presolve;
     const Timer timer;
     const BurkardResult qbp = solve_qbp(problem, initial.assignment, options);
     row.qbp.cpu_seconds = timer.seconds();

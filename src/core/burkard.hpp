@@ -42,6 +42,7 @@
 
 #include "assign/gap.hpp"
 #include "core/embedding.hpp"
+#include "core/presolve.hpp"
 #include "core/problem.hpp"
 
 namespace qbp {
@@ -105,6 +106,16 @@ struct BurkardOptions {
   /// starts in the multistart driver).  Empty means never stop.  The engine
   /// portfolio wires a std::stop_token through this to cancel stragglers.
   std::function<bool()> should_stop;
+  /// Presolve the instance before iterating (core/presolve.hpp): the solve
+  /// then runs normalize -> reduce -> solve(reduced) -> lift -> validate,
+  /// with the lifted outcome shadow-checked against the *original* problem
+  /// when validation is on.  Disabled by default at this layer -- the
+  /// paper's listing runs on the raw instance, and inner solves (the B = 0
+  /// initial construction, multilevel levels, portfolio starts on an
+  /// already-reduced instance) must not re-reduce.  Entry points (CLI,
+  /// service, bench harness) opt in.  When no rule fires the solve is
+  /// bit-identical to presolve.enabled = false.
+  PresolveOptions presolve{.enabled = false};
 };
 
 struct BurkardResult {
@@ -138,6 +149,24 @@ struct BurkardResult {
 [[nodiscard]] BurkardResult solve_qbp(const PartitionProblem& problem,
                                       const Assignment& initial,
                                       const BurkardOptions& options = {});
+
+/// Map a reduced-space result (from a solve on ReducedProblem::problem) back
+/// onto the original instance: lift both incumbents, shift objectives by the
+/// folded constant, recompute the penalized value from scratch on the
+/// original (the reduced value is only offset-exact for capacity-feasible
+/// iterates), and -- when validation is enabled -- shadow-check the lifted
+/// claims against the original problem.  Shared by solve_qbp, the multilevel
+/// driver, and the engine pipeline.
+[[nodiscard]] BurkardResult lift_burkard_result(const PartitionProblem& original,
+                                                const ReducedProblem& reduced,
+                                                BurkardResult result,
+                                                double penalty);
+
+/// The RN exact remainder solution as a lifted, validated BurkardResult.
+/// Requires reduced.rn_feasible.
+[[nodiscard]] BurkardResult rn_burkard_result(const PartitionProblem& original,
+                                              const ReducedProblem& reduced,
+                                              double penalty);
 
 /// Multistart driver: `starts` independent runs from random assignments
 /// seeded by `seed`, best feasible result wins (best penalized when none

@@ -7,6 +7,7 @@
 
 #include "core/problem_io.hpp"
 #include "engine/engine.hpp"
+#include "engine/pipeline.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -64,28 +65,40 @@ JobResult run_job(const Job& job) {
                                  "' (qbp|multilevel|gfm|gkl|sa)");
   }
 
-  engine::PortfolioOptions options;
-  options.seed = job.solver.seed;
-  options.threads = job.solver.threads;
-  options.keep_start_results = false;
-  options.validate = job.solver.validate;  // absent = process default
-  if (job.stop != nullptr) options.stop = job.stop->get_token();
+  engine::PipelineOptions options;
+  options.presolve.enabled = job.solver.presolve;
+  options.presolve.rn_max_components = job.solver.presolve_rn;
+  options.portfolio.seed = job.solver.seed;
+  options.portfolio.threads = job.solver.threads;
+  options.portfolio.keep_start_results = false;
+  options.portfolio.validate = job.solver.validate;  // absent = default
+  if (job.stop != nullptr) options.portfolio.stop = job.stop->get_token();
 
-  engine::PortfolioResult portfolio;
+  engine::PipelineResult pipeline_result;
   try {
-    portfolio =
-        engine::Portfolio(options).run(problem, *solver, job.solver.starts);
+    // Every job runs the shared normalize -> presolve -> solve -> lift ->
+    // validate path; with presolve off (or nothing reducible) this is
+    // bit-identical to a plain Portfolio::run.
+    const engine::SolvePipeline pipeline(problem, options);
+    pipeline_result = pipeline.run(*solver, job.solver.starts);
   } catch (const std::exception& failure) {
     // The solvers themselves don't throw, but allocation can; a job must
     // never take the server down.
     return error_result(job, std::string("solve failed: ") + failure.what());
   }
+  const engine::PortfolioResult& portfolio = pipeline_result.portfolio;
 
   JobResult result;
   result.id = job.id;
   result.solve_s = timer.seconds();
   result.starts_run = portfolio.starts_run;
   result.starts_validated = portfolio.starts_validated;
+  result.presolve_r0 = pipeline_result.presolve.r0;
+  result.presolve_r1 = pipeline_result.presolve.r1;
+  result.presolve_r2 = pipeline_result.presolve.r2;
+  result.presolve_rn = pipeline_result.presolve.rn;
+  result.presolve_removed = pipeline_result.presolve.components_removed;
+  result.presolve_s = pipeline_result.presolve.seconds;
 
   const StopCause cause = job.cause();
   const bool interrupted =

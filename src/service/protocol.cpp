@@ -87,6 +87,17 @@ ParseResult parse_request(std::string_view line, Request& out) {
       if (!validate->is_bool()) return {false, "'validate' must be a boolean"};
       out.solver.validate = validate->as_bool(false);
     }
+    if (const json::Value* presolve = solver->find("presolve");
+        presolve != nullptr) {
+      if (!presolve->is_bool()) return {false, "'presolve' must be a boolean"};
+      out.solver.presolve = presolve->as_bool(true);
+    }
+    if (!read_int32(*solver, "presolve_rn", out.solver.presolve_rn, error)) {
+      return {false, error};
+    }
+    if (out.solver.presolve_rn < 0) {
+      return {false, "'presolve_rn' must be >= 0"};
+    }
   }
 
   out.deadline_ms = value.get_number("deadline_ms", 0.0);
@@ -124,6 +135,10 @@ std::string format_request(const Request& request) {
     if (request.solver.validate.has_value()) {
       solver.set("validate", *request.solver.validate);
     }
+    if (!request.solver.presolve) solver.set("presolve", false);
+    if (request.solver.presolve_rn != SolverSpec{}.presolve_rn) {
+      solver.set("presolve_rn", request.solver.presolve_rn);
+    }
     value.set("solver", std::move(solver));
     if (request.deadline_ms > 0.0) value.set("deadline_ms", request.deadline_ms);
     if (request.priority != 0) value.set("priority", request.priority);
@@ -154,6 +169,16 @@ json::Value result_to_json(const JobResult& result) {
   if (result.starts_validated > 0) {
     value.set("starts_validated", result.starts_validated);
   }
+  if (result.presolve_removed > 0) {
+    json::Value presolve = json::Value::object();
+    presolve.set("r0", result.presolve_r0);
+    presolve.set("r1", result.presolve_r1);
+    presolve.set("r2", result.presolve_r2);
+    presolve.set("rn", result.presolve_rn);
+    presolve.set("components_removed", result.presolve_removed);
+    presolve.set("seconds", result.presolve_s);
+    value.set("presolve", std::move(presolve));
+  }
   return value;
 }
 
@@ -175,6 +200,20 @@ ParseResult result_from_json(const json::Value& value, JobResult& out) {
       static_cast<std::int32_t>(value.get_number("starts_run", 0.0));
   out.starts_validated =
       static_cast<std::int32_t>(value.get_number("starts_validated", 0.0));
+  if (const json::Value* presolve = value.find("presolve");
+      presolve != nullptr && presolve->is_object()) {
+    out.presolve_r0 =
+        static_cast<std::int32_t>(presolve->get_number("r0", 0.0));
+    out.presolve_r1 =
+        static_cast<std::int32_t>(presolve->get_number("r1", 0.0));
+    out.presolve_r2 =
+        static_cast<std::int32_t>(presolve->get_number("r2", 0.0));
+    out.presolve_rn =
+        static_cast<std::int32_t>(presolve->get_number("rn", 0.0));
+    out.presolve_removed = static_cast<std::int32_t>(
+        presolve->get_number("components_removed", 0.0));
+    out.presolve_s = presolve->get_number("seconds", 0.0);
+  }
   if (const json::Value* assignment = value.find("assignment");
       assignment != nullptr && assignment->is_array()) {
     out.assignment.reserve(assignment->size());

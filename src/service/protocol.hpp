@@ -62,6 +62,14 @@ struct SolverSpec {
   /// start is re-verified from scratch (core/validate.hpp).  Absent =
   /// follow the server's process default.
   std::optional<bool> validate;
+  /// Presolve the instance before solving ("presolve": true|false).  On by
+  /// default: the job runs through engine::SolvePipeline (normalize ->
+  /// reduce -> solve -> lift -> validate); bit-identical to off whenever no
+  /// reduction rule fires.
+  bool presolve = true;
+  /// RN brute-force threshold ("presolve_rn"): remainders with at most this
+  /// many free components are solved exactly instead of heuristically.
+  std::int32_t presolve_rn = 4;
 };
 
 enum class RequestType { kSubmit, kCancel, kStats, kShutdown };
@@ -100,6 +108,14 @@ struct JobResult {
   std::int32_t starts_run = 0;
   /// Starts whose result passed the shadow audit (0 unless validation ran).
   std::int32_t starts_validated = 0;
+  /// Presolve reduction counters (all zero when presolve was off or nothing
+  /// reduced; mirrors core PresolveStats).
+  std::int32_t presolve_r0 = 0;
+  std::int32_t presolve_r1 = 0;
+  std::int32_t presolve_r2 = 0;
+  std::int32_t presolve_rn = 0;
+  std::int32_t presolve_removed = 0;
+  double presolve_s = 0.0;
 };
 
 [[nodiscard]] json::Value result_to_json(const JobResult& result);

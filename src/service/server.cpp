@@ -52,6 +52,13 @@ Server::Server(ServerOptions options)
       workers_busy_(metrics_.gauge("workers_busy")),
       inner_threads_effective_(metrics_.gauge("inner_threads_effective")),
       pool_utilization_(metrics_.gauge("pool_utilization")),
+      presolve_r0_(metrics_.gauge("presolve.r0")),
+      presolve_r1_(metrics_.gauge("presolve.r1")),
+      presolve_r2_(metrics_.gauge("presolve.r2")),
+      presolve_rn_(metrics_.gauge("presolve.rn")),
+      presolve_removed_(metrics_.gauge("presolve.components_removed")),
+      presolve_seconds_(metrics_.histogram("presolve.seconds",
+                                           Histogram::latency_bounds())),
       queue_wait_seconds_(metrics_.histogram("queue_wait_seconds",
                                              Histogram::latency_bounds())),
       solve_seconds_(
@@ -349,6 +356,12 @@ void Server::finish_job(const Job& job, JobResult result) {
   queue_wait_seconds_.observe(result.queue_wait_s);
   if (result.solve_s > 0.0) solve_seconds_.observe(result.solve_s);
   if (result.feasible) objective_.observe(result.objective);
+  presolve_r0_.add(result.presolve_r0);
+  presolve_r1_.add(result.presolve_r1);
+  presolve_r2_.add(result.presolve_r2);
+  presolve_rn_.add(result.presolve_rn);
+  presolve_removed_.add(result.presolve_removed);
+  if (result.presolve_s > 0.0) presolve_seconds_.observe(result.presolve_s);
 
   {
     const std::lock_guard lock(active_mutex_);

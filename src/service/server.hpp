@@ -176,6 +176,14 @@ class Server {
   Gauge& workers_busy_;
   Gauge& inner_threads_effective_;
   Gauge& pool_utilization_;
+  // Cumulative presolve reduction totals across all completed jobs, plus
+  // the wall clock the most recent reducing job spent in presolve.
+  Gauge& presolve_r0_;
+  Gauge& presolve_r1_;
+  Gauge& presolve_r2_;
+  Gauge& presolve_rn_;
+  Gauge& presolve_removed_;
+  Histogram& presolve_seconds_;
   Histogram& queue_wait_seconds_;
   Histogram& solve_seconds_;
   Histogram& objective_;

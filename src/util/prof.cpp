@@ -33,14 +33,14 @@ struct ThreadBuckets {
   mutable std::mutex mutex;
   std::deque<Bucket> buckets;
 
-  void record(PhaseId id, std::int64_t ns) noexcept {
+  void record(PhaseId id, std::int64_t ns, std::int64_t count = 1) noexcept {
     const auto index = static_cast<std::size_t>(id);
     if (index >= buckets.size()) {
       const std::scoped_lock lock(mutex);
       while (buckets.size() <= index) buckets.emplace_back();
     }
     buckets[index].ns.fetch_add(ns, std::memory_order_relaxed);
-    buckets[index].count.fetch_add(1, std::memory_order_relaxed);
+    buckets[index].count.fetch_add(count, std::memory_order_relaxed);
   }
 };
 
@@ -132,6 +132,11 @@ ScopedPhase::ScopedPhase(PhaseId id) noexcept {
 ScopedPhase::~ScopedPhase() {
   if (id_ < 0) return;
   thread_buckets().record(id_, now_ns() - start_ns_);
+}
+
+void record_events(PhaseId id, std::int64_t count, std::int64_t ns) noexcept {
+  if (!enabled() || count <= 0) return;
+  thread_buckets().record(id, ns, count);
 }
 
 PhaseReport snapshot() {

@@ -79,6 +79,12 @@ struct PhaseReport {
 /// small); safe to call concurrently with recording scopes.
 [[nodiscard]] PhaseReport snapshot();
 
+/// Add `count` occurrences (and optionally `ns` nanoseconds) to a phase
+/// bucket without timing a scope -- for event counters surfaced through the
+/// same reports (e.g. presolve's rule-application counts).  No-op while
+/// profiling is disabled or when count <= 0.
+void record_events(PhaseId id, std::int64_t count, std::int64_t ns = 0) noexcept;
+
 /// RAII phase timer.  When profiling is disabled at construction the object
 /// is inert.  Not copyable or movable; construct through QBP_PROF_SCOPE.
 class ScopedPhase {

@@ -330,6 +330,102 @@ TEST(FlatMap, OperatorBracketUpdatesInPlace) {
   EXPECT_EQ(map.size(), 1u);
 }
 
+TEST(FlatMap, EmptyMapBehaves) {
+  FlatMap<int, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.begin(), map.end());
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_FALSE(map.erase(0));
+  EXPECT_EQ(map.value_or(0, 42), 42);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructsAbsentKey) {
+  FlatMap<int, double> map;
+  EXPECT_DOUBLE_EQ(map[4], 0.0);  // inserted as Value{}
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(4));
+}
+
+TEST(FlatMap, EraseKeepsSortedIterationOrder) {
+  FlatMap<int, int> map;
+  for (const int key : {9, 2, 7, 4, 11, 0}) map[key] = key * 10;
+  EXPECT_TRUE(map.erase(7));   // middle
+  EXPECT_TRUE(map.erase(0));   // first
+  EXPECT_TRUE(map.erase(11));  // last
+  std::vector<int> keys;
+  std::vector<int> values;
+  for (const auto& [key, value] : map) {
+    keys.push_back(key);
+    values.push_back(value);
+  }
+  EXPECT_EQ(keys, (std::vector<int>{2, 4, 9}));
+  EXPECT_EQ(values, (std::vector<int>{20, 40, 90}));
+}
+
+TEST(FlatMap, ReinsertAfterEraseStaysSorted) {
+  FlatMap<int, int> map;
+  map[1] = 10;
+  map[3] = 30;
+  map[5] = 50;
+  EXPECT_TRUE(map.erase(3));
+  map[3] = 31;
+  std::vector<int> keys;
+  for (const auto& [key, value] : map) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(map.value_or(3, -1), 31);
+}
+
+TEST(FlatMap, MutableFindAndIterationWriteThrough) {
+  FlatMap<int, int> map;
+  map[2] = 1;
+  map[8] = 2;
+  int* value = map.find(8);
+  ASSERT_NE(value, nullptr);
+  *value = 99;
+  EXPECT_EQ(map.value_or(8, 0), 99);
+  for (auto& [key, entry_value] : map) entry_value += 1;
+  EXPECT_EQ(map.value_or(2, 0), 2);
+  EXPECT_EQ(map.value_or(8, 0), 100);
+}
+
+TEST(FlatMap, NegativeKeysSortBeforePositive) {
+  FlatMap<int, int> map;
+  map[3] = 1;
+  map[-5] = 2;
+  map[0] = 3;
+  std::vector<int> keys;
+  for (const auto& [key, value] : map) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<int>{-5, 0, 3}));
+}
+
+TEST(FlatMap, EqualityComparesEntries) {
+  FlatMap<int, int> a;
+  FlatMap<int, int> b;
+  EXPECT_TRUE(a == b);
+  a[1] = 10;
+  b[1] = 10;
+  EXPECT_TRUE(a == b);
+  b[1] = 11;
+  EXPECT_FALSE(a == b);
+  b[1] = 10;
+  b[2] = 20;
+  EXPECT_FALSE(a == b);  // same prefix, extra entry
+}
+
+TEST(FlatMap, ClearEmptiesAndAllowsReuse) {
+  FlatMap<int, int> map;
+  map.reserve(8);
+  map[1] = 1;
+  map[2] = 2;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(1));
+  map[4] = 40;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.value_or(4, 0), 40);
+}
+
 // -------------------------------------------------------------- table ----
 
 TEST(TextTable, RendersHeadersAndRows) {
