@@ -23,15 +23,21 @@
 // algorithm changed -- and wall-clock must satisfy
 //   new <= old * (1 + time_tolerance) + 0.1 s
 // (the absolute slack keeps sub-100ms smoke timings from tripping on noise).
+#include <algorithm>
 #include <cstdio>
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_support/circuits.hpp"
+#include "bench_support/eco_stream.hpp"
 #include "bench_support/experiment.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
+#include "core/problem_io.hpp"
+#include "service/cache.hpp"
+#include "service/job.hpp"
 #include "netlist/stats.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -53,7 +59,7 @@ struct RunnerConfig {
 };
 
 constexpr const char* kSuiteNames[] = {"table1", "table2",  "table3",
-                                       "scaling", "presolve", "all"};
+                                       "scaling", "presolve", "eco", "all"};
 
 struct ScalingRow {
   std::int32_t n = 0;
@@ -195,6 +201,128 @@ std::vector<PresolveRow> run_presolve_suite(const RunnerConfig& config) {
                  row.stats.components_removed);
   }
   return rows;
+}
+
+// Eco suite: warm-start serving latency.  Each N runs the service job layer
+// against a private SolutionCache: one cold solve (inserted), one exact
+// re-submission (must come back as a bit-identical cache hit), then a short
+// stream of ECO-perturbed variants (bench_support/eco_stream) that should
+// be answered by the warm re-solve path.  Everything here is deterministic
+// -- the cache is driven by a scripted sequence -- so finals are
+// exact-gated; the headline number is warm_p50 / cold.
+struct EcoRow {
+  std::int32_t n = 0;
+  double cold_seconds = 0.0;
+  double cold_final = 0.0;
+  bool exact_hit = false;     // exact re-submit hit + bit-identical payload
+  std::int32_t variants = 0;  // perturbed re-submissions issued
+  std::int32_t warm_hits = 0;  // of those, answered via the warm path
+  std::vector<double> warm_finals;  // per-variant objective, exact-gated
+  double warm_p50_seconds = 0.0;
+  double warm_ratio = 0.0;  // warm_p50 / cold_seconds
+};
+
+std::vector<EcoRow> run_eco_suite(const RunnerConfig& config) {
+  const std::vector<std::int32_t> sizes =
+      config.smoke ? std::vector<std::int32_t>{200, 400}
+                   : std::vector<std::int32_t>{800, 3200};
+  // Enough work that the single-start cold solve lands feasible at every
+  // size (the suite's exact-hit and warm-start checks need an "ok" cold);
+  // smoke leans on extra starts instead of iterations to stay quick.
+  const std::int32_t iterations = config.smoke ? 10 : 100;
+  const std::int32_t starts = config.smoke ? 4 : 1;
+  constexpr std::int32_t kVariants = 5;
+
+  std::vector<EcoRow> rows;
+  for (const std::int32_t n : sizes) {
+    const auto base = qbp::make_scaling_problem(n, 7);
+    qbp::service::SolutionCache cache(16);
+
+    qbp::service::Job job;
+    job.solver.method = "qbp";
+    job.solver.starts = starts;
+    job.solver.iterations = iterations;
+    job.solver.seed = 7;
+    job.solver.inner_threads =
+        static_cast<std::int32_t>(config.inner_threads);
+    // Explicit so the spec fingerprint is independent of the build's
+    // validation default; the warm path re-validates on its own anyway.
+    job.solver.validate = false;
+    {
+      std::ostringstream out;
+      qbp::write_problem(out, base);
+      job.problem_text = out.str();
+    }
+
+    EcoRow row;
+    row.n = n;
+
+    job.id = "cold";
+    const qbp::Timer cold_timer;
+    const auto cold = qbp::service::run_job(job, &cache);
+    row.cold_seconds = cold_timer.seconds();
+    row.cold_final = cold.objective;
+
+    job.id = "exact";
+    const auto exact = qbp::service::run_job(job, &cache);
+    row.exact_hit = exact.cache_hit && exact.status == cold.status &&
+                    exact.objective == cold.objective &&
+                    exact.assignment == cold.assignment;
+
+    std::vector<double> warm_times;
+    for (std::int32_t v = 1; v <= kVariants; ++v) {
+      const auto variant = qbp::make_eco_variant(base, 7, v);
+      std::ostringstream out;
+      qbp::write_problem(out, variant);
+      job.problem_text = out.str();
+      job.id = "eco-" + std::to_string(v);
+      const qbp::Timer warm_timer;
+      const auto warm = qbp::service::run_job(job, &cache);
+      const double seconds = warm_timer.seconds();
+      ++row.variants;
+      row.warm_finals.push_back(warm.objective);
+      if (warm.warm_start) {
+        ++row.warm_hits;
+        warm_times.push_back(seconds);
+      }
+    }
+    if (!warm_times.empty()) {
+      std::sort(warm_times.begin(), warm_times.end());
+      row.warm_p50_seconds = warm_times[warm_times.size() / 2];
+    }
+    row.warm_ratio = row.cold_seconds > 0.0
+                         ? row.warm_p50_seconds / row.cold_seconds
+                         : 0.0;
+    rows.push_back(row);
+    std::fprintf(stderr,
+                 "  N=%d done (cold %.2fs, warm p50 %.3fs, ratio %.3f, "
+                 "%d/%d warm)\n",
+                 n, row.cold_seconds, row.warm_p50_seconds, row.warm_ratio,
+                 row.warm_hits, row.variants);
+  }
+  return rows;
+}
+
+qbp::json::Value eco_to_json(const std::vector<EcoRow>& rows) {
+  qbp::json::Value out = qbp::json::Value::array();
+  for (const auto& row : rows) {
+    qbp::json::Value entry = qbp::json::Value::object();
+    entry.set("n", static_cast<std::int64_t>(row.n));
+    entry.set("cold_seconds", row.cold_seconds);
+    entry.set("cold_final", row.cold_final);
+    entry.set("exact_hit", row.exact_hit);
+    entry.set("variants", static_cast<std::int64_t>(row.variants));
+    entry.set("warm_hits", static_cast<std::int64_t>(row.warm_hits));
+    qbp::json::Value finals = qbp::json::Value::array();
+    for (const double final_cost : row.warm_finals) {
+      finals.push_back(final_cost);
+    }
+    entry.set("warm_finals", std::move(finals));
+    entry.set("warm_p50_seconds", row.warm_p50_seconds);
+    entry.set("warm_ratio", row.warm_ratio);
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 qbp::json::Value presolve_to_json(const std::vector<PresolveRow>& rows) {
@@ -407,6 +535,58 @@ void check_presolve_suite(Gate& gate, const qbp::json::Value& baseline,
   }
 }
 
+void check_eco_suite(Gate& gate, const qbp::json::Value& baseline,
+                     const std::vector<EcoRow>& rows, bool smoke) {
+  for (const auto& row : rows) {
+    const qbp::json::Value* base_row = nullptr;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (static_cast<std::int32_t>(baseline.at(i).get_number("n", -1.0)) ==
+          row.n) {
+        base_row = &baseline.at(i);
+        break;
+      }
+    }
+    const std::string where = "eco/N=" + std::to_string(row.n);
+    if (base_row == nullptr) {
+      gate.missing(where);
+      continue;
+    }
+    // The scripted cache sequence is deterministic end to end, so the cold
+    // objective, the exact-hit guarantee, which variants warm-start and
+    // every warm final are all exact-gated.
+    gate.objective(where + "/cold_final",
+                   base_row->get_number("cold_final", -1.0), row.cold_final);
+    gate.objective(where + "/exact_hit",
+                   base_row->get_bool("exact_hit", false) ? 1.0 : 0.0,
+                   row.exact_hit ? 1.0 : 0.0);
+    gate.objective(where + "/warm_hits",
+                   base_row->get_number("warm_hits", -1.0), row.warm_hits);
+    const qbp::json::Value* finals = base_row->find("warm_finals");
+    if (finals == nullptr || finals->size() != row.warm_finals.size()) {
+      gate.missing(where + "/warm_finals");
+    } else {
+      for (std::size_t v = 0; v < row.warm_finals.size(); ++v) {
+        gate.objective(where + "/warm_finals[" + std::to_string(v) + "]",
+                       finals->at(v).as_number(-1.0), row.warm_finals[v]);
+      }
+    }
+    gate.wall_clock(where + "/cold_seconds",
+                    base_row->get_number("cold_seconds", 0.0),
+                    row.cold_seconds);
+    gate.wall_clock(where + "/warm_p50_seconds",
+                    base_row->get_number("warm_p50_seconds", 0.0),
+                    row.warm_p50_seconds);
+    // The headline acceptance bound: at full scale a warm re-solve must
+    // land at <= 10% of the cold solve's latency.
+    if (!smoke && row.n >= 3200 && row.warm_ratio > 0.10) {
+      std::fprintf(stderr,
+                   "GATE FAIL %s: warm/cold ratio %.3f exceeds 0.10\n",
+                   where.c_str(), row.warm_ratio);
+      ++gate.failures;
+    }
+  }
+}
+
 void check_scaling_suite(Gate& gate, const qbp::json::Value& baseline,
                          const std::vector<ScalingRow>& rows) {
   for (const auto& row : rows) {
@@ -445,7 +625,8 @@ int main(int argc, char** argv) {
                      "unified bench driver + CI regression gate");
   cli.add_flag("smoke", config.smoke,
                "reduced sizes/iterations for the CI gate");
-  cli.add_string("suite", suite, "table1|table2|table3|scaling|presolve|all");
+  cli.add_string("suite", suite,
+                 "table1|table2|table3|scaling|presolve|eco|all");
   cli.add_flag("list-suites", list_suites,
                "print the valid --suite values and exit");
   cli.add_int("inner-threads", config.inner_threads,
@@ -499,6 +680,7 @@ int main(int argc, char** argv) {
   std::vector<qbp::ExperimentRow> table3;
   std::vector<ScalingRow> scaling;
   std::vector<PresolveRow> presolve;
+  std::vector<EcoRow> eco;
 
   if (want("table1")) {
     std::fprintf(stderr, "suite table1 (circuit descriptions)\n");
@@ -552,6 +734,23 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.render().c_str());
     suites.set("presolve", presolve_to_json(presolve));
+  }
+  if (want("eco")) {
+    std::fprintf(stderr, "suite eco (warm-start serving)\n");
+    eco = run_eco_suite(config);
+    qbp::TextTable table({"N", "cold (s)", "exact hit", "warm", "warm p50 (s)",
+                          "warm/cold"});
+    for (const auto& row : eco) {
+      table.add_row({std::to_string(row.n),
+                     qbp::format_double(row.cold_seconds, 2),
+                     row.exact_hit ? "yes" : "NO",
+                     std::to_string(row.warm_hits) + "/" +
+                         std::to_string(row.variants),
+                     qbp::format_double(row.warm_p50_seconds, 3),
+                     qbp::format_double(row.warm_ratio, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    suites.set("eco", eco_to_json(eco));
   }
 
   qbp::json::Value out = qbp::json::Value::object();
@@ -611,6 +810,10 @@ int main(int argc, char** argv) {
   if (want("presolve")) {
     if (const auto* base = suite_of("presolve"))
       check_presolve_suite(gate, *base, presolve);
+  }
+  if (want("eco")) {
+    if (const auto* base = suite_of("eco"))
+      check_eco_suite(gate, *base, eco, config.smoke);
   }
 
   if (gate.failures > 0) {

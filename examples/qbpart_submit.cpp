@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
   std::int64_t tcp_port = -1;
   std::int64_t presolve_rn = 4;
   std::string presolve_mode = "on";
+  std::string presolve_rules = "r0,r1,r2,rn";
+  std::string cache_mode = "on";
+  std::string warm_mode = "on";
   double deadline_ms = 0.0;
   bool by_path = false;
   bool stats = false;
@@ -72,6 +75,14 @@ int main(int argc, char** argv) {
                  "on | off: reduce the instance server-side before solving");
   cli.add_int("presolve-rn", presolve_rn,
               "exact brute-force threshold for tiny presolved remainders");
+  cli.add_string("presolve-rules", presolve_rules,
+                 "comma-separated reduction rules to run (subset of "
+                 "r0,r1,r2,rn; same grammar as qbpart_cli)");
+  cli.add_string("cache", cache_mode,
+                 "on | off: let the server answer from its solution cache");
+  cli.add_string("warm-start", warm_mode,
+                 "on | off: allow the ECO warm re-solve path (off still "
+                 "permits exact cache hits)");
   cli.add_int("priority", priority, "higher runs first");
   cli.add_double("deadline-ms", deadline_ms, "per-job deadline; 0 = none");
   cli.add_int("count", count, "submit the job spec this many times");
@@ -86,6 +97,14 @@ int main(int argc, char** argv) {
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
   if (presolve_mode != "on" && presolve_mode != "off") {
     std::fprintf(stderr, "--presolve must be on|off\n");
+    return 1;
+  }
+  if (cache_mode != "on" && cache_mode != "off") {
+    std::fprintf(stderr, "--cache must be on|off\n");
+    return 1;
+  }
+  if (warm_mode != "on" && warm_mode != "off") {
+    std::fprintf(stderr, "--warm-start must be on|off\n");
     return 1;
   }
 
@@ -103,6 +122,9 @@ int main(int argc, char** argv) {
     request.solver.seed = static_cast<std::uint64_t>(seed);
     request.solver.presolve = presolve_mode == "on";
     request.solver.presolve_rn = static_cast<std::int32_t>(presolve_rn);
+    request.solver.presolve_rules = presolve_rules;
+    request.cache = cache_mode == "on";
+    request.warm_start = warm_mode == "on";
     request.deadline_ms = deadline_ms;
     request.priority = static_cast<std::int32_t>(priority);
     if (by_path) {

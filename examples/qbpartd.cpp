@@ -53,6 +53,8 @@ int main(int argc, char** argv) {
   bool validate = false;
   bool profile = false;
   std::string check_mode = "throw";
+  std::string cache_mode = "on";
+  std::int64_t cache_capacity = 64;
 
   qbp::CliParser cli("qbpartd",
                      "batch partitioning job server: NDJSON jobs in, "
@@ -78,6 +80,12 @@ int main(int argc, char** argv) {
                  "default), abort (fail fast), count (log and continue)");
   cli.add_flag("profile", profile,
                "time solver phases; stats gain phase_seconds.* histograms");
+  cli.add_string("cache", cache_mode,
+                 "solution cache: on (exact hits + ECO warm starts; "
+                 "default) or off (every job solves cold, bit-identical "
+                 "to the pre-cache server)");
+  cli.add_int("cache-capacity", cache_capacity,
+              "solution cache bound in entries (LRU eviction)");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
   if (workers < 1 || queue_capacity < 1) {
     std::fprintf(stderr, "--workers and --queue must be >= 1\n");
@@ -94,6 +102,14 @@ int main(int argc, char** argv) {
     fail_mode = qbp::check::FailMode::kLogAndCount;
   } else if (check_mode != "throw") {
     std::fprintf(stderr, "--check-mode must be throw|abort|count\n");
+    return 1;
+  }
+  if (cache_mode != "on" && cache_mode != "off") {
+    std::fprintf(stderr, "--cache must be on|off\n");
+    return 1;
+  }
+  if (cache_capacity < 0) {
+    std::fprintf(stderr, "--cache-capacity must be >= 0\n");
     return 1;
   }
   qbp::set_validation_enabled(validate);
@@ -116,6 +132,9 @@ int main(int argc, char** argv) {
   options.queue_capacity = static_cast<std::size_t>(queue_capacity);
   options.stats_interval_s = stats_interval;
   options.thread_limit = static_cast<std::int32_t>(thread_limit);
+  options.cache_capacity = cache_mode == "off"
+                               ? 0
+                               : static_cast<std::size_t>(cache_capacity);
   options.fail_mode = fail_mode;
   qbp::service::Server server(options);
 

@@ -1,0 +1,34 @@
+// Perturbed re-submission streams for the warm-start (`eco`) bench suite.
+//
+// An engineering-change order touches a handful of components and wires of
+// an otherwise finished design.  make_eco_variant models that: starting
+// from a base instance it shrinks a few component sizes and nudges a few
+// wire-bundle multiplicities, leaving the partition topology, the timing
+// constraints and the wire/delay structure untouched -- exactly the edit
+// classes the service's ProblemDigest diff counts, so a variant is
+// guaranteed to land inside the ECO edit budget and stay structurally
+// compatible with the cached base solve.  Sizes only ever shrink, so every
+// assignment feasible for the base stays capacity-feasible for the variant.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace qbp {
+
+struct EcoVariantConfig {
+  /// Components whose size is multiplied by `shrink` (at least 1).
+  std::int32_t size_edits_per_64 = 1;  // ~N/64 edits
+  double shrink = 0.9;
+  /// Wire bundles whose multiplicity moves by +/-1, floored at 1.
+  std::int32_t wire_edits_per_64 = 1;  // ~N/64 edits
+};
+
+/// Deterministic ECO perturbation `variant` (1-based is conventional but
+/// any value works) of `base`; deterministic in (base, seed, variant).
+[[nodiscard]] PartitionProblem make_eco_variant(
+    const PartitionProblem& base, std::uint64_t seed, std::int32_t variant,
+    const EcoVariantConfig& config = {});
+
+}  // namespace qbp

@@ -1,0 +1,110 @@
+#include "core/fingerprint.hpp"
+
+#include <cstdint>
+
+namespace qbp {
+
+namespace {
+
+// Section tags keep the flat word stream unambiguous: a capacities vector
+// can never alias a sizes vector of the same values.
+enum Tag : std::uint64_t {
+  kShape = 0x5150u,  // "QP"
+  kSizes = 1,
+  kCapacities = 2,
+  kWireCost = 3,
+  kDelay = 4,
+  kWires = 5,
+  kTiming = 6,
+  kLinear = 7,
+};
+
+}  // namespace
+
+Hash128 problem_fingerprint(const PartitionProblem& problem) {
+  const std::int32_t n = problem.num_components();
+  const std::int32_t m = problem.num_partitions();
+  const double alpha = problem.alpha();
+  const double beta = problem.beta();
+
+  StreamHasher hasher(0x71627061727464ULL);  // "qbpartd"
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kShape));
+  hasher.absorb(n);
+  hasher.absorb(m);
+
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kSizes));
+  for (std::int32_t j = 0; j < n; ++j) {
+    hasher.absorb(problem.netlist().component_size(j));
+  }
+
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kCapacities));
+  for (const double capacity : problem.topology().capacities()) {
+    hasher.absorb(capacity);
+  }
+
+  // B' = beta * B: the normalized quadratic cost (dense, M is small).
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kWireCost));
+  for (std::int32_t i1 = 0; i1 < m; ++i1) {
+    for (std::int32_t i2 = 0; i2 < m; ++i2) {
+      hasher.absorb(beta * problem.topology().wire_cost(i1, i2));
+    }
+  }
+
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kDelay));
+  for (std::int32_t i1 = 0; i1 < m; ++i1) {
+    for (std::int32_t i2 = 0; i2 < m; ++i2) {
+      hasher.absorb(problem.topology().delay(i1, i2));
+    }
+  }
+
+  // Wires from the merged, sorted connection matrix: duplicate bundles and
+  // input ordering are already canonicalized away.  Upper triangle only (A
+  // is symmetric by construction).
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kWires));
+  const auto& connections = problem.netlist().connection_matrix();
+  for (std::int32_t a = 0; a < n; ++a) {
+    const auto neighbors = connections.row_indices(a);
+    const auto weights = connections.row_values(a);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      if (neighbors[k] <= a) continue;
+      hasher.absorb(a);
+      hasher.absorb(neighbors[k]);
+      hasher.absorb(weights[k]);
+    }
+  }
+
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kTiming));
+  const auto& timing = problem.timing().matrix();
+  if (timing.rows() == n) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      const auto partners = timing.row_indices(j);
+      const auto bounds = timing.row_values(j);
+      for (std::size_t k = 0; k < partners.size(); ++k) {
+        if (partners[k] <= j) continue;
+        hasher.absorb(j);
+        hasher.absorb(partners[k]);
+        hasher.absorb(bounds[k]);
+      }
+    }
+  }
+
+  // P' = alpha * P, nonzero entries only: an empty P, an all-zero P and a
+  // zero alpha all contribute nothing (linear_cost() is 0 in each case).
+  hasher.absorb(static_cast<std::uint64_t>(Tag::kLinear));
+  const auto& p = problem.linear_cost_matrix();
+  if (!p.empty() && alpha != 0.0) {
+    for (std::int32_t i = 0; i < m; ++i) {
+      for (std::int32_t j = 0; j < n; ++j) {
+        const double cost = alpha * p(i, j);
+        if (cost == 0.0) continue;
+        hasher.absorb(i);
+        hasher.absorb(j);
+        hasher.absorb(cost);
+      }
+    }
+  }
+
+  return hasher.finish();
+}
+
+}  // namespace qbp

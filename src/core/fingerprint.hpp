@@ -1,0 +1,34 @@
+// Canonical instance fingerprint: the cache key of the warm-start serving
+// layer (service/cache.hpp).
+//
+// problem_fingerprint() hashes the *normalized* instance -- the PP(1, 1)
+// equivalent with alpha folded into P and beta folded into B, exactly the
+// semantics of PartitionProblem::normalized(), computed without building
+// the copy.  Two problems that normalize to the same instance hash equal;
+// in particular the fingerprint is invariant to
+//
+//   * input formatting: component/problem names, comment placement, line
+//     order in the .qp source -- none of it reaches the hash;
+//   * duplicate-wire ordering: bundles are absorbed from the merged,
+//     sorted connection matrix (upper triangle), so `wire a b 2` equals
+//     `wire b a 1` + `wire a b 1` in any order;
+//   * linear-term representation: an absent P and an all-zero P (and any
+//     alpha when P is zero) hash equal, because only nonzero alpha*P
+//     entries are absorbed;
+//   * the (alpha, beta) split: PP(2, 3) over (P, B) equals PP(1, 1) over
+//     (2P, 3B).
+//
+// Everything that changes the optimization problem IS absorbed: N, M,
+// sizes, capacities, wire bundles with multiplicities, B', D, the sparse
+// Dc bounds, and nonzero P' entries -- each section behind a distinct tag
+// so field sequences from different sections can never alias.
+#pragma once
+
+#include "core/problem.hpp"
+#include "util/hash.hpp"
+
+namespace qbp {
+
+[[nodiscard]] Hash128 problem_fingerprint(const PartitionProblem& problem);
+
+}  // namespace qbp

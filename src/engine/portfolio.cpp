@@ -21,15 +21,25 @@ namespace qbp::engine {
 
 namespace {
 
-/// Start i's StartPoint: a pure function of (master seed, i).  A fresh
-/// master Rng is forked per index -- fork() reads but never advances the
-/// master state -- so any thread can derive any start independently.
-StartPoint make_start(const PartitionProblem& problem, std::uint64_t master_seed,
-                      std::int32_t index) {
-  Rng master(master_seed);
+/// Start i's StartPoint: a pure function of (master seed, i, injected
+/// initial).  A fresh master Rng is forked per index -- fork() reads but
+/// never advances the master state -- so any thread can derive any start
+/// independently.  Start 0 uses the injected initial assignment when the
+/// options carry one of the right shape (the warm-start injection point);
+/// its seed is derived exactly as for a random start.
+StartPoint make_start(const PartitionProblem& problem,
+                      const PortfolioOptions& options, std::int32_t index) {
+  Rng master(options.seed);
   Rng stream = master.fork(static_cast<std::uint64_t>(index));
   StartPoint start;
   start.seed = stream();
+  if (index == 0 && options.initial.has_value() &&
+      options.initial->num_components() == problem.num_components() &&
+      options.initial->num_partitions() == problem.num_partitions() &&
+      options.initial->is_complete()) {
+    start.assignment = *options.initial;
+    return start;
+  }
   start.assignment =
       Assignment(problem.num_components(), problem.num_partitions());
   for (std::int32_t j = 0; j < problem.num_components(); ++j) {
@@ -149,7 +159,7 @@ PortfolioResult Portfolio::run(
       prefix += std::to_string(i);
       prefix += ' ';
       log::set_thread_prefix(std::move(prefix));
-      const StartPoint start = make_start(problem, options_.seed, i);
+      const StartPoint start = make_start(problem, options_, i);
       // Error containment: an uncaught exception in a jthread worker is
       // std::terminate, so a throwing solve (or a shadow-audit violation in
       // throw mode) must land in the slot, not escape.  The errored start

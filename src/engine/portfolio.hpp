@@ -58,6 +58,14 @@ struct PortfolioOptions {
   /// fires keeps the determinism guarantee only for the starts that already
   /// completed.
   std::stop_token stop{};
+  /// Explicit initial assignment for start 0 (the warm-start injection
+  /// point): when set and complete for the problem being solved, start 0
+  /// begins from this assignment instead of the seed-derived random one;
+  /// its RNG seed is still forked from the master seed as usual.  Starts
+  /// 1..K-1 are unaffected.  Determinism is preserved: start points stay a
+  /// pure function of (master seed, index, injected initial), independent
+  /// of thread count.
+  std::optional<Assignment> initial;
   /// Shadow-validate every completed start (core/validate.hpp): recompute
   /// feasibility and objectives from scratch and cross-check the delta
   /// machinery, firing a contract violation on mismatch.  nullopt defers to

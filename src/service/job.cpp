@@ -5,9 +5,14 @@
 #include <sstream>
 #include <utility>
 
+#include "core/fingerprint.hpp"
 #include "core/problem_io.hpp"
+#include "core/validate.hpp"
 #include "engine/engine.hpp"
 #include "engine/pipeline.hpp"
+#include "partition/deviation.hpp"
+#include "service/cache.hpp"
+#include "service/eco.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -40,9 +45,132 @@ JobResult error_result(const Job& job, std::string reason) {
   return result;
 }
 
+void apply_presolve_spec(engine::PipelineOptions& options,
+                         const SolverSpec& spec) {
+  options.presolve.enabled = spec.presolve;
+  options.presolve.rn_max_components = spec.presolve_rn;
+  const std::string& rules = spec.presolve_rules;
+  options.presolve.rule_r0 = rules.find("r0") != std::string::npos;
+  options.presolve.rule_r1 = rules.find("r1") != std::string::npos;
+  options.presolve.rule_r2 = rules.find("r2") != std::string::npos;
+  options.presolve.rule_rn = rules.find("rn") != std::string::npos;
+}
+
+CachedSolve to_cached(const JobResult& result) {
+  CachedSolve cached;
+  cached.solver = result.solver;
+  cached.feasible = result.feasible;
+  cached.objective = result.objective;
+  cached.best_penalized = result.best_penalized;
+  cached.assignment = result.assignment;
+  cached.starts_run = result.starts_run;
+  cached.starts_validated = result.starts_validated;
+  cached.presolve_r0 = result.presolve_r0;
+  cached.presolve_r1 = result.presolve_r1;
+  cached.presolve_r2 = result.presolve_r2;
+  cached.presolve_rn = result.presolve_rn;
+  cached.presolve_removed = result.presolve_removed;
+  cached.presolve_s = result.presolve_s;
+  return cached;
+}
+
+/// Reconstruct a JobResult from a cache entry: stored payload verbatim
+/// (assignment bytes included -- the bit-identical guarantee), fresh
+/// per-submission stamps.
+JobResult from_cached(const Job& job, const CachedSolve& cached) {
+  JobResult result;
+  result.id = job.id;
+  result.status = cached.feasible ? "ok" : "infeasible";
+  result.solver = cached.solver;
+  result.feasible = cached.feasible;
+  result.objective = cached.objective;
+  result.best_penalized = cached.best_penalized;
+  result.assignment = cached.assignment;
+  result.starts_run = cached.starts_run;
+  result.starts_validated = cached.starts_validated;
+  result.presolve_r0 = cached.presolve_r0;
+  result.presolve_r1 = cached.presolve_r1;
+  result.presolve_r2 = cached.presolve_r2;
+  result.presolve_rn = cached.presolve_rn;
+  result.presolve_removed = cached.presolve_removed;
+  result.presolve_s = cached.presolve_s;
+  result.cache_hit = true;
+  return result;
+}
+
+/// The ECO warm re-solve: polish the cached neighbor's assignment against
+/// the submitted problem and accept only a fully re-validated feasible
+/// answer.  Returns false (leaving `out` untouched) whenever anything --
+/// shape mismatch, interruption, infeasible repair, failed validation --
+/// suggests the cold path should run instead.
+bool try_warm_solve(const Job& job, const PartitionProblem& problem,
+                    const SolutionCache::Neighbor& neighbor, JobResult& out) {
+  const std::int32_t n = problem.num_components();
+  if (static_cast<std::int32_t>(neighbor.solve.assignment.size()) != n) {
+    return false;
+  }
+  Assignment seed(neighbor.solve.assignment, problem.num_partitions());
+
+  const EcoPolishSolver eco;
+  engine::PipelineOptions options;
+  // The warm run works on the raw submitted instance: no presolve, one
+  // start, the cached assignment injected as that start's initial.
+  options.presolve.enabled = false;
+  options.portfolio.seed = job.solver.seed;
+  options.portfolio.threads = 1;
+  options.portfolio.keep_start_results = false;
+  options.portfolio.validate = job.solver.validate;
+  options.portfolio.initial = seed;
+  if (job.stop != nullptr) options.portfolio.stop = job.stop->get_token();
+
+  engine::PipelineResult pipeline_result;
+  try {
+    const engine::SolvePipeline pipeline(problem, options);
+    pipeline_result = pipeline.run(eco, /*starts=*/1);
+  } catch (const std::exception& failure) {
+    log::warn("job ", job.id, ": warm solve failed (", failure.what(),
+              "), falling back to cold");
+    return false;
+  }
+  // Interrupted (deadline/cancel): let the cold path produce the status.
+  if (job.cause() != StopCause::kNone) return false;
+
+  const engine::PortfolioResult& portfolio = pipeline_result.portfolio;
+  if (portfolio.best_start < 0) return false;
+  const engine::SolverResult& best = portfolio.best;
+  if (!best.found_feasible || best.cancelled || !best.error.empty()) {
+    return false;
+  }
+
+  // Unconditional acceptance gate, independent of the validate flag: the
+  // warm answer must be feasible for the *submitted* problem and its
+  // objective is recomputed from scratch.  A warm start may only ever cost
+  // latency, never correctness.
+  const Assignment& chosen = best.best_feasible;
+  if (!chosen.is_complete() || !problem.is_feasible(chosen)) return false;
+
+  out = JobResult{};
+  out.id = job.id;
+  out.status = "ok";
+  out.solver = std::string(eco.name());
+  out.feasible = true;
+  out.objective = problem.objective(chosen);
+  out.best_penalized = best.best_penalized;
+  out.assignment.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t j = 0; j < n; ++j) out.assignment.push_back(chosen[j]);
+  out.starts_run = portfolio.starts_run;
+  out.starts_validated = portfolio.starts_validated;
+  out.warm_start = true;
+  out.eco_edits = static_cast<std::int32_t>(neighbor.edits);
+  out.eco_repairs = components_moved(seed, chosen);
+  return true;
+}
+
 }  // namespace
 
-JobResult run_job(const Job& job) {
+JobResult run_job(const Job& job) { return run_job(job, nullptr); }
+
+JobResult run_job(const Job& job, SolutionCache* cache) {
   const Timer timer;
 
   PartitionProblem problem;
@@ -59,6 +187,45 @@ JobResult run_job(const Job& job) {
     return error_result(job, std::string("problem rejected: ") + failure.what());
   }
 
+  // Cache lookup: exact fingerprint hit first, then the ECO neighbor path.
+  const bool use_cache =
+      cache != nullptr && cache->enabled() && job.use_cache;
+  Hash128 cache_key;
+  Hash128 spec_fp;
+  if (use_cache) {
+    const bool effective_validate =
+        job.solver.validate.value_or(validation_enabled());
+    spec_fp = spec_fingerprint(job.solver, effective_validate);
+    cache_key = combine_keys(problem_fingerprint(problem), spec_fp);
+    CachedSolve hit;
+    if (cache->find_exact(cache_key, hit)) {
+      JobResult result = from_cached(job, hit);
+      result.solve_s = timer.seconds();
+      log::info("job ", job.id, ": cache hit, objective=", result.objective);
+      return result;
+    }
+    if (job.warm_start) {
+      ProblemDigest digest = make_digest(problem);
+      SolutionCache::Neighbor neighbor;
+      if (cache->find_nearest(spec_fp, digest,
+                              SolutionCache::default_edit_budget(
+                                  problem.num_components()),
+                              neighbor)) {
+        JobResult warm;
+        if (try_warm_solve(job, problem, neighbor, warm)) {
+          warm.solve_s = timer.seconds();
+          cache->insert(cache_key, spec_fp, std::move(digest),
+                        to_cached(warm));
+          log::info("job ", job.id, ": warm start (", neighbor.edits,
+                    " edits, ", warm.eco_repairs,
+                    " repairs), objective=", warm.objective,
+                    " solve_s=", warm.solve_s);
+          return warm;
+        }
+      }
+    }
+  }
+
   const auto solver = make_spec_solver(job.solver);
   if (solver == nullptr) {
     return error_result(job, "unknown solver method '" + job.solver.method +
@@ -66,8 +233,7 @@ JobResult run_job(const Job& job) {
   }
 
   engine::PipelineOptions options;
-  options.presolve.enabled = job.solver.presolve;
-  options.presolve.rn_max_components = job.solver.presolve_rn;
+  apply_presolve_spec(options, job.solver);
   options.portfolio.seed = job.solver.seed;
   options.portfolio.threads = job.solver.threads;
   options.portfolio.keep_start_results = false;
@@ -136,6 +302,11 @@ JobResult run_job(const Job& job) {
                         ? "all " + std::to_string(portfolio.starts_errored) +
                               " starts failed"
                         : "no portfolio start ran";
+  }
+
+  // Only uninterrupted feasible answers are worth remembering.
+  if (use_cache && result.status == "ok") {
+    cache->insert(cache_key, spec_fp, make_digest(problem), to_cached(result));
   }
 
   log::info("job ", job.id, ": status=", result.status,

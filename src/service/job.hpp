@@ -38,6 +38,9 @@ struct Job {
   std::int32_t priority = 0;  // higher first
   SolverSpec solver;
   std::string problem_text;
+  /// Request-level cache opt-outs (protocol "cache"/"warm_start" fields).
+  bool use_cache = true;
+  bool warm_start = true;
 
   Clock::time_point submitted_at{};
   Clock::time_point deadline{Clock::time_point::max()};
@@ -61,11 +64,23 @@ struct Job {
   }
 };
 
+class SolutionCache;  // service/cache.hpp
+
 /// Solve `job` to completion (or until its stop token fires) and return the
 /// normalized result.  Never throws across this boundary: problem parse
 /// failures and unknown solver names come back as status "error".
 /// `queue_wait_s` is stamped by the caller (the worker knows when the job
 /// left the queue).
+///
+/// With a cache (and the job opted in), the flow is: exact fingerprint hit
+/// -> return the stored result bit-identical (`cache_hit`); structurally
+/// compatible neighbor within the edit budget -> ECO warm re-solve
+/// (service/eco.hpp), shadow-validated from scratch against the *submitted*
+/// problem (`warm_start`); otherwise -- or when the warm result fails
+/// validation -- a cold solve, whose "ok" result is inserted for next time.
+[[nodiscard]] JobResult run_job(const Job& job, SolutionCache* cache);
+
+/// Cache-free overload: identical to pre-cache behaviour.
 [[nodiscard]] JobResult run_job(const Job& job);
 
 }  // namespace qbp::service

@@ -98,6 +98,22 @@ ParseResult parse_request(std::string_view line, Request& out) {
     if (out.solver.presolve_rn < 0) {
       return {false, "'presolve_rn' must be >= 0"};
     }
+    if (const json::Value* rules = solver->find("presolve_rules");
+        rules != nullptr) {
+      if (!rules->is_string()) {
+        return {false, "'presolve_rules' must be a string"};
+      }
+      out.solver.presolve_rules = rules->as_string();
+    }
+  }
+
+  if (const json::Value* cache = value.find("cache"); cache != nullptr) {
+    if (!cache->is_bool()) return {false, "'cache' must be a boolean"};
+    out.cache = cache->as_bool(true);
+  }
+  if (const json::Value* warm = value.find("warm_start"); warm != nullptr) {
+    if (!warm->is_bool()) return {false, "'warm_start' must be a boolean"};
+    out.warm_start = warm->as_bool(true);
   }
 
   out.deadline_ms = value.get_number("deadline_ms", 0.0);
@@ -139,9 +155,14 @@ std::string format_request(const Request& request) {
     if (request.solver.presolve_rn != SolverSpec{}.presolve_rn) {
       solver.set("presolve_rn", request.solver.presolve_rn);
     }
+    if (request.solver.presolve_rules != SolverSpec{}.presolve_rules) {
+      solver.set("presolve_rules", request.solver.presolve_rules);
+    }
     value.set("solver", std::move(solver));
     if (request.deadline_ms > 0.0) value.set("deadline_ms", request.deadline_ms);
     if (request.priority != 0) value.set("priority", request.priority);
+    if (!request.cache) value.set("cache", false);
+    if (!request.warm_start) value.set("warm_start", false);
   }
   return value.dump();
 }
@@ -179,6 +200,12 @@ json::Value result_to_json(const JobResult& result) {
     presolve.set("seconds", result.presolve_s);
     value.set("presolve", std::move(presolve));
   }
+  if (result.cache_hit) value.set("cache_hit", true);
+  if (result.warm_start) {
+    value.set("warm_start", true);
+    value.set("eco_repairs", result.eco_repairs);
+    value.set("eco_edits", result.eco_edits);
+  }
   return value;
 }
 
@@ -214,6 +241,11 @@ ParseResult result_from_json(const json::Value& value, JobResult& out) {
         presolve->get_number("components_removed", 0.0));
     out.presolve_s = presolve->get_number("seconds", 0.0);
   }
+  out.cache_hit = value.get_bool("cache_hit", false);
+  out.warm_start = value.get_bool("warm_start", false);
+  out.eco_repairs =
+      static_cast<std::int32_t>(value.get_number("eco_repairs", 0.0));
+  out.eco_edits = static_cast<std::int32_t>(value.get_number("eco_edits", 0.0));
   if (const json::Value* assignment = value.find("assignment");
       assignment != nullptr && assignment->is_array()) {
     out.assignment.reserve(assignment->size());

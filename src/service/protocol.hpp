@@ -31,6 +31,13 @@
 // worker count, portfolio thread count, or queue load -- inherited from
 // engine::Portfolio (see DESIGN.md §7) -- provided the job ran to
 // completion (no deadline/cancel interruption).
+//
+// Warm-start serving (DESIGN.md §13): submits carry optional top-level
+// "cache" and "warm_start" booleans (default true).  An exact cache hit
+// returns the original result bit-identical ("cache_hit":true); a
+// near-match may be answered by the ECO re-solve path ("warm_start":true
+// with "eco_repairs"/"eco_edits"), whose result depends on cache contents
+// -- set "warm_start":false (or run --cache off) for strict determinism.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +77,9 @@ struct SolverSpec {
   /// RN brute-force threshold ("presolve_rn"): remainders with at most this
   /// many free components are solved exactly instead of heuristically.
   std::int32_t presolve_rn = 4;
+  /// Which reduction rules run ("presolve_rules": comma-separated subset of
+  /// r0,r1,r2,rn); same grammar as qbpart_cli --presolve-rules.
+  std::string presolve_rules = "r0,r1,r2,rn";
 };
 
 enum class RequestType { kSubmit, kCancel, kStats, kShutdown };
@@ -82,6 +92,13 @@ struct Request {
   SolverSpec solver;
   double deadline_ms = 0.0;  // relative to receipt; 0 = no deadline
   std::int32_t priority = 0;  // higher runs first; FIFO within a priority
+  /// "cache": false opts this submission out of the solution cache entirely
+  /// (no lookup, no insert) -- the result is bit-identical to a server
+  /// running with the cache disabled.
+  bool cache = true;
+  /// "warm_start": false allows exact cache hits but skips the ECO re-solve
+  /// path (useful when strict cache-or-cold behaviour is wanted).
+  bool warm_start = true;
 };
 
 /// Parse one request line.  Unknown `type` values and malformed JSON fail
@@ -116,6 +133,18 @@ struct JobResult {
   std::int32_t presolve_rn = 0;
   std::int32_t presolve_removed = 0;
   double presolve_s = 0.0;
+  /// This result came verbatim from the solution cache (exact fingerprint
+  /// hit); the assignment is bit-identical to the original solve's.
+  bool cache_hit = false;
+  /// This result came from the ECO warm-start path: polished from a cached
+  /// neighbor's assignment and re-validated against the submitted problem.
+  bool warm_start = false;
+  /// Components that moved relative to the cached seed assignment
+  /// (warm_start results only).
+  std::int32_t eco_repairs = 0;
+  /// Edit distance between the submitted problem and the cached neighbor it
+  /// warm-started from (warm_start results only).
+  std::int32_t eco_edits = 0;
 };
 
 [[nodiscard]] json::Value result_to_json(const JobResult& result);

@@ -37,6 +37,7 @@ bool read_file_to_string(const std::string& path, std::string& out) {
 Server::Server(ServerOptions options)
     : options_(options),
       queue_(options.queue_capacity),
+      cache_(options.cache_capacity),
       started_at_(std::chrono::steady_clock::now()),
       requests_total_(metrics_.counter("requests_total")),
       requests_malformed_(metrics_.counter("requests_malformed")),
@@ -59,6 +60,15 @@ Server::Server(ServerOptions options)
       presolve_removed_(metrics_.gauge("presolve.components_removed")),
       presolve_seconds_(metrics_.histogram("presolve.seconds",
                                            Histogram::latency_bounds())),
+      cache_hits_(metrics_.gauge("cache.hits")),
+      cache_misses_(metrics_.gauge("cache.misses")),
+      cache_evictions_(metrics_.gauge("cache.evictions")),
+      cache_inserts_(metrics_.gauge("cache.inserts")),
+      cache_entries_(metrics_.gauge("cache.entries")),
+      cache_bytes_(metrics_.gauge("cache.bytes")),
+      eco_exact_hits_(metrics_.gauge("eco.exact_hits")),
+      eco_warm_starts_(metrics_.gauge("eco.warm_starts")),
+      eco_repairs_(metrics_.gauge("eco.repairs")),
       queue_wait_seconds_(metrics_.histogram("queue_wait_seconds",
                                              Histogram::latency_bounds())),
       solve_seconds_(
@@ -183,6 +193,8 @@ void Server::handle_submit(Request request, const Sink& respond) {
   Job job;
   job.priority = request.priority;
   job.solver = request.solver;
+  job.use_cache = request.cache;
+  job.warm_start = request.warm_start;
   job.problem_text = std::move(request.problem_text);
   job.submitted_at = Job::Clock::now();
   if (request.deadline_ms > 0.0) {
@@ -321,7 +333,7 @@ void Server::worker_loop(std::int32_t worker_index) {
       // several busy workers a job's delta includes its neighbors' phases --
       // exact with --workers 1, an aggregate load profile otherwise.
       const prof::PhaseReport before = prof::snapshot();
-      result = run_job(job);
+      result = run_job(job, &cache_);
       for (const prof::PhaseStat& stat :
            prof::snapshot().since(before).phases) {
         metrics_
@@ -330,7 +342,7 @@ void Server::worker_loop(std::int32_t worker_index) {
             .observe(stat.seconds);
       }
     } else {
-      result = run_job(job);
+      result = run_job(job, &cache_);
     }
     result.queue_wait_s = queue_wait;
     finish_job(job, std::move(result));
@@ -362,6 +374,11 @@ void Server::finish_job(const Job& job, JobResult result) {
   presolve_rn_.add(result.presolve_rn);
   presolve_removed_.add(result.presolve_removed);
   if (result.presolve_s > 0.0) presolve_seconds_.observe(result.presolve_s);
+  if (result.cache_hit) eco_exact_hits_.add(1);
+  if (result.warm_start) {
+    eco_warm_starts_.add(1);
+    eco_repairs_.add(result.eco_repairs);
+  }
 
   {
     const std::lock_guard lock(active_mutex_);
@@ -426,6 +443,13 @@ json::Value Server::stats_json() {
   // integer percentage (0 when no helper has ever been needed).
   pool_utilization_.set(
       static_cast<std::int64_t>(par::utilization() * 100.0 + 0.5));
+  const CacheStats cache_stats = cache_.stats();
+  cache_hits_.set(cache_stats.hits);
+  cache_misses_.set(cache_stats.misses);
+  cache_evictions_.set(cache_stats.evictions);
+  cache_inserts_.set(cache_stats.inserts);
+  cache_entries_.set(cache_stats.entries);
+  cache_bytes_.set(cache_stats.bytes);
   const json::Value instruments = metrics_.to_json();
   for (std::size_t k = 0; k < instruments.size(); ++k) {
     out.set(instruments.key_at(k), instruments.at(k));

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/cache.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"
 #include "service/queue.hpp"
@@ -66,6 +67,10 @@ struct ServerOptions {
   /// the `inner_threads_effective` gauge updated); the job itself is never
   /// rejected for asking too much.
   std::int32_t thread_limit = 0;
+  /// Solution-cache capacity in entries (DESIGN.md §13); 0 disables both
+  /// the exact-hit path and ECO warm starts, making every job bit-identical
+  /// to the pre-cache server.
+  std::size_t cache_capacity = 64;
   /// Contract-violation fail mode installed (process-wide) at construction.
   /// The daemon default is throw: a violation -- hostile input reaching a
   /// construction boundary, or a shadow-audit mismatch -- fails the one
@@ -108,6 +113,7 @@ class Server {
   }
 
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] SolutionCache& cache() noexcept { return cache_; }
   [[nodiscard]] json::Value stats_json();
   [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
 
@@ -137,6 +143,7 @@ class Server {
   ServerOptions options_;
   MetricsRegistry metrics_;
   JobQueue queue_;
+  SolutionCache cache_;
   std::chrono::steady_clock::time_point started_at_;
 
   std::mutex respond_mutex_;   // serializes every response line
@@ -184,6 +191,17 @@ class Server {
   Gauge& presolve_rn_;
   Gauge& presolve_removed_;
   Histogram& presolve_seconds_;
+  // Solution-cache snapshot (mirrored from SolutionCache::stats() when a
+  // stats line renders) and cumulative ECO totals across completed jobs.
+  Gauge& cache_hits_;
+  Gauge& cache_misses_;
+  Gauge& cache_evictions_;
+  Gauge& cache_inserts_;
+  Gauge& cache_entries_;
+  Gauge& cache_bytes_;
+  Gauge& eco_exact_hits_;
+  Gauge& eco_warm_starts_;
+  Gauge& eco_repairs_;
   Histogram& queue_wait_seconds_;
   Histogram& solve_seconds_;
   Histogram& objective_;

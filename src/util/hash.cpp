@@ -1,0 +1,85 @@
+#include "util/hash.hpp"
+
+#include <cstring>
+
+namespace qbp {
+
+namespace {
+
+constexpr std::uint64_t kC1 = 0x87c37b91114253d5ULL;
+constexpr std::uint64_t kC2 = 0x4cf5ad432745937fULL;
+
+constexpr std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+/// MurmurHash3's 64-bit avalanche.
+constexpr std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+std::string Hash128::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        kDigits[(hi >> (60 - 4 * i)) & 0xF];
+    out[static_cast<std::size_t>(16 + i)] =
+        kDigits[(lo >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+void StreamHasher::absorb(std::uint64_t word) {
+  // One x64/128 Murmur3 body step, alternating lanes by word parity.
+  if ((words_ & 1) == 0) {
+    std::uint64_t k = word * kC1;
+    k = rotl(k, 31) * kC2;
+    h1_ ^= k;
+    h1_ = rotl(h1_, 27) + h2_;
+    h1_ = h1_ * 5 + 0x52dce729ULL;
+  } else {
+    std::uint64_t k = word * kC2;
+    k = rotl(k, 33) * kC1;
+    h2_ ^= k;
+    h2_ = rotl(h2_, 31) + h1_;
+    h2_ = h2_ * 5 + 0x38495ab5ULL;
+  }
+  ++words_;
+}
+
+void StreamHasher::absorb_bytes(std::string_view bytes) {
+  absorb(static_cast<std::uint64_t>(bytes.size()));
+  while (bytes.size() >= 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes.data(), 8);  // fixed little-endian-as-stored
+    absorb(word);
+    bytes.remove_prefix(8);
+  }
+  if (!bytes.empty()) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes.data(), bytes.size());
+    absorb(word);
+  }
+}
+
+Hash128 StreamHasher::finish() const {
+  std::uint64_t h1 = h1_ ^ words_;
+  std::uint64_t h2 = h2_ ^ words_;
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+}  // namespace qbp

@@ -1,0 +1,72 @@
+// 128-bit streaming hash for canonical instance fingerprints.
+//
+// The warm-start cache keys solved problems by content, so the hash must be
+// (a) stable across runs and platforms -- no pointer values, no
+// std::hash, no locale-dependent formatting; (b) wide enough that
+// collisions are never a practical concern (128 bits; the cache treats a
+// key match as instance identity); (c) streaming, so callers absorb a
+// normalized field sequence without materializing a byte buffer.
+//
+// The mixing core is the MurmurHash3 x64/128 finalizer family: each
+// absorbed 64-bit word is multiplied through two odd constants with
+// rotations, alternating between the two lanes, and finish() applies the
+// fmix64 avalanche to both lanes plus the absorbed length.  This is a
+// content fingerprint, NOT a cryptographic MAC -- collision *attacks* are
+// out of scope (the daemon already trusts submitted problems enough to
+// solve them).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qbp {
+
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+  /// Lexicographic order so Hash128 can key ordered containers.
+  friend bool operator<(const Hash128& a, const Hash128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// 32 lowercase hex digits, hi lane first.
+  [[nodiscard]] std::string to_hex() const;
+};
+
+class StreamHasher {
+ public:
+  explicit StreamHasher(std::uint64_t seed = 0) : h1_(seed), h2_(seed) {}
+
+  void absorb(std::uint64_t word);
+  void absorb(std::int64_t word) {
+    absorb(static_cast<std::uint64_t>(word));
+  }
+  void absorb(std::int32_t word) {
+    absorb(static_cast<std::uint64_t>(static_cast<std::int64_t>(word)));
+  }
+  /// Doubles are absorbed by bit pattern with -0.0 canonicalized to +0.0,
+  /// so numerically equal inputs that differ only in zero sign agree.
+  /// (NaNs keep their payload bits; instance fields are never NaN.)
+  void absorb(double value) {
+    if (value == 0.0) value = 0.0;  // collapse -0.0
+    absorb(std::bit_cast<std::uint64_t>(value));
+  }
+  /// Length-prefixed, so absorb_bytes("ab") + absorb_bytes("c") never
+  /// collides with absorb_bytes("a") + absorb_bytes("bc").
+  void absorb_bytes(std::string_view bytes);
+
+  /// Finalize (absorbs the word count; the hasher may keep absorbing and
+  /// finish() again -- finish is const with respect to the stream state).
+  [[nodiscard]] Hash128 finish() const;
+
+ private:
+  std::uint64_t h1_ = 0;
+  std::uint64_t h2_ = 0;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace qbp

@@ -114,6 +114,9 @@ TEST(Protocol, SubmitRoundTripPreservesEveryField) {
   request.solver.seed = 987654321;
   request.deadline_ms = 1500.5;
   request.priority = -2;
+  request.solver.presolve_rules = "r0,r2";
+  request.cache = false;
+  request.warm_start = false;
 
   Request decoded;
   const auto parsed = parse_request(format_request(request), decoded);
@@ -129,6 +132,9 @@ TEST(Protocol, SubmitRoundTripPreservesEveryField) {
   EXPECT_EQ(decoded.solver.seed, 987654321u);
   EXPECT_DOUBLE_EQ(decoded.deadline_ms, 1500.5);
   EXPECT_EQ(decoded.priority, -2);
+  EXPECT_EQ(decoded.solver.presolve_rules, "r0,r2");
+  EXPECT_FALSE(decoded.cache);
+  EXPECT_FALSE(decoded.warm_start);
 }
 
 TEST(Protocol, ResultRoundTripPreservesAssignment) {
@@ -153,6 +159,28 @@ TEST(Protocol, ResultRoundTripPreservesAssignment) {
   EXPECT_DOUBLE_EQ(decoded.objective, 123.5);
   EXPECT_EQ(decoded.assignment, result.assignment);
   EXPECT_EQ(decoded.starts_run, 4);
+}
+
+TEST(Protocol, ResultRoundTripPreservesCacheAndEcoFields) {
+  JobResult result;
+  result.id = "r2";
+  result.status = "ok";
+  result.cache_hit = true;
+
+  JobResult decoded;
+  ASSERT_TRUE(result_from_json(result_to_json(result), decoded).ok);
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_FALSE(decoded.warm_start);
+
+  result.cache_hit = false;
+  result.warm_start = true;
+  result.eco_repairs = 3;
+  result.eco_edits = 5;
+  ASSERT_TRUE(result_from_json(result_to_json(result), decoded).ok);
+  EXPECT_FALSE(decoded.cache_hit);
+  EXPECT_TRUE(decoded.warm_start);
+  EXPECT_EQ(decoded.eco_repairs, 3);
+  EXPECT_EQ(decoded.eco_edits, 5);
 }
 
 TEST(Protocol, MalformedRequestsFailWithMessages) {
@@ -232,6 +260,15 @@ TEST(JobQueue, CancelRemovesQueuedJob) {
 
 // ------------------------------------------------------------- server ----
 
+/// Await `n` results without draining (drain() closes the queue for good,
+/// so tests that submit sequenced traffic poll instead).
+void wait_for_results(const ResponseLog& log, std::size_t n) {
+  for (int spins = 0; spins < 2000 && log.results().size() < n; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(log.results().size(), n);
+}
+
 TEST(Server, EndToEndJobsProduceDeterministicResults) {
   const std::string problem = tiny_problem_text();
 
@@ -267,6 +304,113 @@ TEST(Server, EndToEndJobsProduceDeterministicResults) {
     EXPECT_DOUBLE_EQ(serial[k].objective, parallel[k].objective);
     EXPECT_EQ(serial[k].assignment, parallel[k].assignment) << serial[k].id;
   }
+}
+
+TEST(Server, ResubmittedJobIsServedFromCacheBitIdentical) {
+  // The same problem + spec submitted twice: the second answer must be
+  // flagged cache_hit and be bit-identical to the first -- across worker
+  // counts (the cache key excludes threading entirely).
+  const std::string problem = tiny_problem_text();
+  for (const std::int32_t workers : {1, 4}) {
+    ResponseLog log;
+    ServerOptions options;
+    options.workers = workers;
+    Server server(options);
+    server.handle_line(submit_line("first", problem, /*seed=*/3), log.sink());
+    wait_for_results(log, 1);  // the first solve lands before the resubmit
+    server.handle_line(submit_line("second", problem, /*seed=*/3), log.sink());
+    server.drain();
+    server.handle_line("{\"type\":\"stats\"}", log.sink());
+
+    auto results = log.results();
+    ASSERT_EQ(results.size(), 2u) << "workers " << workers;
+    std::sort(results.begin(), results.end(),
+              [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+    EXPECT_EQ(results[0].id, "first");
+    EXPECT_FALSE(results[0].cache_hit);
+    EXPECT_EQ(results[1].id, "second");
+    EXPECT_TRUE(results[1].cache_hit) << "workers " << workers;
+    EXPECT_EQ(results[1].status, results[0].status);
+    EXPECT_EQ(results[1].objective, results[0].objective);
+    EXPECT_EQ(results[1].assignment, results[0].assignment)
+        << "workers " << workers;
+
+    json::Value stats;
+    ASSERT_TRUE(json::parse(log.lines().back(), stats).ok);
+    const json::Value* gauges = stats.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_EQ(gauges->get_number("cache.hits", -1.0), 1.0);
+    EXPECT_EQ(gauges->get_number("eco.exact_hits", -1.0), 1.0);
+    EXPECT_GE(gauges->get_number("cache.entries", -1.0), 1.0);
+    EXPECT_GT(gauges->get_number("cache.bytes", -1.0), 0.0);
+  }
+}
+
+TEST(Server, CacheOffServesEveryJobColdAndBitIdentical) {
+  // --cache off (capacity 0): no hits, no cache state -- and the answers
+  // match the cache-on first solve bit for bit (the cache never changes
+  // what a cold solve returns).
+  const std::string problem = tiny_problem_text();
+
+  ResponseLog on_log;
+  {
+    Server server(ServerOptions{});
+    server.handle_line(submit_line("ref", problem, /*seed=*/3), on_log.sink());
+    server.drain();
+  }
+  const auto reference = on_log.results();
+  ASSERT_EQ(reference.size(), 1u);
+
+  ResponseLog log;
+  ServerOptions options;
+  options.cache_capacity = 0;
+  Server server(options);
+  server.handle_line(submit_line("a", problem, /*seed=*/3), log.sink());
+  wait_for_results(log, 1);
+  server.handle_line(submit_line("b", problem, /*seed=*/3), log.sink());
+  server.drain();
+  server.handle_line("{\"type\":\"stats\"}", log.sink());
+
+  auto results = log.results();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    EXPECT_FALSE(result.cache_hit) << result.id;
+    EXPECT_FALSE(result.warm_start) << result.id;
+    EXPECT_EQ(result.objective, reference[0].objective) << result.id;
+    EXPECT_EQ(result.assignment, reference[0].assignment) << result.id;
+  }
+  json::Value stats;
+  ASSERT_TRUE(json::parse(log.lines().back(), stats).ok);
+  const json::Value* gauges = stats.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->get_number("cache.hits", -1.0), 0.0);
+  EXPECT_EQ(gauges->get_number("cache.entries", -1.0), 0.0);
+}
+
+TEST(Server, PerRequestCacheOptOutSkipsLookupAndInsert) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  Server server(ServerOptions{});
+
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.id = "optout-1";
+  request.problem_text = problem;
+  request.solver.starts = 2;
+  request.solver.iterations = 40;
+  request.solver.seed = 3;
+  request.cache = false;
+  server.handle_line(format_request(request), log.sink());
+  wait_for_results(log, 1);
+  request.id = "optout-2";
+  server.handle_line(format_request(request), log.sink());
+  server.drain();
+
+  const auto results = log.results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[1].cache_hit);
+  EXPECT_EQ(results[1].assignment, results[0].assignment);
+  EXPECT_EQ(server.cache().stats().inserts, 0);
 }
 
 TEST(Server, InnerThreadsAreBitIdenticalEndToEnd) {
