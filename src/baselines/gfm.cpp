@@ -41,7 +41,7 @@ GfmResult solve_gfm(const PartitionProblem& problem, const Assignment& initial,
   const Timer timer;
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
   const auto& p = problem.linear_cost_matrix();
   const auto& adjacency = problem.netlist().connection_matrix();
 

@@ -26,7 +26,7 @@ GklResult solve_gkl(const PartitionProblem& problem, const Assignment& initial,
   const Timer timer;
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
   const auto& p = problem.linear_cost_matrix();
   const auto& adjacency = problem.netlist().connection_matrix();
   const auto& topology = problem.topology();

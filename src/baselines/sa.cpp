@@ -31,7 +31,7 @@ SaResult solve_sa(const PartitionProblem& problem, const Assignment& initial,
   const Timer timer;
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
   const auto& p = problem.linear_cost_matrix();
   const auto& topology = problem.topology();
   Rng rng(options.seed);

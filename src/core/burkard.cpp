@@ -32,7 +32,7 @@ void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
   evaluator.invalidate();  // `u` changed hands since the last polish
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
   CapacityLedger ledger(u, sizes, problem.topology().capacities());
   constexpr double kEps = 1e-9;
   Rng rng(sweep_seed);
@@ -323,7 +323,7 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
       u = result.found_feasible ? result.best_feasible : result.best;
       if (options.restart_perturbation > 0.0) {
         Rng kick_rng(0xfeedu ^ static_cast<std::uint64_t>(k));
-        const auto sizes = problem.netlist().sizes();
+        const auto& sizes = problem.netlist().sizes();
         CapacityLedger ledger(u, sizes, problem.topology().capacities());
         const auto kicks = static_cast<std::int32_t>(
             options.restart_perturbation * problem.num_components());

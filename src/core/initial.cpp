@@ -29,7 +29,7 @@ template <typename Picker>
 Assignment constructive(const PartitionProblem& problem,
                         std::span<const std::int32_t> order, Picker&& pick) {
   const std::int32_t m = problem.num_partitions();
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
   Assignment assignment(problem.num_components(), m);
   CapacityLedger ledger(assignment, sizes, problem.topology().capacities());
 
@@ -87,7 +87,7 @@ InitialResult make_initial(const PartitionProblem& problem,
       std::vector<std::int32_t> order(
           static_cast<std::size_t>(problem.num_components()));
       std::iota(order.begin(), order.end(), 0);
-      const auto sizes = problem.netlist().sizes();
+      const auto& sizes = problem.netlist().sizes();
       std::stable_sort(order.begin(), order.end(),
                        [&](std::int32_t a, std::int32_t b) {
                          return sizes[static_cast<std::size_t>(a)] >

@@ -14,7 +14,7 @@ CoarseProblem coarsen(const PartitionProblem& problem,
                       const CoarsenOptions& options) {
   const std::int32_t n = problem.num_components();
   const auto& adjacency = problem.netlist().connection_matrix();
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
 
   double max_capacity = 0.0;
   for (const double c : problem.topology().capacities()) {

@@ -35,7 +35,7 @@ RepairResult repair_timing(const PartitionProblem& problem,
   QBP_CHECK(start.is_complete()) << "repair requires a complete assignment";
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
 
   RepairResult result;
   result.assignment = start;

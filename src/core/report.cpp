@@ -30,7 +30,7 @@ SolutionReport make_report(const PartitionProblem& problem,
   report.timing_ok = report.timing_violations == 0;
 
   // Per-partition usage.
-  const auto sizes = problem.netlist().sizes();
+  const auto& sizes = problem.netlist().sizes();
   report.partitions.resize(static_cast<std::size_t>(problem.num_partitions()));
   for (PartitionId i = 0; i < problem.num_partitions(); ++i) {
     auto& usage = report.partitions[static_cast<std::size_t>(i)];

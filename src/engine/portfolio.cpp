@@ -185,7 +185,10 @@ PortfolioResult Portfolio::run(
   };
 
   {
-    std::vector<std::jthread> pool;
+    // Portfolio starts run whole solver instances and must join before the
+    // deterministic selection scan; the shared work pool serves the *inner*
+    // parallelism of each start instead.
+    std::vector<std::jthread> pool;  // qbp-lint: allow(raw-thread)
     pool.reserve(static_cast<std::size_t>(threads));
     for (std::int32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
   }  // jthreads join here

@@ -11,6 +11,7 @@ namespace qbp {
 
 ComponentId Netlist::add_component(std::string component_name, double size) {
   components_.push_back({std::move(component_name), size});
+  sizes_.push_back(size);
   return static_cast<ComponentId>(components_.size() - 1);
 }
 
@@ -24,13 +25,6 @@ void Netlist::add_wires(ComponentId a, ComponentId b, std::int32_t multiplicity)
   bundles_.push_back({a, b, multiplicity});
   bundles_dirty_ = true;
   adjacency_dirty_ = true;
-}
-
-std::vector<double> Netlist::sizes() const {
-  std::vector<double> result;
-  result.reserve(components_.size());
-  for (const auto& c : components_) result.push_back(c.size);
-  return result;
 }
 
 double Netlist::total_size() const noexcept {

@@ -66,8 +66,15 @@ class Netlist {
     return components_[static_cast<std::size_t>(id)].size;
   }
 
-  /// All component sizes as a dense vector (the paper's s vector).
-  [[nodiscard]] std::vector<double> sizes() const;
+  /// All component sizes as a dense vector (the paper's s vector).  The
+  /// reference stays valid until the next add_component(); it is maintained
+  /// eagerly so concurrent readers of a finalized netlist never race on a
+  /// lazy build.  Returning a reference (not a fresh vector) keeps spans
+  /// taken over it valid -- binding a span to a by-value accessor's
+  /// temporary is the bug class qbp_lint's `dangling-span` rule exists for.
+  [[nodiscard]] const std::vector<double>& sizes() const noexcept {
+    return sizes_;
+  }
 
   /// Sum of all component sizes.
   [[nodiscard]] double total_size() const noexcept;
@@ -106,6 +113,7 @@ class Netlist {
  private:
   std::string name_;
   std::vector<Component> components_;
+  std::vector<double> sizes_;  // mirrors components_[i].size
   mutable std::vector<WireBundle> bundles_;
   mutable bool bundles_dirty_ = false;
   mutable bool adjacency_dirty_ = true;

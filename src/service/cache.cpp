@@ -152,7 +152,7 @@ std::int64_t SolutionCache::entry_bytes(const Entry& entry) {
 
 bool SolutionCache::find_exact(const Hash128& key, CachedSolve& out) {
   if (!enabled()) return false;
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   const auto found = index_.find(key);
   if (found == index_.end()) {
     ++stats_.misses;
@@ -168,7 +168,7 @@ bool SolutionCache::find_nearest(const Hash128& spec,
                                  const ProblemDigest& digest,
                                  std::int64_t max_edits, Neighbor& out) {
   if (!enabled()) return false;
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::size_t scanned = 0;
   const Entry* best = nullptr;
   std::int64_t best_edits = max_edits + 1;
@@ -198,7 +198,7 @@ bool SolutionCache::find_nearest(const Hash128& spec,
 void SolutionCache::insert(const Hash128& key, const Hash128& spec,
                            ProblemDigest digest, CachedSolve solve) {
   if (!enabled()) return;
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   if (const auto found = index_.find(key); found != index_.end()) {
     // Refresh in place (a re-solve of a cached instance, e.g. cache-off
     // then cache-on traffic): same key, same deterministic payload.
@@ -227,7 +227,7 @@ void SolutionCache::insert(const Hash128& key, const Hash128& spec,
 }
 
 CacheStats SolutionCache::stats() const {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +33,7 @@
 #include "core/problem.hpp"
 #include "netlist/netlist.hpp"
 #include "service/protocol.hpp"
+#include "util/annotations.hpp"
 #include "util/hash.hpp"
 
 namespace qbp::service {
@@ -158,11 +158,13 @@ class SolutionCache {
 
   static std::int64_t entry_bytes(const Entry& entry);
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_ = 0;
-  std::list<Entry> lru_;  // front = most recently used
-  std::map<Hash128, std::list<Entry>::iterator> index_;
-  CacheStats stats_;  // entries/bytes mirror lru_; counters monotone
+  mutable sync::Mutex mutex_;
+  std::size_t capacity_ = 0;  // immutable after construction
+  // front = most recently used
+  std::list<Entry> lru_ QBP_GUARDED_BY(mutex_);
+  std::map<Hash128, std::list<Entry>::iterator> index_ QBP_GUARDED_BY(mutex_);
+  // entries/bytes mirror lru_; counters monotone
+  CacheStats stats_ QBP_GUARDED_BY(mutex_);
 };
 
 }  // namespace qbp::service

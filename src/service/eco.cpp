@@ -19,7 +19,7 @@ namespace {
 /// the caller then reports infeasible and the job falls back to cold.
 bool legalize_capacity(const PartitionProblem& problem, Assignment& assignment,
                        std::int64_t& moves) {
-  const std::vector<double> sizes = problem.netlist().sizes();
+  const std::vector<double>& sizes = problem.netlist().sizes();
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
   CapacityLedger ledger(assignment, sizes, problem.topology().capacities());
@@ -59,7 +59,7 @@ bool legalize_capacity(const PartitionProblem& problem, Assignment& assignment,
 std::int64_t polish(const PartitionProblem& problem, Assignment& assignment,
                     const EcoOptions& options, std::stop_token stop,
                     bool& cancelled) {
-  const std::vector<double> sizes = problem.netlist().sizes();
+  const std::vector<double>& sizes = problem.netlist().sizes();
   const std::int32_t n = problem.num_components();
   const std::int32_t m = problem.num_partitions();
   DeltaEvaluator evaluator(problem, /*penalty=*/0.0);

@@ -19,7 +19,7 @@ Histogram::Histogram(std::span<const double> bounds)
       bucket_counts_(bounds.size() + 1, 0) {}
 
 void Histogram::observe(double value) noexcept {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   ++count_;
   sum_ += value;
   min_ = std::min(min_, value);
@@ -31,7 +31,7 @@ void Histogram::observe(double value) noexcept {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   Snapshot snap;
   snap.count = count_;
   snap.sum = sum_;
@@ -47,7 +47,7 @@ std::span<const double> Histogram::latency_bounds() noexcept {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   for (auto& entry : counters_) {
     if (entry.name == name) return *entry.instrument;
   }
@@ -56,7 +56,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   for (auto& entry : gauges_) {
     if (entry.name == name) return *entry.instrument;
   }
@@ -66,7 +66,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> bounds) {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   for (auto& entry : histograms_) {
     if (entry.name == name) return *entry.instrument;
   }
@@ -76,7 +76,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 json::Value MetricsRegistry::to_json() const {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
 
   json::Value counters = json::Value::object();
   for (const auto& entry : counters_) {

@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/json.hpp"
 
 namespace qbp::service {
@@ -82,13 +82,13 @@ class Histogram {
   [[nodiscard]] static std::span<const double> latency_bounds() noexcept;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> bounds_;
-  std::vector<std::int64_t> bucket_counts_;
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
+  mutable sync::Mutex mutex_;
+  std::vector<double> bounds_;  // immutable after construction
+  std::vector<std::int64_t> bucket_counts_ QBP_GUARDED_BY(mutex_);
+  std::int64_t count_ QBP_GUARDED_BY(mutex_) = 0;
+  double sum_ QBP_GUARDED_BY(mutex_) = 0.0;
+  double min_ QBP_GUARDED_BY(mutex_) = std::numeric_limits<double>::infinity();
+  double max_ QBP_GUARDED_BY(mutex_) = -std::numeric_limits<double>::infinity();
 };
 
 class MetricsRegistry {
@@ -110,10 +110,10 @@ class MetricsRegistry {
     std::unique_ptr<T> instrument;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Named<Counter>> counters_;
-  std::vector<Named<Gauge>> gauges_;
-  std::vector<Named<Histogram>> histograms_;
+  mutable sync::Mutex mutex_;
+  std::vector<Named<Counter>> counters_ QBP_GUARDED_BY(mutex_);
+  std::vector<Named<Gauge>> gauges_ QBP_GUARDED_BY(mutex_);
+  std::vector<Named<Histogram>> histograms_ QBP_GUARDED_BY(mutex_);
 };
 
 }  // namespace qbp::service

@@ -6,7 +6,7 @@ namespace qbp::service {
 
 JobQueue::PushOutcome JobQueue::push(Job job) {
   {
-    const std::lock_guard lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     if (closed_) return PushOutcome::kClosed;
     if (heap_.size() >= capacity_) return PushOutcome::kFull;
     heap_.push_back(std::move(job));
@@ -17,8 +17,8 @@ JobQueue::PushOutcome JobQueue::push(Job job) {
 }
 
 bool JobQueue::pop(Job& out) {
-  std::unique_lock lock(mutex_);
-  ready_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+  const sync::MutexLock lock(mutex_);
+  while (!closed_ && heap_.empty()) ready_.wait(mutex_);
   if (heap_.empty()) return false;  // closed and drained
   std::pop_heap(heap_.begin(), heap_.end(), heap_before);
   out = std::move(heap_.back());
@@ -27,7 +27,7 @@ bool JobQueue::pop(Job& out) {
 }
 
 bool JobQueue::cancel(std::string_view id, Job& out) {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   const auto match = std::find_if(
       heap_.begin(), heap_.end(), [&](const Job& job) { return job.id == id; });
   if (match == heap_.end()) return false;
@@ -39,14 +39,14 @@ bool JobQueue::cancel(std::string_view id, Job& out) {
 
 void JobQueue::close() {
   {
-    const std::lock_guard lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     closed_ = true;
   }
   ready_.notify_all();
 }
 
 std::size_t JobQueue::size() const {
-  const std::lock_guard lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return heap_.size();
 }
 

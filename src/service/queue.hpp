@@ -15,13 +15,12 @@
 // construction).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "service/job.hpp"
+#include "util/annotations.hpp"
 
 namespace qbp::service {
 
@@ -58,11 +57,11 @@ class JobQueue {
     return a.seq > b.seq;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::vector<Job> heap_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable sync::Mutex mutex_;
+  sync::CondVar ready_;
+  std::vector<Job> heap_ QBP_GUARDED_BY(mutex_);
+  std::size_t capacity_;  // immutable after construction
+  bool closed_ QBP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qbp::service

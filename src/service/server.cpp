@@ -83,9 +83,9 @@ Server::Server(ServerOptions options)
   check::set_fail_mode(options_.fail_mode);
   check::set_violation_hook(
       [this](std::string_view) { contract_violations_.inc(); });
-  watchdog_ = std::thread([this] { watchdog_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });  // qbp-lint: allow(raw-thread)
   if (options_.stats_interval_s > 0.0) {
-    stats_thread_ = std::thread([this] { stats_loop(); });
+    stats_thread_ = std::thread([this] { stats_loop(); });  // qbp-lint: allow(raw-thread)
   }
   if (options_.autostart) start();
 }
@@ -95,14 +95,14 @@ Server::~Server() {
   // The hook captures `this`; detach it before the counter dies.
   check::set_violation_hook({});
   {
-    const std::lock_guard lock(deadline_mutex_);
+    const sync::MutexLock lock(deadline_mutex_);
     watchdog_exit_ = true;
   }
   deadline_cv_.notify_all();
   watchdog_.join();
   if (stats_thread_.joinable()) {
     {
-      const std::lock_guard lock(stats_mutex_);
+      const sync::MutexLock lock(stats_mutex_);
       stats_exit_ = true;
     }
     stats_cv_.notify_all();
@@ -120,7 +120,7 @@ void Server::start() {
 
 void Server::emit(const Sink& sink, const std::string& line) {
   if (!sink) return;
-  const std::lock_guard lock(respond_mutex_);
+  const sync::MutexLock lock(respond_mutex_);
   sink(line);
 }
 
@@ -210,7 +210,7 @@ void Server::handle_submit(Request request, const Sink& respond) {
   job.respond = respond;
 
   {
-    const std::lock_guard lock(active_mutex_);
+    const sync::MutexLock lock(active_mutex_);
     job.seq = next_seq_++;
     job.id = request.id.empty() ? "job-" + std::to_string(job.seq)
                                 : std::move(request.id);
@@ -234,7 +234,7 @@ void Server::handle_submit(Request request, const Sink& respond) {
       break;
     case JobQueue::PushOutcome::kFull: {
       {
-        const std::lock_guard lock(active_mutex_);
+        const sync::MutexLock lock(active_mutex_);
         active_.erase(id);
       }
       jobs_rejected_.inc();
@@ -245,7 +245,7 @@ void Server::handle_submit(Request request, const Sink& respond) {
     }
     case JobQueue::PushOutcome::kClosed: {
       {
-        const std::lock_guard lock(active_mutex_);
+        const sync::MutexLock lock(active_mutex_);
         active_.erase(id);
       }
       jobs_rejected_.inc();
@@ -258,7 +258,7 @@ void Server::handle_submit(Request request, const Sink& respond) {
   queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   if (has_deadline) {
     {
-      const std::lock_guard lock(deadline_mutex_);
+      const sync::MutexLock lock(deadline_mutex_);
       deadlines_.push_back({deadline, id, weak_stop, weak_cause});
       std::push_heap(deadlines_.begin(), deadlines_.end(),
                      [](const DeadlineEntry& a, const DeadlineEntry& b) {
@@ -286,7 +286,7 @@ void Server::handle_cancel(const Request& request, const Sink& respond) {
   }
   // Running: fire the stop source; the worker reports the final status.
   {
-    const std::lock_guard lock(active_mutex_);
+    const sync::MutexLock lock(active_mutex_);
     const auto found = active_.find(request.id);
     if (found != active_.end()) {
       int expected = static_cast<int>(StopCause::kNone);
@@ -381,26 +381,26 @@ void Server::finish_job(const Job& job, JobResult result) {
   }
 
   {
-    const std::lock_guard lock(active_mutex_);
+    const sync::MutexLock lock(active_mutex_);
     active_.erase(job.id);
   }
   emit(job.respond, result_to_json(result).dump());
 }
 
 void Server::watchdog_loop() {
-  std::unique_lock lock(deadline_mutex_);
+  const sync::MutexLock lock(deadline_mutex_);
   const auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
     return a.when > b.when;
   };
   for (;;) {
     if (watchdog_exit_) return;
     if (deadlines_.empty()) {
-      deadline_cv_.wait(lock);
+      deadline_cv_.wait(deadline_mutex_);
       continue;
     }
     const auto next_deadline = deadlines_.front().when;
     if (Job::Clock::now() < next_deadline) {
-      deadline_cv_.wait_until(lock, next_deadline);
+      deadline_cv_.wait_until(deadline_mutex_, next_deadline);
       continue;
     }
     std::pop_heap(deadlines_.begin(), deadlines_.end(), later);
@@ -420,9 +420,9 @@ void Server::watchdog_loop() {
 
 void Server::stats_loop() {
   const auto interval = std::chrono::duration<double>(options_.stats_interval_s);
-  std::unique_lock lock(stats_mutex_);
+  const sync::MutexLock lock(stats_mutex_);
   while (!stats_exit_) {
-    stats_cv_.wait_for(lock, interval);
+    stats_cv_.wait_for(stats_mutex_, interval);
     if (stats_exit_) return;
     const std::string line = stats_json().dump();
     std::fprintf(stderr, "%s\n", line.c_str());
@@ -570,8 +570,9 @@ int serve_tcp(Server& server, std::uint16_t port, int wake_fd) {
   std::fflush(stderr);
 
   std::atomic<bool> closing{false};
-  std::vector<std::thread> connections;
-  std::mutex connections_mutex;
+  // Connection readers block on poll(2); they cannot ride the work pool.
+  std::vector<std::thread> connections;  // qbp-lint: allow(raw-thread)
+  sync::Mutex connections_mutex;
 
   const auto connection_loop = [&server, &closing](int conn_fd) {
     const Server::Sink sink = [conn_fd](const std::string& line) {
@@ -616,14 +617,14 @@ int serve_tcp(Server& server, std::uint16_t port, int wake_fd) {
     if (fds[0].revents == 0) continue;
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) continue;
-    const std::lock_guard lock(connections_mutex);
+    const sync::MutexLock lock(connections_mutex);
     connections.emplace_back(connection_loop, conn_fd);
   }
 
   closing.store(true);
   ::close(listen_fd);
   {
-    const std::lock_guard lock(connections_mutex);
+    const sync::MutexLock lock(connections_mutex);
     for (auto& connection : connections) connection.join();
   }
   server.drain();

@@ -30,11 +30,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -45,6 +43,7 @@
 #include "service/job.hpp"
 #include "service/metrics.hpp"
 #include "service/queue.hpp"
+#include "util/annotations.hpp"
 #include "util/check.hpp"
 
 namespace qbp::service {
@@ -146,22 +145,27 @@ class Server {
   SolutionCache cache_;
   std::chrono::steady_clock::time_point started_at_;
 
-  std::mutex respond_mutex_;   // serializes every response line
-  std::mutex active_mutex_;    // guards active_ and next_seq_
-  std::unordered_map<std::string, ActiveJob> active_;
-  std::int64_t next_seq_ = 0;
+  sync::Mutex respond_mutex_;  // serializes every response line
+  sync::Mutex active_mutex_;
+  std::unordered_map<std::string, ActiveJob> active_
+      QBP_GUARDED_BY(active_mutex_);
+  std::int64_t next_seq_ QBP_GUARDED_BY(active_mutex_) = 0;
 
-  std::mutex deadline_mutex_;  // guards deadlines_ (a min-heap by `when`)
-  std::condition_variable deadline_cv_;
-  std::vector<DeadlineEntry> deadlines_;
-  bool watchdog_exit_ = false;
+  sync::Mutex deadline_mutex_;
+  sync::CondVar deadline_cv_;
+  // Min-heap by `when` (std::push_heap/pop_heap with a `>` comparator).
+  std::vector<DeadlineEntry> deadlines_ QBP_GUARDED_BY(deadline_mutex_);
+  bool watchdog_exit_ QBP_GUARDED_BY(deadline_mutex_) = false;
 
-  std::vector<std::thread> workers_;
-  std::thread watchdog_;
-  std::thread stats_thread_;
-  std::condition_variable stats_cv_;
-  std::mutex stats_mutex_;
-  bool stats_exit_ = false;
+  // Worker/watchdog/stats threads are owned here, not by util/parallel: they
+  // block on condition variables and sockets, which the deterministic work
+  // pool forbids.
+  std::vector<std::thread> workers_;  // qbp-lint: allow(raw-thread)
+  std::thread watchdog_;              // qbp-lint: allow(raw-thread)
+  std::thread stats_thread_;          // qbp-lint: allow(raw-thread)
+  sync::CondVar stats_cv_;
+  sync::Mutex stats_mutex_;
+  bool stats_exit_ QBP_GUARDED_BY(stats_mutex_) = false;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

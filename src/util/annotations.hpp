@@ -1,0 +1,148 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis macros
+// plus capability-annotated synchronization wrappers.
+//
+// The repo's two load-bearing guarantees -- bit-identical results at any
+// thread/worker count (DESIGN.md §11) and crash-free serving under hostile
+// input (§10) -- were historically enforced only dynamically (TSan jobs,
+// shadow validation, fuzzing).  This header promotes the locking half of
+// those contracts to *build-breaking static analysis*: every mutex in the
+// tree is a `sync::Mutex` capability, every guarded field carries
+// QBP_GUARDED_BY, and the Clang CI job compiles with
+// `-Wthread-safety -Wthread-safety-beta` as errors, so an unguarded read
+// or a forgotten unlock fails the build instead of surfacing as a flaky
+// bench or a rare nondeterministic objective.
+//
+// Under GCC (and any compiler without the attributes) every macro expands
+// to nothing and the wrappers are zero-overhead forwarding shims over
+// <mutex>/<condition_variable>, so non-Clang builds are bit-identical in
+// behavior -- the annotations are analysis-only.
+//
+// Conventions (DESIGN.md §14):
+//   * fields:       `std::vector<Job> heap_ QBP_GUARDED_BY(mutex_);`
+//   * lock helpers: `void grow_locked(int n) QBP_REQUIRES(mu_);`
+//   * raw sections: prefer `MutexLock lock(mu_);`; explicit
+//     `mu_.lock()/unlock()` is allowed (the analysis tracks it) where a
+//     scope does not fit, e.g. a worker loop that drops the lock to run.
+//   * condvar waits: `cv_.wait(mu_)` takes the Mutex itself and asserts
+//     QBP_REQUIRES(mu_), so predicate loops stay visible to the analysis:
+//         while (!ready_) cv_.wait(mu_);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define QBP_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define QBP_TS_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define QBP_CAPABILITY(x) QBP_TS_ATTRIBUTE(capability(x))
+/// Declares an RAII class that acquires in its ctor, releases in its dtor.
+#define QBP_SCOPED_CAPABILITY QBP_TS_ATTRIBUTE(scoped_lockable)
+/// Field may only be accessed while holding the given capability.
+#define QBP_GUARDED_BY(x) QBP_TS_ATTRIBUTE(guarded_by(x))
+/// Pointee may only be accessed while holding the given capability.
+#define QBP_PT_GUARDED_BY(x) QBP_TS_ATTRIBUTE(pt_guarded_by(x))
+/// Function acquires the capability (must not be held on entry).
+#define QBP_ACQUIRE(...) QBP_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define QBP_RELEASE(...) QBP_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define QBP_TRY_ACQUIRE(...) \
+  QBP_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+/// Caller must hold the capability for the duration of the call.
+#define QBP_REQUIRES(...) QBP_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (deadlock prevention).
+#define QBP_EXCLUDES(...) QBP_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define QBP_RETURN_CAPABILITY(x) QBP_TS_ATTRIBUTE(lock_returned(x))
+/// Lock-order edges for deadlock detection (-Wthread-safety-beta).
+#define QBP_ACQUIRED_BEFORE(...) QBP_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define QBP_ACQUIRED_AFTER(...) QBP_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+/// Escape hatch -- document why at every use site.
+#define QBP_NO_THREAD_SAFETY_ANALYSIS \
+  QBP_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace qbp::sync {
+
+/// std::mutex as a Clang TSA capability.  libstdc++'s std::mutex carries no
+/// annotations, so the analysis cannot track it directly; this wrapper is
+/// the canonical fix (the pattern Abseil and the Clang docs use).
+class QBP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QBP_ACQUIRE() { mu_.lock(); }
+  void unlock() QBP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() QBP_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a sync::Mutex (std::lock_guard shape).
+class QBP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QBP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() QBP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over sync::Mutex.  Waits take the Mutex itself (the
+/// absl::CondVar shape) so QBP_REQUIRES keeps the analysis exact: the lock
+/// is held on entry, released inside std::condition_variable::wait, and
+/// re-held on return -- all invisible state changes from the analysis's
+/// point of view, which is exactly what REQUIRES expresses.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) QBP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's scope
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      QBP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      QBP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qbp::sync

@@ -3,9 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
 
+#include "util/annotations.hpp"
 #include "util/log.hpp"
 
 namespace qbp::check {
@@ -17,8 +17,9 @@ std::atomic<std::uint64_t> g_violations{0};
 
 // The hook is set at process startup (qbpartd) or per test; reads happen on
 // the (cold) failure path only, so one mutex is plenty.
-std::mutex g_hook_mutex;
-ViolationHook g_hook;  // NOLINT(cert-err58-cpp) -- default ctor is noexcept
+sync::Mutex g_hook_mutex;
+ViolationHook g_hook  // NOLINT(cert-err58-cpp) -- default ctor is noexcept
+    QBP_GUARDED_BY(g_hook_mutex);
 
 }  // namespace
 
@@ -31,7 +32,7 @@ FailMode fail_mode() noexcept {
 }
 
 void set_violation_hook(ViolationHook hook) {
-  const std::lock_guard lock(g_hook_mutex);
+  const sync::MutexLock lock(g_hook_mutex);
   g_hook = std::move(hook);
 }
 
@@ -50,7 +51,7 @@ Failure::~Failure() noexcept(false) {
   const std::string message = stream_.str();
   g_violations.fetch_add(1, std::memory_order_relaxed);
   {
-    const std::lock_guard lock(g_hook_mutex);
+    const sync::MutexLock lock(g_hook_mutex);
     if (g_hook) g_hook(message);
   }
   switch (fail_mode()) {

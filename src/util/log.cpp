@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace qbp::log {
 
 namespace {
 std::atomic<Level> g_level{Level::kWarn};
-std::mutex g_sink_mutex;
+/// Serializes whole lines onto the stdio sinks so concurrent writers
+/// (portfolio starts, server workers) never interleave mid-line.
+sync::Mutex g_sink_mutex;
 
 const std::string& local_prefix(bool set, std::string value = {}) {
   thread_local std::string prefix;
@@ -49,7 +52,7 @@ void write(Level lvl, std::string_view message) {
   if (!enabled(lvl)) return;
   std::FILE* sink = (lvl == Level::kError || lvl == Level::kWarn) ? stderr : stdout;
   const std::string& thread_tag = thread_prefix();
-  const std::lock_guard<std::mutex> guard(g_sink_mutex);
+  const sync::MutexLock guard(g_sink_mutex);
   std::fprintf(sink, "%s%s%.*s\n", prefix(lvl), thread_tag.c_str(),
                static_cast<int>(message.size()), message.data());
 }

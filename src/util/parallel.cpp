@@ -40,12 +40,16 @@ Pool& Pool::instance() {
 bool Pool::on_worker_thread() noexcept { return tl_on_worker_thread; }
 
 Pool::~Pool() {
+  // Move the helpers out under the lock so the join loop below touches no
+  // guarded state (nothing may spawn after stop_; joining needs no lock).
+  std::vector<std::thread> to_join;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     stop_ = true;
+    to_join.swap(helpers_);
   }
   cv_.notify_all();
-  for (std::thread& helper : helpers_) helper.join();
+  for (std::thread& helper : to_join) helper.join();
 }
 
 void Pool::ensure_helpers_locked(std::int32_t count) {
@@ -56,17 +60,17 @@ void Pool::ensure_helpers_locked(std::int32_t count) {
 }
 
 void Pool::warm(std::int32_t count) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   ensure_helpers_locked(count);
 }
 
 std::int32_t Pool::helpers_spawned() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   return static_cast<std::int32_t>(helpers_.size());
 }
 
 std::int32_t Pool::helpers_busy() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   return busy_;
 }
 
@@ -111,7 +115,7 @@ void Pool::run(std::int64_t n, std::int64_t grain, std::int32_t threads,
   task.ctx = ctx;
   task.plan = plan;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     ++active_regions_;
     // Fair share: concurrent regions (e.g. portfolio starts) split the
     // machine instead of each taking `threads`.
@@ -144,7 +148,7 @@ void Pool::run(std::int64_t n, std::int64_t grain, std::int32_t threads,
   if (task.helpers_allowed > 0) {
     {
       // Stop new helpers from adopting the task...
-      const std::lock_guard<std::mutex> lock(mu_);
+      const sync::MutexLock lock(mu_);
       for (std::size_t i = 0; i < pending_.size(); ++i) {
         if (pending_[i] == &task) {
           pending_.erase(pending_.begin() +
@@ -156,20 +160,23 @@ void Pool::run(std::int64_t n, std::int64_t grain, std::int32_t threads,
     // ...then wait for the ones already in it.  The task lives on this
     // stack frame; helpers touch it only under done_mutex before their
     // final notify, so returning after active == 0 is safe.
-    std::unique_lock<std::mutex> done_lock(task.done_mutex);
-    task.done_cv.wait(done_lock, [&task] {
-      return task.helpers_active.load(std::memory_order_relaxed) == 0;
-    });
+    const sync::MutexLock done_lock(task.done_mutex);
+    while (task.helpers_active.load(std::memory_order_relaxed) != 0) {
+      task.done_cv.wait(task.done_mutex);
+    }
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     --active_regions_;
   }
 }
 
 void Pool::helper_main() {
   tl_on_worker_thread = true;
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit lock()/unlock() instead of a scoped guard: the loop holds mu_
+  // while picking work and drops it around chunk execution.  The thread
+  // safety analysis tracks the hand-over-hand state across the loop.
+  mu_.lock();
   for (;;) {
     Task* task = nullptr;
     for (Task* candidate : pending_) {
@@ -181,27 +188,28 @@ void Pool::helper_main() {
       }
     }
     if (task == nullptr) {
-      if (stop_) return;
-      cv_.wait(lock);
+      if (stop_) break;
+      cv_.wait(mu_);
       continue;
     }
     ++task->helpers_joined;
     task->helpers_active.fetch_add(1, std::memory_order_relaxed);
     ++busy_;
-    lock.unlock();
+    mu_.unlock();
 
     process_chunks(*task);
     {
       // Decrement and notify under done_mutex: once the submitter observes
       // zero it may destroy the task, so no access may follow the unlock.
-      const std::lock_guard<std::mutex> done_lock(task->done_mutex);
+      const sync::MutexLock done_lock(task->done_mutex);
       task->helpers_active.fetch_sub(1, std::memory_order_relaxed);
       task->done_cv.notify_one();
     }
 
-    lock.lock();
+    mu_.lock();
     --busy_;
   }
+  mu_.unlock();
 }
 
 double utilization() {

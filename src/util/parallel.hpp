@@ -33,14 +33,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace qbp::par {
 
@@ -112,7 +112,7 @@ class Pool {
   /// Make sure at least `count` helper threads exist (bounded by
   /// kMaxHelpers).  Portfolio calls this once up front so concurrent starts
   /// do not race to spawn threads mid-solve.
-  void warm(std::int32_t count);
+  void warm(std::int32_t count) QBP_EXCLUDES(mu_);
 
   /// Observability for the metrics layer (instantaneous).
   [[nodiscard]] std::int32_t helpers_spawned() const;
@@ -136,24 +136,27 @@ class Pool {
     std::int32_t helpers_joined = 0;
     /// Helpers currently executing chunks; the submitter waits for 0.
     std::atomic<std::int32_t> helpers_active{0};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    sync::Mutex done_mutex;
+    sync::CondVar done_cv;
   };
 
   Pool() = default;
   ~Pool();
 
   void helper_main();
-  void ensure_helpers_locked(std::int32_t count);
+  void ensure_helpers_locked(std::int32_t count) QBP_REQUIRES(mu_);
   static void process_chunks(Task& task);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::thread> helpers_;
-  std::vector<Task*> pending_;
-  std::int32_t active_regions_ = 0;
-  std::int32_t busy_ = 0;
-  bool stop_ = false;
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  // This pool is the ONE sanctioned home for raw std::thread in the tree
+  // (qbp_lint rule `raw-thread`); everything else must fan out through it
+  // so the determinism contract stays enforceable in one place.
+  std::vector<std::thread> helpers_ QBP_GUARDED_BY(mu_);
+  std::vector<Task*> pending_ QBP_GUARDED_BY(mu_);
+  std::int32_t active_regions_ QBP_GUARDED_BY(mu_) = 0;
+  std::int32_t busy_ QBP_GUARDED_BY(mu_) = 0;
+  bool stop_ QBP_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> regions_run_{0};
   std::atomic<std::uint64_t> regions_parallel_{0};
 };

@@ -4,8 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
-#include <mutex>
 #include <sstream>
+
+#include "util/annotations.hpp"
 
 namespace qbp::prof {
 
@@ -30,13 +31,16 @@ struct ThreadBuckets {
     std::atomic<std::int64_t> count{0};
   };
 
-  mutable std::mutex mutex;
+  mutable sync::Mutex mutex;
+  // Deliberately NOT QBP_GUARDED_BY(mutex): the owning thread updates the
+  // relaxed counters lock-free; the mutex guards only growth vs. traversal
+  // (see the struct comment).  The deque's stable addresses make that safe.
   std::deque<Bucket> buckets;
 
   void record(PhaseId id, std::int64_t ns, std::int64_t count = 1) noexcept {
     const auto index = static_cast<std::size_t>(id);
     if (index >= buckets.size()) {
-      const std::scoped_lock lock(mutex);
+      const sync::MutexLock lock(mutex);
       while (buckets.size() <= index) buckets.emplace_back();
     }
     buckets[index].ns.fetch_add(ns, std::memory_order_relaxed);
@@ -47,11 +51,11 @@ struct ThreadBuckets {
 /// Process-wide registry: interned names, live threads, and the summed
 /// buckets of threads that have exited.
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::string> names;
-  std::vector<ThreadBuckets*> threads;
-  std::vector<std::int64_t> retired_ns;
-  std::vector<std::int64_t> retired_count;
+  sync::Mutex mutex;
+  std::vector<std::string> names QBP_GUARDED_BY(mutex);
+  std::vector<ThreadBuckets*> threads QBP_GUARDED_BY(mutex);
+  std::vector<std::int64_t> retired_ns QBP_GUARDED_BY(mutex);
+  std::vector<std::int64_t> retired_count QBP_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -66,13 +70,13 @@ struct ThreadHandle {
 
   ThreadHandle() {
     Registry& reg = registry();
-    const std::scoped_lock lock(reg.mutex);
+    const sync::MutexLock lock(reg.mutex);
     reg.threads.push_back(&buckets);
   }
 
   ~ThreadHandle() {
     Registry& reg = registry();
-    const std::scoped_lock lock(reg.mutex);
+    const sync::MutexLock lock(reg.mutex);
     if (reg.retired_ns.size() < buckets.buckets.size()) {
       reg.retired_ns.resize(buckets.buckets.size(), 0);
       reg.retired_count.resize(buckets.buckets.size(), 0);
@@ -101,11 +105,11 @@ void set_enabled(bool on) noexcept {
 
 void reset() noexcept {
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const sync::MutexLock lock(reg.mutex);
   std::fill(reg.retired_ns.begin(), reg.retired_ns.end(), 0);
   std::fill(reg.retired_count.begin(), reg.retired_count.end(), 0);
   for (ThreadBuckets* thread : reg.threads) {
-    const std::scoped_lock thread_lock(thread->mutex);
+    const sync::MutexLock thread_lock(thread->mutex);
     for (auto& bucket : thread->buckets) {
       bucket.ns.store(0, std::memory_order_relaxed);
       bucket.count.store(0, std::memory_order_relaxed);
@@ -115,7 +119,7 @@ void reset() noexcept {
 
 PhaseId register_phase(std::string_view name) {
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const sync::MutexLock lock(reg.mutex);
   for (std::size_t i = 0; i < reg.names.size(); ++i) {
     if (reg.names[i] == name) return static_cast<PhaseId>(i);
   }
@@ -141,7 +145,7 @@ void record_events(PhaseId id, std::int64_t count, std::int64_t ns) noexcept {
 
 PhaseReport snapshot() {
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const sync::MutexLock lock(reg.mutex);
   std::vector<std::int64_t> ns(reg.names.size(), 0);
   std::vector<std::int64_t> count(reg.names.size(), 0);
   for (std::size_t i = 0; i < reg.retired_ns.size() && i < ns.size(); ++i) {
@@ -149,7 +153,7 @@ PhaseReport snapshot() {
     count[i] = reg.retired_count[i];
   }
   for (const ThreadBuckets* thread : reg.threads) {
-    const std::scoped_lock thread_lock(thread->mutex);
+    const sync::MutexLock thread_lock(thread->mutex);
     for (std::size_t i = 0; i < thread->buckets.size() && i < ns.size(); ++i) {
       ns[i] += thread->buckets[i].ns.load(std::memory_order_relaxed);
       count[i] += thread->buckets[i].count.load(std::memory_order_relaxed);

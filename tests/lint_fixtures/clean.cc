@@ -1,0 +1,34 @@
+// Fixture: a file exercising the *allowed* neighbors of every rule; must
+// produce zero findings.
+#include <map>
+#include <numeric>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+struct Table {
+  std::unordered_map<std::string, int> index_;
+  std::map<std::string, int> ordered_;
+  std::vector<double> values_;
+
+  // Comments mentioning assert( or std::thread must not fire, and neither
+  // must strings: "assert(x)" below is data, not code.
+  const char* describe() const { return "assert(x) std::rand()"; }
+
+  int lookup(const std::string& key) const {
+    const auto found = index_.find(key);
+    return found == index_.end() ? 0 : found->second;
+  }
+
+  double sum() const {
+    double total = std::accumulate(values_.begin(), values_.end(), 0.0);
+    for (const auto& [key, value] : ordered_) total += value;
+    return total;
+  }
+
+  std::span<const double> view() const { return values_; }
+};
+
+unsigned probe() { return std::thread::hardware_concurrency(); }

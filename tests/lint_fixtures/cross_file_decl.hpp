@@ -1,0 +1,12 @@
+// Fixture: the unordered member is declared here; cross_file_iter.cc
+// iterates it.  Pass 1 collects names across every scanned file, so the
+// .cc finding depends on this header being in the same lint run.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+struct Directory {
+  std::unordered_map<std::string, int> entries_;
+  int total() const;
+};

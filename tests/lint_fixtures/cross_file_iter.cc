@@ -1,0 +1,11 @@
+// Fixture: iterating a member whose unordered declaration lives in
+// cross_file_decl.hpp -- the finding requires cross-file name collection.
+#include "cross_file_decl.hpp"
+
+int Directory::total() const {
+  int sum = 0;
+  for (const auto& [name, value] : entries_) {  // line 7: finding
+    sum += value;
+  }
+  return sum;
+}

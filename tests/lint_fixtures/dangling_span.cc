@@ -1,0 +1,19 @@
+// Fixture: dangling-span fires when a std::span is bound to the temporary
+// returned by a by-value accessor (the catalogue currently lists omega());
+// spanning a reference-returning accessor or a named copy is fine.
+#include <span>
+#include <vector>
+
+struct Matrix {
+  std::vector<double> omega() const { return {1.0, 2.0}; }
+  const std::vector<double>& sizes() const { return storage; }
+  std::vector<double> storage;
+};
+
+double fixture(const Matrix& matrix) {
+  std::span<const double> bad = matrix.omega();  // line 14: finding
+  const std::span<const double> fine = matrix.sizes();
+  const std::vector<double> copy = matrix.omega();
+  const std::span<const double> also_fine = copy;
+  return bad[0] + fine[0] + also_fine[0];
+}

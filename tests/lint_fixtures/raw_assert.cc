@@ -1,0 +1,12 @@
+// Fixture: raw-assert must fire on assert(), not on static_assert or on
+// member-access calls that happen to be named assert.  (Fixtures are lint
+// input only -- they are never compiled.)
+#include <cassert>
+
+struct Checker;
+
+void fixture(int value, Checker& checker) {
+  assert(value > 0);  // finding: raw-assert @ line 9
+  static_assert(sizeof(int) >= 4);
+  checker.assert(value);  // member access: allowed
+}

@@ -1,0 +1,14 @@
+// Fixture: raw-rng fires on C-library randomness and std::random_device;
+// member calls named rand() on project types are fine.  (Fixtures are lint
+// input only -- they are never compiled.)
+#include <cstdlib>
+#include <random>
+
+struct Rng;
+
+int fixture(Rng& rng) {
+  std::srand(42);             // finding: raw-rng @ line 10
+  const int a = std::rand();  // finding: raw-rng @ line 11
+  std::random_device device;  // finding: raw-rng @ line 12
+  return a + rng.rand() + static_cast<int>(device());
+}

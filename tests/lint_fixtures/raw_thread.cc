@@ -1,0 +1,14 @@
+// Fixture: raw-thread fires on std::thread / std::jthread / std::async but
+// not on static member access like std::thread::hardware_concurrency().
+#include <future>
+#include <thread>
+
+void fixture() {
+  std::thread worker([] {});  // line 7: finding
+  worker.join();
+  std::jthread scoped([] {});  // line 9: finding
+  auto task = std::async([] { return 1; });  // line 10: finding
+  (void)task.get();
+  const unsigned cores = std::thread::hardware_concurrency();  // allowed
+  (void)cores;
+}

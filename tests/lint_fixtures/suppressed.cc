@@ -1,0 +1,16 @@
+// Fixture: suppression handling.  Same-line and preceding-comment-line
+// allow() markers silence exactly the named rule; a marker naming a
+// different rule changes nothing.
+#include <cassert>
+#include <thread>
+
+void fixture(int value) {
+  assert(value > 0);  // qbp-lint: allow(raw-assert): fixture rationale
+  // qbp-lint: allow(raw-thread): joined before return
+  std::thread worker([] {});
+  worker.join();
+  assert(value < 100);  // qbp-lint: allow(raw-thread)  <- wrong rule, line 12: finding
+  // qbp-lint: allow(raw-assert)
+  int gap = value;  // the allowance above covers this line, not the next
+  assert(gap != 0);  // line 15: finding
+}

@@ -1,0 +1,23 @@
+// Fixture: unordered-iter fires on range-for and .begin() over variables
+// declared with an unordered container type; lookups are fine, and ordered
+// containers never fire.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+int fixture() {
+  std::unordered_map<std::string, int> counts;
+  std::map<std::string, int> sorted;
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // finding: unordered-iter @ line 12
+    total += value;
+  }
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // finding @ line 15
+    total += it->second;
+  }
+  for (const auto& [key, value] : sorted) {  // ordered: allowed
+    total += value;
+  }
+  total += static_cast<int>(counts.count("x"));  // lookup: allowed
+  return total;
+}

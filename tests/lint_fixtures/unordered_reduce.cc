@@ -1,0 +1,13 @@
+// Fixture: unordered-reduce fires on std::reduce / std::transform_reduce;
+// std::accumulate (strictly left-to-right) is fine.
+#include <numeric>
+#include <vector>
+
+double fixture(const std::vector<double>& values) {
+  const double a = std::reduce(values.begin(), values.end());  // line 7: finding
+  const double b = std::transform_reduce(  // line 8: finding
+      values.begin(), values.end(), 0.0, [](double x, double y) { return x + y; },
+      [](double x) { return x * x; });
+  const double c = std::accumulate(values.begin(), values.end(), 0.0);
+  return a + b + c;
+}

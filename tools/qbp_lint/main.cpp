@@ -1,0 +1,77 @@
+// qbp_lint command-line driver.
+//
+//   qbp_lint [--json] <path>...   lint files / directories (recursively)
+//   qbp_lint --list-rules         print the rule catalogue and exit
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: qbp_lint [--json] <path>...\n"
+               "       qbp_lint --list-rules\n"
+               "\n"
+               "Token-level contract checker for the qbpart tree: flags\n"
+               "constructs that break determinism or bypass the project's\n"
+               "concurrency and contract frameworks.  Suppress one finding\n"
+               "with `// qbp-lint: allow(<rule>)` on (or directly above)\n"
+               "the offending line.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : qbp::lint::rules()) {
+        std::printf("%-17s %s\n", rule.name.c_str(), rule.description.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "qbp_lint: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::string error;
+  const std::vector<qbp::lint::Finding> findings = qbp::lint::run(paths, error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+
+  if (json) {
+    std::fputs(qbp::lint::to_json(findings).c_str(), stdout);
+  } else {
+    for (const auto& finding : findings) {
+      std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
+                  finding.rule.c_str(), finding.message.c_str());
+    }
+    if (!findings.empty()) {
+      std::printf("qbp_lint: %zu finding%s\n", findings.size(),
+                  findings.size() == 1 ? "" : "s");
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
