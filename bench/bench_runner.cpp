@@ -35,6 +35,7 @@
 #include "bench_support/experiment.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
+#include "core/multilevel.hpp"
 #include "core/problem_io.hpp"
 #include "service/cache.hpp"
 #include "service/job.hpp"
@@ -42,6 +43,7 @@
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/prof.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -58,8 +60,9 @@ struct RunnerConfig {
   bool presolve = true;
 };
 
-constexpr const char* kSuiteNames[] = {"table1", "table2",  "table3",
-                                       "scaling", "presolve", "eco", "all"};
+constexpr const char* kSuiteNames[] = {"table1",   "table2", "table3",
+                                       "scaling",  "presolve", "eco",
+                                       "vcycle",   "all"};
 
 struct ScalingRow {
   std::int32_t n = 0;
@@ -301,6 +304,100 @@ std::vector<EcoRow> run_eco_suite(const RunnerConfig& config) {
                  row.warm_hits, row.variants);
   }
   return rows;
+}
+
+// V-cycle suite: the multilevel solver at sizes the flat heuristic cannot
+// touch (N up to 100k).  Everything is deterministic -- the hierarchy, the
+// coarsest solve and every refinement pass are bit-identical at any
+// inner-thread count and with the SIMD kernels on or off -- so the final
+// objective, feasibility, level count and per-level sizes are all
+// exact-gated; wall clock (total and the coarsening share) gets the usual
+// tolerance.  This is the CI scaling gate: a re-run with --inner-threads 2
+// or --simd off must pass --check against the same baseline.
+struct VcycleRow {
+  std::int32_t n = 0;
+  std::int64_t wires = 0;
+  std::int64_t constraints = 0;
+  std::int32_t levels = 0;
+  std::vector<std::int32_t> level_sizes;
+  std::int32_t threads = 1;
+  double coarsen_seconds = 0.0;
+  double seconds = 0.0;
+  double final_cost = 0.0;  // feasible wirelength, or penalized value
+  bool feasible = false;
+};
+
+std::vector<VcycleRow> run_vcycle_suite(const RunnerConfig& config) {
+  const std::vector<std::int32_t> sizes =
+      config.smoke ? std::vector<std::int32_t>{10000}
+                   : std::vector<std::int32_t>{10000, 30000, 100000};
+
+  std::vector<VcycleRow> rows;
+  for (const std::int32_t n : sizes) {
+    const auto problem = qbp::make_scaling_problem(n, 7);
+    // A plain random seed: at V-cycle scale the hierarchy owns solution
+    // quality, and the QBP zero-wire-cost start would cost more than the
+    // whole solve.
+    const auto initial =
+        qbp::make_initial(problem, qbp::InitialStrategy::kRandom, 7);
+
+    qbp::MultilevelOptions options;
+    options.coarsen.inner_threads =
+        static_cast<std::int32_t>(config.inner_threads);
+    options.coarse_solver.inner_threads =
+        static_cast<std::int32_t>(config.inner_threads);
+    options.refine_solver.inner_threads =
+        static_cast<std::int32_t>(config.inner_threads);
+    options.presolve.enabled = config.presolve;
+
+    const qbp::Timer timer;
+    const auto result =
+        qbp::solve_qbp_multilevel(problem, initial.assignment, options);
+
+    VcycleRow row;
+    row.n = n;
+    row.wires = problem.netlist().total_wires();
+    row.constraints = problem.timing().count();
+    row.levels = result.levels_used;
+    row.level_sizes = result.level_sizes;
+    row.threads = static_cast<std::int32_t>(config.inner_threads);
+    row.coarsen_seconds = result.coarsen_seconds;
+    row.seconds = timer.seconds();
+    row.feasible = result.finest.found_feasible;
+    row.final_cost = result.finest.found_feasible
+                         ? problem.wirelength(result.finest.best_feasible)
+                         : result.finest.best_penalized;
+    rows.push_back(row);
+    std::fprintf(stderr,
+                 "  N=%d done (%.2fs, coarsen %.2fs, %d levels, kernel %s)\n",
+                 n, row.seconds, row.coarsen_seconds, row.levels,
+                 qbp::simd::active_kernel());
+  }
+  return rows;
+}
+
+qbp::json::Value vcycle_to_json(const std::vector<VcycleRow>& rows) {
+  qbp::json::Value out = qbp::json::Value::array();
+  for (const auto& row : rows) {
+    qbp::json::Value entry = qbp::json::Value::object();
+    entry.set("n", static_cast<std::int64_t>(row.n));
+    entry.set("wires", row.wires);
+    entry.set("constraints", row.constraints);
+    entry.set("levels", static_cast<std::int64_t>(row.levels));
+    qbp::json::Value sizes = qbp::json::Value::array();
+    for (const std::int32_t size : row.level_sizes) {
+      sizes.push_back(static_cast<std::int64_t>(size));
+    }
+    entry.set("level_sizes", std::move(sizes));
+    entry.set("threads", static_cast<std::int64_t>(row.threads));
+    entry.set("kernel", std::string(qbp::simd::active_kernel()));
+    entry.set("coarsen_seconds", row.coarsen_seconds);
+    entry.set("seconds", row.seconds);
+    entry.set("final", row.final_cost);
+    entry.set("feasible", row.feasible);
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 qbp::json::Value eco_to_json(const std::vector<EcoRow>& rows) {
@@ -587,6 +684,50 @@ void check_eco_suite(Gate& gate, const qbp::json::Value& baseline,
   }
 }
 
+void check_vcycle_suite(Gate& gate, const qbp::json::Value& baseline,
+                        const std::vector<VcycleRow>& rows) {
+  for (const auto& row : rows) {
+    const qbp::json::Value* base_row = nullptr;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (static_cast<std::int32_t>(baseline.at(i).get_number("n", -1.0)) ==
+          row.n) {
+        base_row = &baseline.at(i);
+        break;
+      }
+    }
+    const std::string where = "vcycle/N=" + std::to_string(row.n);
+    if (base_row == nullptr) {
+      gate.missing(where);
+      continue;
+    }
+    // The whole V-cycle is deterministic, so objective, feasibility and the
+    // hierarchy's exact shape are gated without tolerance.  Note "kernel" is
+    // deliberately NOT gated: it records which SIMD path ran (machine- and
+    // flag-dependent) while the objectives it produces must not move.
+    gate.objective(where + "/final", base_row->get_number("final", -1.0),
+                   row.final_cost);
+    gate.objective(where + "/feasible",
+                   base_row->get_bool("feasible", false) ? 1.0 : 0.0,
+                   row.feasible ? 1.0 : 0.0);
+    gate.objective(where + "/levels", base_row->get_number("levels", -1.0),
+                   row.levels);
+    const qbp::json::Value* sizes = base_row->find("level_sizes");
+    if (sizes == nullptr || sizes->size() != row.level_sizes.size()) {
+      gate.missing(where + "/level_sizes");
+    } else {
+      for (std::size_t k = 0; k < row.level_sizes.size(); ++k) {
+        gate.objective(where + "/level_sizes[" + std::to_string(k) + "]",
+                       sizes->at(k).as_number(-1.0), row.level_sizes[k]);
+      }
+    }
+    gate.wall_clock(where + "/seconds", base_row->get_number("seconds", 0.0),
+                    row.seconds);
+    gate.wall_clock(where + "/coarsen_seconds",
+                    base_row->get_number("coarsen_seconds", 0.0),
+                    row.coarsen_seconds);
+  }
+}
+
 void check_scaling_suite(Gate& gate, const qbp::json::Value& baseline,
                          const std::vector<ScalingRow>& rows) {
   for (const auto& row : rows) {
@@ -618,6 +759,7 @@ int main(int argc, char** argv) {
   std::string check_path;
   std::string suite = "all";
   std::string presolve_mode = "on";
+  std::string simd_mode = "on";
   bool profile = false;
   bool list_suites = false;
 
@@ -626,7 +768,7 @@ int main(int argc, char** argv) {
   cli.add_flag("smoke", config.smoke,
                "reduced sizes/iterations for the CI gate");
   cli.add_string("suite", suite,
-                 "table1|table2|table3|scaling|presolve|eco|all");
+                 "table1|table2|table3|scaling|presolve|eco|vcycle|all");
   cli.add_flag("list-suites", list_suites,
                "print the valid --suite values and exit");
   cli.add_int("inner-threads", config.inner_threads,
@@ -635,6 +777,9 @@ int main(int argc, char** argv) {
   cli.add_string("presolve", presolve_mode,
                  "on | off: presolve before the QBP legs; bit-identical on "
                  "the standard suites, so --check holds in both modes");
+  cli.add_string("simd", simd_mode,
+                 "on | off: runtime-dispatched vector kernels; results are "
+                 "bit-identical either way, so --check still applies");
   cli.add_string("json", json_path, "write machine-readable results here");
   cli.add_string("check", check_path,
                  "compare against this baseline JSON; exit 1 on regression");
@@ -653,6 +798,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.presolve = presolve_mode == "on";
+  if (simd_mode != "on" && simd_mode != "off") {
+    std::fprintf(stderr, "--simd must be on|off\n");
+    return 2;
+  }
+  qbp::simd::set_enabled(simd_mode == "on");
 
   bool suite_known = false;
   for (const char* name : kSuiteNames) suite_known |= suite == name;
@@ -681,6 +831,7 @@ int main(int argc, char** argv) {
   std::vector<ScalingRow> scaling;
   std::vector<PresolveRow> presolve;
   std::vector<EcoRow> eco;
+  std::vector<VcycleRow> vcycle;
 
   if (want("table1")) {
     std::fprintf(stderr, "suite table1 (circuit descriptions)\n");
@@ -752,6 +903,22 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.render().c_str());
     suites.set("eco", eco_to_json(eco));
   }
+  if (want("vcycle")) {
+    std::fprintf(stderr, "suite vcycle (multilevel, kernel %s)\n",
+                 qbp::simd::active_kernel());
+    vcycle = run_vcycle_suite(config);
+    qbp::TextTable table({"N", "levels", "coarsen (s)", "solve (s)", "final",
+                          "feasible"});
+    for (const auto& row : vcycle) {
+      table.add_row({std::to_string(row.n), std::to_string(row.levels),
+                     qbp::format_double(row.coarsen_seconds, 2),
+                     qbp::format_double(row.seconds, 2),
+                     qbp::format_double(row.final_cost, 1),
+                     row.feasible ? "yes" : "no"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    suites.set("vcycle", vcycle_to_json(vcycle));
+  }
 
   qbp::json::Value out = qbp::json::Value::object();
   out.set("schema", static_cast<std::int64_t>(1));
@@ -814,6 +981,10 @@ int main(int argc, char** argv) {
   if (want("eco")) {
     if (const auto* base = suite_of("eco"))
       check_eco_suite(gate, *base, eco, config.smoke);
+  }
+  if (want("vcycle")) {
+    if (const auto* base = suite_of("vcycle"))
+      check_vcycle_suite(gate, *base, vcycle);
   }
 
   if (gate.failures > 0) {

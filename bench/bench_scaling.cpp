@@ -8,89 +8,154 @@
 // GAP (its swap pass is worst-case quadratic), near-linear without it.
 //
 //   bench_scaling --json out.json --inner-threads 8
+//   bench_scaling --sizes 10000,30000,100000 --multilevel
+//
+// --multilevel routes each size through the V-cycle (core/multilevel)
+// instead of the flat solver -- the ad-hoc flat-vs-ML comparison that used
+// to live in bench_multilevel, now sharing this driver's --json/--sizes
+// plumbing (the gated V-cycle rows live in bench_runner --suite vcycle).
 //
 // The JSON rows carry ms_per_iter so per-iteration cost can be compared
 // across commits without re-deriving it from seconds / iterations.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_support/circuits.hpp"
 #include "bench_support/experiment.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
+#include "core/multilevel.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/prof.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string sizes_arg = "200,400,800,1600,3200";
   std::int64_t inner_threads = 1;
   std::int64_t iterations = 30;
+  bool multilevel = false;
 
   qbp::CliParser cli("bench_scaling",
                      "QBP whole-solve time vs circuit size");
   cli.add_string("json", json_path, "write machine-readable rows here");
+  cli.add_string("sizes", sizes_arg,
+                 "comma-separated component counts to sweep");
   cli.add_int("inner-threads", inner_threads,
               "threads inside each solve (0 = all hardware); objectives are "
               "bit-identical at every value");
   cli.add_int("iterations", iterations, "QBP iteration budget per size");
+  bool profile = false;
+  cli.add_flag("multilevel", multilevel,
+               "solve through the multilevel V-cycle instead of flat QBP");
+  cli.add_flag("profile", profile,
+               "enable the phase profiler and report the breakdown");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+  if (profile) qbp::prof::set_enabled(true);
 
-  std::printf("Scaling: QBP whole-solve time vs circuit size "
+  std::vector<std::int32_t> sizes;
+  for (const auto piece : qbp::split(sizes_arg, ',')) {
+    long long n = 0;
+    if (!qbp::parse_int(piece, n) || n < 1) {
+      std::fprintf(stderr, "--sizes: '%.*s' is not a positive integer\n",
+                   static_cast<int>(piece.size()), piece.data());
+      return 2;
+    }
+    sizes.push_back(static_cast<std::int32_t>(n));
+  }
+
+  std::printf("Scaling: %s whole-solve time vs circuit size "
               "(M = 16, wires = 6N, constraints = 3N, %lld iterations, "
               "%lld inner threads)\n\n",
+              multilevel ? "multilevel V-cycle" : "QBP",
               static_cast<long long>(iterations),
               static_cast<long long>(inner_threads));
   qbp::TextTable table({"N", "wires", "constraints", "solve (s)",
                         "ms / iteration", "final feasible", "improvement"});
   qbp::json::Value rows = qbp::json::Value::array();
 
-  for (const std::int32_t n : {200, 400, 800, 1600, 3200}) {
+  for (const std::int32_t n : sizes) {
     const auto problem = qbp::make_scaling_problem(n, 7);
+    // The zero-wire-cost QBP start pays off for the flat solver but costs
+    // more than an entire V-cycle at large N; the multilevel sweep seeds
+    // with a plain random assignment instead (matching --suite vcycle).
     const auto initial = qbp::make_initial(
-        problem, qbp::InitialStrategy::kQbpZeroWireCost, 7);
+        problem,
+        multilevel ? qbp::InitialStrategy::kRandom
+                   : qbp::InitialStrategy::kQbpZeroWireCost,
+        7);
     const double start = problem.wirelength(initial.assignment);
 
-    qbp::BurkardOptions options;
-    options.iterations = static_cast<std::int32_t>(iterations);
-    options.inner_threads = static_cast<std::int32_t>(inner_threads);
-    const qbp::Timer timer;
-    const auto result = qbp::solve_qbp(problem, initial.assignment, options);
-    const double seconds = timer.seconds();
+    double seconds = 0.0;
+    std::int32_t iterations_run = 0;
+    double final_cost = start;
+    bool feasible = false;
+    std::int32_t levels = 0;
+    if (multilevel) {
+      qbp::MultilevelOptions options;
+      options.coarsen.inner_threads = static_cast<std::int32_t>(inner_threads);
+      options.coarse_solver.inner_threads =
+          static_cast<std::int32_t>(inner_threads);
+      options.refine_solver.inner_threads =
+          static_cast<std::int32_t>(inner_threads);
+      options.coarse_solver.iterations = static_cast<std::int32_t>(iterations);
+      const qbp::Timer timer;
+      const auto result =
+          qbp::solve_qbp_multilevel(problem, initial.assignment, options);
+      seconds = timer.seconds();
+      iterations_run = result.finest.iterations_run;
+      feasible = result.finest.found_feasible;
+      levels = result.levels_used;
+      if (feasible) final_cost = problem.wirelength(result.finest.best_feasible);
+    } else {
+      qbp::BurkardOptions options;
+      options.iterations = static_cast<std::int32_t>(iterations);
+      options.inner_threads = static_cast<std::int32_t>(inner_threads);
+      const qbp::Timer timer;
+      const auto result = qbp::solve_qbp(problem, initial.assignment, options);
+      seconds = timer.seconds();
+      iterations_run = result.iterations_run;
+      feasible = result.found_feasible;
+      if (feasible) final_cost = problem.wirelength(result.best_feasible);
+    }
     const double ms_per_iter =
-        result.iterations_run > 0 ? seconds * 1000.0 / result.iterations_run
-                                  : 0.0;
+        iterations_run > 0 ? seconds * 1000.0 / iterations_run : 0.0;
 
-    const double final_cost = result.found_feasible
-                                  ? problem.wirelength(result.best_feasible)
-                                  : start;
     table.add_row(
         {std::to_string(n), qbp::format_grouped(problem.netlist().total_wires()),
          qbp::format_grouped(problem.timing().count()),
          qbp::format_double(seconds, 2), qbp::format_double(ms_per_iter, 1),
-         result.found_feasible ? "yes" : "no",
+         feasible ? "yes" : "no",
          qbp::format_double((start - final_cost) / start * 100.0, 1) + "%"});
 
     qbp::json::Value entry = qbp::json::Value::object();
     entry.set("n", static_cast<std::int64_t>(n));
     entry.set("wires", problem.netlist().total_wires());
     entry.set("constraints", problem.timing().count());
-    entry.set("iterations", static_cast<std::int64_t>(result.iterations_run));
+    entry.set("iterations", static_cast<std::int64_t>(iterations_run));
     entry.set("threads", inner_threads);
+    if (multilevel) entry.set("levels", static_cast<std::int64_t>(levels));
     entry.set("seconds", seconds);
     entry.set("ms_per_iter", ms_per_iter);
     entry.set("final", final_cost);
-    entry.set("feasible", result.found_feasible);
+    entry.set("feasible", feasible);
     rows.push_back(std::move(entry));
     std::fprintf(stderr, "  N=%d done\n", n);
   }
   std::printf("%s\n", table.render().c_str());
+  if (profile) {
+    std::printf("%s\n", qbp::prof::to_string(qbp::prof::snapshot()).c_str());
+  }
   if (!qbp::write_bench_json(json_path, rows)) return 1;
-  std::printf("expected shape: ms/iteration grows mildly super-linearly "
-              "(~N^1.4): the sparse STEP 3 is O(N) but the strong inner\n"
-              "GAP's swap-improvement pass is quadratic in the worst case. "
-              "With gap_step6.swap_improvement = false it is near-linear.\n");
+  if (!multilevel) {
+    std::printf("expected shape: ms/iteration grows mildly super-linearly "
+                "(~N^1.4): the sparse STEP 3 is O(N) but the strong inner\n"
+                "GAP's swap-improvement pass is quadratic in the worst case. "
+                "With gap_step6.swap_improvement = false it is near-linear.\n");
+  }
   return 0;
 }

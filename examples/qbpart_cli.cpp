@@ -23,6 +23,7 @@
 #include "bench_support/circuits.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
+#include "core/multilevel.hpp"
 #include "core/presolve.hpp"
 #include "core/problem_io.hpp"
 #include "core/report.hpp"
@@ -30,6 +31,7 @@
 #include "engine/pipeline.hpp"
 #include "util/cli.hpp"
 #include "util/prof.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -95,12 +97,16 @@ int main(int argc, char** argv) {
   std::string presolve_mode = "on";
   std::string presolve_rules = "r0,r1,r2,rn";
   std::int64_t presolve_rn = 4;
+  std::int64_t ml_levels = 0;
+  double ml_min_shrink = 0.0;
+  std::int64_t ml_refine_passes = -1;
+  std::string simd_mode = "on";
 
   qbp::CliParser cli("qbpart_cli",
                      "timing- and capacity-constrained partitioning from a "
                      ".qp problem file");
   cli.add_string("problem", problem_path, "input problem file (.qp)");
-  cli.add_string("method", method, "qbp | gfm | gkl | sa");
+  cli.add_string("method", method, "qbp | multilevel | gfm | gkl | sa");
   cli.add_string("out", out_path, "write the final assignment here");
   cli.add_string("initial", initial_path,
                  "read the starting assignment from this file");
@@ -132,7 +138,42 @@ int main(int argc, char** argv) {
   cli.add_int("presolve-rn", presolve_rn,
               "solve remainders with at most this many free components "
               "exactly (RN rule)");
+  cli.add_int("ml-levels", ml_levels,
+              "multilevel: total V-cycle levels including the finest "
+              "(1 = flat solve; 0 = solver default)");
+  cli.add_double("ml-min-shrink", ml_min_shrink,
+                 "multilevel: stop coarsening when a level shrinks by less "
+                 "than this factor, in [0, 1) (0 = solver default)");
+  cli.add_int("ml-refine-passes", ml_refine_passes,
+              "multilevel: polish sweeps per uncoarsened level "
+              "(-1 = solver default)");
+  cli.add_string("simd", simd_mode,
+                 "on | off: vectorized eta/GAP kernels (util/simd); results "
+                 "are bit-identical either way");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+  if (simd_mode != "on" && simd_mode != "off") {
+    std::fprintf(stderr, "--simd must be on|off\n");
+    return 1;
+  }
+  qbp::simd::set_enabled(simd_mode == "on");
+  if (ml_levels < 0 || ml_min_shrink < 0.0 || ml_min_shrink >= 1.0 ||
+      ml_refine_passes < -1) {
+    std::fprintf(stderr,
+                 "--ml-levels must be >= 0, --ml-min-shrink in [0, 1), "
+                 "--ml-refine-passes >= -1\n");
+    return 1;
+  }
+  qbp::MultilevelOptions ml_options;
+  ml_options.coarsen.inner_threads = static_cast<std::int32_t>(inner_threads);
+  ml_options.coarse_solver.inner_threads =
+      static_cast<std::int32_t>(inner_threads);
+  ml_options.refine_solver.inner_threads =
+      static_cast<std::int32_t>(inner_threads);
+  if (ml_levels > 0) ml_options.max_levels = static_cast<std::int32_t>(ml_levels);
+  if (ml_min_shrink > 0.0) ml_options.min_shrink = ml_min_shrink;
+  if (ml_refine_passes >= 0) {
+    ml_options.refine_passes = static_cast<std::int32_t>(ml_refine_passes);
+  }
   if (presolve_mode != "on" && presolve_mode != "off") {
     std::fprintf(stderr, "--presolve must be on|off\n");
     return 1;
@@ -173,6 +214,8 @@ int main(int argc, char** argv) {
       options.iterations = static_cast<std::int32_t>(iterations);
       options.inner_threads = static_cast<std::int32_t>(inner_threads);
       solver = std::make_unique<qbp::engine::BurkardSolver>(options);
+    } else if (method == "multilevel") {
+      solver = std::make_unique<qbp::engine::MultilevelSolver>(ml_options);
     } else {
       solver = qbp::engine::make_solver(method);
     }
@@ -255,6 +298,22 @@ int main(int argc, char** argv) {
     final_assignment = result.best_feasible;
     std::printf("QBP: %d iterations, %.2f s\n", result.iterations_run,
                 result.seconds);
+  } else if (method == "multilevel") {
+    // The V-cycle presolves at its own top level (hierarchy built on the
+    // reduced instance, finest result lifted back).
+    ml_options.presolve = presolve_options;
+    const auto result = qbp::solve_qbp_multilevel(problem, initial, ml_options);
+    if (!result.finest.found_feasible) {
+      std::fprintf(stderr,
+                   "multilevel found no fully feasible solution (best "
+                   "penalized value %.1f); rerun with more --ml-refine-passes "
+                   "or a different --seed\n",
+                   result.finest.best_penalized);
+      return 2;
+    }
+    final_assignment = result.finest.best_feasible;
+    std::printf("multilevel: %d levels (%.2f s coarsening), %.2f s total\n",
+                result.levels_used, result.coarsen_seconds, result.seconds);
   } else if (method == "gfm" || method == "gkl" || method == "sa") {
     if (!initial_feasible) {
       std::fprintf(stderr, "%s requires a feasible starting assignment\n",

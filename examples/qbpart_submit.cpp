@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
   std::int64_t count = 1;
   std::int64_t tcp_port = -1;
   std::int64_t presolve_rn = 4;
+  std::int64_t ml_levels = 0;
+  double ml_min_shrink = 0.0;
+  std::int64_t ml_refine_passes = -1;
   std::string presolve_mode = "on";
   std::string presolve_rules = "r0,r1,r2,rn";
   std::string cache_mode = "on";
@@ -78,6 +81,15 @@ int main(int argc, char** argv) {
   cli.add_string("presolve-rules", presolve_rules,
                  "comma-separated reduction rules to run (subset of "
                  "r0,r1,r2,rn; same grammar as qbpart_cli)");
+  cli.add_int("ml-levels", ml_levels,
+              "multilevel method: total V-cycle levels including the finest "
+              "(1 = flat; 0 = server default)");
+  cli.add_double("ml-min-shrink", ml_min_shrink,
+                 "multilevel method: coarsening shrink floor in [0, 1) "
+                 "(0 = server default)");
+  cli.add_int("ml-refine-passes", ml_refine_passes,
+              "multilevel method: polish sweeps per uncoarsened level "
+              "(-1 = server default)");
   cli.add_string("cache", cache_mode,
                  "on | off: let the server answer from its solution cache");
   cli.add_string("warm-start", warm_mode,
@@ -107,6 +119,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--warm-start must be on|off\n");
     return 1;
   }
+  if (ml_levels < 0 || ml_min_shrink < 0.0 || ml_min_shrink >= 1.0 ||
+      ml_refine_passes < -1) {
+    std::fprintf(stderr,
+                 "--ml-levels must be >= 0, --ml-min-shrink in [0, 1), "
+                 "--ml-refine-passes >= -1\n");
+    return 1;
+  }
 
   std::vector<std::string> lines;
   std::size_t expected_replies = 0;
@@ -123,6 +142,9 @@ int main(int argc, char** argv) {
     request.solver.presolve = presolve_mode == "on";
     request.solver.presolve_rn = static_cast<std::int32_t>(presolve_rn);
     request.solver.presolve_rules = presolve_rules;
+    request.solver.ml_levels = static_cast<std::int32_t>(ml_levels);
+    request.solver.ml_min_shrink = ml_min_shrink;
+    request.solver.ml_refine_passes = static_cast<std::int32_t>(ml_refine_passes);
     request.cache = cache_mode == "on";
     request.warm_start = warm_mode == "on";
     request.deadline_ms = deadline_ms;

@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/prof.hpp"
+#include "util/simd.hpp"
 
 namespace qbp {
 
@@ -459,23 +460,30 @@ GapResult solve_gap(const GapProblem& problem, const GapOptions& options) {
           const std::int64_t hit = par::find_first(
               n, swap_cursor, kSwapGrain, options.threads,
               [&](std::int64_t begin, std::int64_t end) -> std::int64_t {
-                for (std::int64_t jj = begin; jj < end; ++jj) {
-                  const auto j2 = static_cast<std::int32_t>(jj);
-                  // delta = cost(a1->a2 for j1) + cost(j2 on a1) - current
-                  // pair cost, summed in the same order as the scalar
-                  // formulation.
-                  double delta = masked[agent[j2]];
-                  delta += row1[j2];
-                  delta -= c11;
-                  delta -= assigned_cost[static_cast<std::size_t>(j2)];
-                  if (!(delta < -kEps)) continue;
+                // Profitability pre-filter first: the SIMD scan returns the
+                // first j2 with
+                //   masked[agent[j2]] + row1[j2] - c11 - assigned_cost[j2]
+                //     < -kEps
+                // (same association as the scalar formulation, bit-identical
+                // by the util/simd.hpp contract), then the rare candidates
+                // pay the capacity checks; rejected candidates resume the
+                // scan one past themselves, exactly like the scalar
+                // `continue`.
+                std::int64_t jj = begin;
+                while (jj < end) {
+                  const std::int64_t cand = simd::swap_profit_scan(
+                      masked, agent, row1, assigned_cost.data(), c11, -kEps,
+                      jj, end);
+                  if (cand < 0) return -1;
+                  const auto j2 = static_cast<std::int32_t>(cand);
                   const double s2 = problem.sizes[static_cast<std::size_t>(j2)];
-                  if (limit1 < s2) continue;
-                  if (slack[static_cast<std::size_t>(agent[j2])] + s2 +
-                          kCapTolerance <
-                      s1)
-                    continue;
-                  return jj;
+                  if (limit1 >= s2 &&
+                      slack[static_cast<std::size_t>(agent[j2])] + s2 +
+                              kCapTolerance >=
+                          s1) {
+                    return cand;
+                  }
+                  jj = cand + 1;
                 }
                 return -1;
               });

@@ -9,13 +9,12 @@
 #include "util/parallel.hpp"
 #include "util/prof.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 #include "util/check.hpp"
 
 namespace qbp {
-
-namespace {
 
 /// Greedy descent on the penalized objective: per round, a best-move sweep
 /// over every (component, partition) pair, then a first-improvement swap
@@ -24,7 +23,8 @@ namespace {
 /// All deltas flow through the shared DeltaEvaluator: the move sweep reads
 /// the cached per-component row (one O(degree * M) build amortized over the
 /// sweep instead of M separate O(degree) evaluations), and commits keep the
-/// cache stamps exact.
+/// cache stamps exact.  Declared in burkard.hpp: the multilevel V-cycle uses
+/// the same descent as its per-level refinement.
 void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
                     Assignment& u, std::int32_t max_sweeps,
                     std::uint64_t sweep_seed, std::int32_t inner_threads) {
@@ -118,8 +118,6 @@ void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
     if (!improved) break;
   }
 }
-
-}  // namespace
 
 /// Map a reduced-space BurkardResult back onto the original problem: lift
 /// both incumbents, shift objectives by the folded constant, recompute the
@@ -278,10 +276,10 @@ BurkardResult solve_qbp(const PartitionProblem& problem, const Assignment& initi
       par::parallel_for(flat_size, /*grain=*/8192, inner,
                         [&](std::int64_t begin, std::int64_t end,
                             std::int32_t) {
-                          for (std::int64_t r = begin; r < end; ++r) {
-                            const auto s = static_cast<std::size_t>(r);
-                            h[s] += eta[s] * scale;
-                          }
+                          // h[s] += eta[s] * scale over the chunk; the SIMD
+                          // kernel is bit-identical to the scalar loop.
+                          simd::axpy(scale, eta.data() + begin,
+                                     h.data() + begin, end - begin);
                         });
     }
 

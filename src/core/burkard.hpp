@@ -150,6 +150,19 @@ struct BurkardResult {
                                       const Assignment& initial,
                                       const BurkardOptions& options = {});
 
+class DeltaEvaluator;
+
+/// The iterate polish as a standalone primitive: up to `max_sweeps` rounds
+/// of best-improvement moves plus first-improvement swaps (connected pairs,
+/// constrained pairs, and a seeded random sample) descending the *penalized*
+/// objective, capacity C1 invariant throughout.  Deterministic in
+/// `sweep_seed` and bit-identical at every `inner_threads` (the only
+/// parallel phase is the evaluator row prefetch).  Used after STEP 6 inside
+/// solve_qbp and as the per-level refinement of the multilevel V-cycle.
+void polish_iterate(const PartitionProblem& problem, DeltaEvaluator& evaluator,
+                    Assignment& u, std::int32_t max_sweeps,
+                    std::uint64_t sweep_seed, std::int32_t inner_threads);
+
 /// Map a reduced-space result (from a solve on ReducedProblem::problem) back
 /// onto the original instance: lift both incumbents, shift objectives by the
 /// folded constant, recompute the penalized value from scratch on the

@@ -36,12 +36,18 @@ double violation_contribution(const PartitionProblem& problem, double penalty,
     const PartitionId other =
         partner == override_partner ? override_at : assignment[partner];
     if (other == Assignment::kUnassigned) continue;
+    // Constraints hold for almost every pair almost all the time, so the
+    // adjacency lookup (a binary search) only happens once a violation
+    // actually fires.
+    const bool forward = topology.delay(i, other) > bounds[k];
+    const bool backward = topology.delay(other, i) > bounds[k];
+    if (!forward && !backward) continue;
     const double wire_scale =
         problem.beta() * adjacency.value_or(component, partner, 0);
-    if (topology.delay(i, other) > bounds[k]) {
+    if (forward) {
       total += penalty - wire_scale * topology.wire_cost(i, other);
     }
-    if (topology.delay(other, i) > bounds[k]) {
+    if (backward) {
       total += penalty - wire_scale * topology.wire_cost(other, i);
     }
   }

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/delta_evaluator.hpp"
+#include "core/qhat.hpp"
+#include "core/repair.hpp"
+#include "util/parallel.hpp"
+#include "util/prof.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -12,7 +17,10 @@ namespace qbp {
 
 CoarseProblem coarsen(const PartitionProblem& problem,
                       const CoarsenOptions& options) {
+  QBP_PROF_SCOPE("multilevel.coarsen");
   const std::int32_t n = problem.num_components();
+  // Built lazily and not thread-safe to build: touch it here, before the
+  // parallel proposal scans read it.
   const auto& adjacency = problem.netlist().connection_matrix();
   const auto& sizes = problem.netlist().sizes();
 
@@ -22,37 +30,61 @@ CoarseProblem coarsen(const PartitionProblem& problem,
   }
   const double size_limit = max_capacity * options.max_cluster_capacity_fraction;
 
-  // Heavy-edge matching in random visit order.
+  // Heavy-edge matching, parallel and deterministic.  Each round has two
+  // phases: a PROPOSAL scan where every unmatched vertex picks its heaviest
+  // still-unmatched, size-feasible neighbor (a pure function of the round's
+  // frozen `mate` array -- chunks write disjoint `pref` slots, so any
+  // thread count produces the same bits), then a serial COMMIT pass in a
+  // seeded shuffled order that pairs vertices whose proposal still holds.
+  // A second round matches vertices whose first choice was taken earlier in
+  // the commit order; beyond two rounds the yield is negligible.
   Rng rng(options.seed);
   std::vector<std::int32_t> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   rng.shuffle(std::span<std::int32_t>(order));
 
   std::vector<std::int32_t> mate(static_cast<std::size_t>(n), -1);
-  for (const std::int32_t j : order) {
-    if (mate[static_cast<std::size_t>(j)] != -1) continue;
-    const auto neighbors = adjacency.row_indices(j);
-    const auto weights = adjacency.row_values(j);
-    std::int32_t best = -1;
-    std::int32_t best_weight = 0;
-    for (std::size_t k = 0; k < neighbors.size(); ++k) {
-      const std::int32_t other = neighbors[k];
-      if (mate[static_cast<std::size_t>(other)] != -1) continue;
-      if (sizes[static_cast<std::size_t>(j)] +
-              sizes[static_cast<std::size_t>(other)] >
-          size_limit) {
-        continue;
-      }
-      if (weights[k] > best_weight ||
-          (weights[k] == best_weight && best >= 0 && other < best)) {
-        best_weight = weights[k];
-        best = other;
-      }
+  std::vector<std::int32_t> pref(static_cast<std::size_t>(n), -1);
+  const std::int32_t rounds = std::max<std::int32_t>(1, options.rounds);
+  for (std::int32_t round = 0; round < rounds; ++round) {
+    par::parallel_for(
+        n, /*grain=*/512, options.inner_threads,
+        [&](std::int64_t chunk_begin, std::int64_t chunk_end, std::int32_t) {
+          for (std::int32_t j = static_cast<std::int32_t>(chunk_begin);
+               j < static_cast<std::int32_t>(chunk_end); ++j) {
+            pref[static_cast<std::size_t>(j)] = -1;
+            if (mate[static_cast<std::size_t>(j)] != -1) continue;
+            const auto neighbors = adjacency.row_indices(j);
+            const auto weights = adjacency.row_values(j);
+            std::int32_t best = -1;
+            std::int32_t best_weight = 0;
+            for (std::size_t k = 0; k < neighbors.size(); ++k) {
+              const std::int32_t other = neighbors[k];
+              if (mate[static_cast<std::size_t>(other)] != -1) continue;
+              if (sizes[static_cast<std::size_t>(j)] +
+                      sizes[static_cast<std::size_t>(other)] >
+                  size_limit) {
+                continue;
+              }
+              if (weights[k] > best_weight ||
+                  (weights[k] == best_weight && best >= 0 && other < best)) {
+                best_weight = weights[k];
+                best = other;
+              }
+            }
+            pref[static_cast<std::size_t>(j)] = best;
+          }
+        });
+    bool matched_any = false;
+    for (const std::int32_t j : order) {
+      if (mate[static_cast<std::size_t>(j)] != -1) continue;
+      const std::int32_t partner = pref[static_cast<std::size_t>(j)];
+      if (partner < 0 || mate[static_cast<std::size_t>(partner)] != -1) continue;
+      mate[static_cast<std::size_t>(j)] = partner;
+      mate[static_cast<std::size_t>(partner)] = j;
+      matched_any = true;
     }
-    if (best >= 0) {
-      mate[static_cast<std::size_t>(j)] = best;
-      mate[static_cast<std::size_t>(best)] = j;
-    }
+    if (!matched_any) break;  // a further round would propose the same pairs
   }
 
   // Assign cluster ids: matched pairs share one, singletons get their own.
@@ -82,7 +114,8 @@ CoarseProblem coarsen(const PartitionProblem& problem,
                                    cluster_size[static_cast<std::size_t>(c)]);
     }
   }
-  const_cast<Netlist&>(problem.netlist()).finalize();
+  // The PartitionProblem constructor finalized the fine netlist, so the
+  // bundle list is already merged and sorted.
   for (const WireBundle& bundle : problem.netlist().bundles()) {
     const std::int32_t ca = coarse.cluster_of[static_cast<std::size_t>(bundle.a)];
     const std::int32_t cb = coarse.cluster_of[static_cast<std::size_t>(bundle.b)];
@@ -133,6 +166,72 @@ Assignment uncoarsen(const CoarseProblem& coarse,
   return fine;
 }
 
+namespace {
+
+/// Refine one uncoarsened level in place: polish (bounded best-improvement
+/// descent on the penalized objective, C1 invariant), then -- if the
+/// descent traded C2 away while a feasible point is in hand -- a
+/// min-conflicts timing repair, keeping whichever feasible point has the
+/// better true objective.  `u` enters as the projection and leaves as the
+/// refined assignment; returns whether the refined `u` is fully feasible.
+bool refine_level(const PartitionProblem& problem, Assignment& u,
+                  const MultilevelOptions& options, std::uint64_t level_seed) {
+  const Assignment projected = u;
+  const bool projected_feasible = problem.is_feasible(projected);
+
+  if (options.refine_passes > 0) {
+    QBP_PROF_SCOPE("multilevel.refine.polish");
+    DeltaEvaluator evaluator(problem, options.refine_solver.penalty);
+    polish_iterate(problem, evaluator, u, options.refine_passes, level_seed,
+                   options.refine_solver.inner_threads);
+  }
+
+  bool feasible = problem.is_feasible(u);
+  if (!feasible && problem.satisfies_capacity(u)) {
+    QBP_PROF_SCOPE("multilevel.refine.repair");
+    RepairOptions repair_options;
+    repair_options.seed = level_seed ^ 0x7e7a11ull;
+    // A converging repair needs on the order of the violation count in
+    // moves; the default 200n budget exists for cold starts.  Refinement
+    // starts near-feasible, so cap the walk -- when it fails to converge
+    // the result is discarded (projection fallback) and a longer walk
+    // would only have burned the level's time budget.
+    repair_options.max_moves = 10 * static_cast<std::int64_t>(problem.num_components());
+    const RepairResult repaired = repair_timing(problem, u, repair_options);
+    if (repaired.feasible) {
+      u = repaired.assignment;
+      feasible = true;
+    }
+  }
+  // Project-then-refine never loses feasibility: if the projection was
+  // feasible and the descent (plus repair) could not keep it, or kept it at
+  // a worse true objective, fall back to the projection.
+  if (projected_feasible) {
+    if (!feasible || problem.objective(u) > problem.objective(projected)) {
+      u = projected;
+      feasible = true;
+    }
+  }
+  return feasible;
+}
+
+/// Wrap a refined assignment as a BurkardResult so every level hands the
+/// same shape upward whether or not it ran a full Burkard pass.
+BurkardResult wrap_refined(const PartitionProblem& problem, Assignment u,
+                           bool feasible, double penalty) {
+  BurkardResult result;
+  result.best_penalized = QhatMatrix(problem, penalty).penalized_value(u);
+  if (feasible) {
+    result.found_feasible = true;
+    result.best_feasible_objective = problem.objective(u);
+    result.best_feasible = u;
+  }
+  result.best = std::move(u);
+  return result;
+}
+
+}  // namespace
+
 MultilevelResult solve_qbp_multilevel(const PartitionProblem& problem,
                                       const Assignment& initial,
                                       const MultilevelOptions& options) {
@@ -172,27 +271,38 @@ MultilevelResult solve_qbp_multilevel(const PartitionProblem& problem,
   MultilevelResult result;
 
   // Build the coarsening hierarchy.  `levels` points into `coarse_levels`,
-  // so the storage must never reallocate.
+  // so the storage must never reallocate -- reserve the depth cap up front.
+  const std::int32_t total_levels = std::clamp<std::int32_t>(
+      options.max_levels, 1, MultilevelOptions::kMaxLevels);
   std::vector<const PartitionProblem*> levels{&problem};
   std::vector<CoarseProblem> coarse_levels;
-  coarse_levels.reserve(static_cast<std::size_t>(std::max(options.max_levels, 0)));
+  coarse_levels.reserve(static_cast<std::size_t>(total_levels));
   result.level_sizes.push_back(problem.num_components());
-  for (std::int32_t level = 0; level < options.max_levels; ++level) {
-    CoarsenOptions coarsen_options = options.coarsen;
-    coarsen_options.seed = options.coarsen.seed + static_cast<unsigned>(level);
-    CoarseProblem next = coarsen(*levels.back(), coarsen_options);
-    if (next.num_clusters >=
-        static_cast<std::int32_t>(options.min_shrink *
-                                  levels.back()->num_components())) {
-      break;  // diminishing returns
+  {
+    const Timer coarsen_timer;
+    while (static_cast<std::int32_t>(levels.size()) < total_levels &&
+           levels.back()->num_components() > options.coarsest_target) {
+      CoarsenOptions coarsen_options = options.coarsen;
+      coarsen_options.seed =
+          options.coarsen.seed +
+          static_cast<std::uint64_t>(coarse_levels.size());
+      CoarseProblem next = coarsen(*levels.back(), coarsen_options);
+      if (next.num_clusters >=
+          static_cast<std::int32_t>(options.min_shrink *
+                                    levels.back()->num_components())) {
+        break;  // diminishing returns
+      }
+      coarse_levels.push_back(std::move(next));
+      levels.push_back(&coarse_levels.back().problem);
+      result.level_sizes.push_back(coarse_levels.back().num_clusters);
     }
-    coarse_levels.push_back(std::move(next));
-    levels.push_back(&coarse_levels.back().problem);
-    result.level_sizes.push_back(coarse_levels.back().num_clusters);
+    result.coarsen_seconds = coarsen_timer.seconds();
   }
   result.levels_used = static_cast<std::int32_t>(coarse_levels.size());
 
-  // Project the seed assignment down to the coarsest level.
+  // Project the seed assignment down to the coarsest level.  Cluster
+  // members always share one projected partition (both mates inherit the
+  // first member's choice), so warm starts survive the descent intact.
   Assignment seed = initial;
   for (const CoarseProblem& coarse : coarse_levels) {
     Assignment projected(coarse.num_clusters,
@@ -208,8 +318,10 @@ MultilevelResult solve_qbp_multilevel(const PartitionProblem& problem,
     seed = std::move(projected);
   }
 
-  // Solve coarsest, then refine upward.  The caller's stop hook rides along
-  // into every per-level Burkard run.
+  // Solve the coarsest level, then uncoarsen-and-refine upward.  The
+  // caller's stop hook rides along into every per-level solver run; once it
+  // fires, the remaining levels project without refining so the result
+  // still reaches the fine problem's dimensions.
   BurkardOptions coarse_options = options.coarse_solver;
   if (options.should_stop && !coarse_options.should_stop) {
     coarse_options.should_stop = options.should_stop;
@@ -218,15 +330,34 @@ MultilevelResult solve_qbp_multilevel(const PartitionProblem& problem,
   if (options.should_stop && !refine_options.should_stop) {
     refine_options.should_stop = options.should_stop;
   }
-  // A fired stop hook short-circuits each remaining run after one
-  // iteration, so the projection still reaches the finest level and the
-  // result keeps the fine problem's dimensions.
-  BurkardResult run = solve_qbp(*levels.back(), seed, coarse_options);
+  BurkardResult run;
+  {
+    QBP_PROF_SCOPE("multilevel.coarse_solve");
+    run = solve_qbp(*levels.back(), seed, coarse_options);
+  }
   for (std::size_t level = coarse_levels.size(); level-- > 0;) {
+    const PartitionProblem& fine = *levels[level];
     const Assignment& coarse_best =
         run.found_feasible ? run.best_feasible : run.best;
-    const Assignment projected = uncoarsen(coarse_levels[level], coarse_best);
-    run = solve_qbp(*levels[level], projected, refine_options);
+    Assignment u = uncoarsen(coarse_levels[level], coarse_best);
+    const bool stopped = options.should_stop && options.should_stop();
+    if (stopped) {
+      const bool projected_feasible = fine.is_feasible(u);
+      run = wrap_refined(fine, std::move(u), projected_feasible,
+                         refine_options.penalty);
+      continue;
+    }
+    const std::uint64_t level_seed =
+        options.coarsen.seed * 0x9e3779b97f4a7c15ull +
+        static_cast<std::uint64_t>(level);
+    const bool feasible = refine_level(fine, u, options, level_seed);
+    if (options.refine_burkard_max_n > 0 &&
+        fine.num_components() <= options.refine_burkard_max_n) {
+      QBP_PROF_SCOPE("multilevel.refine.burkard");
+      run = solve_qbp(fine, u, refine_options);
+    } else {
+      run = wrap_refined(fine, std::move(u), feasible, refine_options.penalty);
+    }
   }
 
   result.finest = std::move(run);

@@ -1,4 +1,4 @@
-// Multilevel QBP partitioning (extension beyond the paper).
+// Multilevel V-cycle QBP partitioning (extension beyond the paper).
 //
 // The paper's heuristic scales to hundreds of components; the standard way
 // to push it further (and the direction the field took after 1993) is a
@@ -8,15 +8,29 @@
 //      pairs into clusters (sizes add, wires re-accumulate between
 //      clusters, timing constraints keep the tightest bound across the cut
 //      pairs; intra-cluster constraints vanish -- co-location has delay
-//      D(i,i) = 0, so merging can never violate a pairwise bound).
-//   2. SOLVE the coarse PP with the Burkard heuristic (cheap: fewer
-//      components, same partitions).
-//   3. UNCOARSEN: every component inherits its cluster's partition.
-//   4. REFINE: a short Burkard run on the full problem from the projected
-//      assignment.
+//      D(i,i) = 0, so merging can never violate a pairwise bound).  The
+//      hierarchy grows until `max_levels` levels exist, the coarsest level
+//      reaches `coarsest_target` clusters, or a level shrinks by less than
+//      the `min_shrink` floor.
+//   2. SOLVE the coarsest PP with the Burkard heuristic (cheap: few
+//      clusters, same partitions).  Warm-start compatible: the caller's
+//      `initial` is projected down the hierarchy and seeds this solve, so
+//      the engine Portfolio's warm-start injection flows straight through.
+//   3. UNCOARSEN one level: every component inherits its cluster's
+//      partition.  The projection is exact -- it preserves C1 (cluster
+//      sizes are member sums), C2 (the coarse bound is the tightest fine
+//      bound) and the objective (intra-cluster wires cost B(i,i) = 0).
+//   4. REFINE at that level: `refine_passes` bounded best-improvement
+//      sweeps through the shared DeltaEvaluator (dirty-flag cached deltas),
+//      a min-conflicts timing repair when the descent traded feasibility
+//      away, and -- on levels small enough to afford it -- a full Burkard
+//      run (`refine_burkard_max_n`).  Repeat 3-4 up to the finest level.
 //
-// One coarsening level usually halves the component count; `max_levels`
-// controls the depth of the V-cycle.
+// Determinism: bit-identical results at every thread count.  The matching
+// runs as parallel proposal rounds (each vertex's preferred partner is a
+// pure function of the round's frozen matching state) followed by a serial
+// commit in a seeded deterministic order; refinement inherits the
+// determinism of polish_iterate / solve_qbp.
 #pragma once
 
 #include <cstdint>
@@ -38,8 +52,17 @@ struct CoarsenOptions {
   /// A pair may merge only if the merged size fits the largest partition
   /// times this factor (guards against unplaceable super-components).
   double max_cluster_capacity_fraction = 0.5;
-  /// Deterministic tie-breaking seed for the matching order.
+  /// Deterministic tie-breaking seed for the matching commit order.
   std::uint64_t seed = 1;
+  /// Proposal/commit rounds per level: later rounds re-propose vertices
+  /// whose preferred partner was taken by an earlier commit.  Four rounds
+  /// keep the per-level shrink near the 0.5 ideal even when many first
+  /// choices collide (two leave ~25-40% of the mass unmatched on dense
+  /// levels, stalling the hierarchy before `coarsest_target`).
+  std::int32_t rounds = 4;
+  /// Threads for the proposal scans (util/parallel pool).  Results are
+  /// bit-identical at every value; this knob trades wall-clock only.
+  std::int32_t inner_threads = 1;
 };
 
 /// One level of heavy-edge-matching coarsening.  Unmatched components
@@ -53,17 +76,38 @@ struct CoarsenOptions {
                                    const Assignment& coarse_assignment);
 
 struct MultilevelOptions {
-  std::int32_t max_levels = 2;
-  /// Stop coarsening when a level shrinks the problem by less than this.
+  /// Total levels in the hierarchy *including* the finest: 1 disables
+  /// coarsening entirely (the run is then bit-identical to solve_qbp with
+  /// `coarse_solver` on the original problem), 2 adds one coarse level, and
+  /// so on.  Values above kMaxLevels are clamped.
+  std::int32_t max_levels = 20;
+  /// Stop coarsening when a level shrinks the problem by less than this
+  /// factor (next_clusters >= min_shrink * current_components).
   double min_shrink = 0.9;
+  /// Stop coarsening once a level has at most this many clusters; the
+  /// Burkard heuristic is strong at this size, so going deeper only loses
+  /// structure.
+  std::int32_t coarsest_target = 200;
+  /// Bounded best-improvement refinement sweeps per uncoarsened level
+  /// (polish_iterate: DeltaEvaluator move sweep + swap sweeps, C1
+  /// invariant).  0 disables per-level refinement.
+  std::int32_t refine_passes = 3;
+  /// Levels with at most this many components additionally get a full
+  /// `refine_solver` Burkard run from the refined projection; larger levels
+  /// rely on the polish/repair refinement alone (a full run there would
+  /// cost as much as the flat solve the V-cycle exists to avoid).  0
+  /// disables the per-level Burkard runs everywhere.
+  std::int32_t refine_burkard_max_n = 0;
   /// Burkard budget on the coarsest problem.
   BurkardOptions coarse_solver;
-  /// Burkard budget for each refinement level (runs from the projection).
+  /// Burkard budget for the small-level refinement runs; its `penalty` and
+  /// `inner_threads` also drive the polish refinement on every level.
   BurkardOptions refine_solver;
   CoarsenOptions coarsen;
-  /// Cooperative cancellation hook, forwarded into every per-level Burkard
-  /// run (a fired hook short-circuits each run after one iteration while
-  /// the projection still reaches the finest level).  Empty = never stop.
+  /// Cooperative cancellation hook, forwarded into every per-level solver
+  /// run and checked between levels (a fired hook skips the remaining
+  /// refinement work while the projection still reaches the finest level).
+  /// Empty = never stop.
   std::function<bool()> should_stop;
   /// Presolve the instance before building the V-cycle (core/presolve.hpp);
   /// the whole hierarchy is then built on the reduced instance and the
@@ -71,6 +115,10 @@ struct MultilevelOptions {
   /// BurkardOptions::presolve); per-level Burkard presolve is always forced
   /// off -- reducing an already-reduced level would only waste time.
   PresolveOptions presolve{.enabled = false};
+
+  /// Hard cap on hierarchy depth (the level storage is reserved up front so
+  /// the per-level problem pointers stay stable).
+  static constexpr std::int32_t kMaxLevels = 64;
 
   MultilevelOptions() {
     coarse_solver.iterations = 80;
@@ -83,6 +131,9 @@ struct MultilevelResult {
   std::int32_t levels_used = 0;     // coarsening levels actually applied
   std::vector<std::int32_t> level_sizes;  // component count per level, fine->coarse
   double seconds = 0.0;
+  /// Wall clock spent building the coarsening hierarchy (subset of
+  /// `seconds`).
+  double coarsen_seconds = 0.0;
 };
 
 /// Full V-cycle from `initial` (used only to seed the coarsest solve).

@@ -5,6 +5,7 @@
 #include "core/delta_evaluator.hpp"
 #include "partition/cost.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 #include "util/check.hpp"
 
@@ -106,16 +107,16 @@ void QhatMatrix::eta(const Assignment& u, std::span<double> eta,
     double* column = eta.data() + problem_->flat_index(0, j2);
     std::fill(column, column + m, 0.0);
 
-    // Wire blocks: sum over neighbors j1 of beta * a * B(u(j1), i2).
+    // Wire blocks: sum over neighbors j1 of beta * a * B(u(j1), i2).  The
+    // M-length accumulation is the eta gather's hot axpy; the SIMD kernel
+    // is bit-identical to this loop's scalar form (util/simd.hpp).
     const auto neighbors = adjacency.row_indices(j2);
     const auto wires = adjacency.row_values(j2);
     for (std::size_t k = 0; k < neighbors.size(); ++k) {
       const PartitionId from = u[neighbors[k]];
       const double scale = beta * wires[k];
       const auto b_row = topology.wire_cost().row(from);
-      for (std::int32_t i2 = 0; i2 < m; ++i2) {
-        column[i2] += scale * b_row[static_cast<std::size_t>(i2)];
-      }
+      simd::axpy(scale, b_row.data(), column, m);
     }
 
     // Constraint blocks: where D(u(j1), i2) > Dc(j1, j2) the Qhat entry is

@@ -1,5 +1,6 @@
 #include "core/repair.hpp"
 
+#include <bit>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -28,6 +29,51 @@ std::int32_t conflicts_at(const PartitionProblem& problem,
   return conflicts;
 }
 
+/// 0/1 membership over component ids with O(log n) update and O(log n)
+/// select-kth (Fenwick tree).  Selecting the k-th smallest member id is
+/// index-compatible with scanning components in ascending order, so the
+/// min-conflicts loop below draws the same component the old full-rescan
+/// implementation drew -- bit-identical walks, O(n) less work per move.
+class ConflictedSet {
+ public:
+  explicit ConflictedSet(std::int32_t n)
+      : member_(static_cast<std::size_t>(n), 0),
+        tree_(static_cast<std::size_t>(n) + 1, 0) {}
+
+  void set(std::int32_t id, bool member) {
+    const auto slot = static_cast<std::size_t>(id);
+    if (static_cast<bool>(member_[slot]) == member) return;
+    member_[slot] = member ? 1 : 0;
+    const std::int32_t delta = member ? 1 : -1;
+    for (std::size_t i = slot + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+    count_ += delta;
+  }
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+
+  /// Id of the k-th smallest member (0-based; requires k < count()).
+  [[nodiscard]] std::int32_t select(std::int64_t k) const {
+    std::size_t pos = 0;
+    std::int64_t remaining = k + 1;
+    for (std::size_t mask = std::bit_floor(tree_.size() - 1); mask > 0;
+         mask >>= 1) {
+      const std::size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] < remaining) {
+        pos = next;
+        remaining -= tree_[next];
+      }
+    }
+    return static_cast<std::int32_t>(pos);
+  }
+
+ private:
+  std::vector<char> member_;
+  std::vector<std::int32_t> tree_;
+  std::int64_t count_ = 0;
+};
+
 }  // namespace
 
 RepairResult repair_timing(const PartitionProblem& problem,
@@ -47,22 +93,34 @@ RepairResult repair_timing(const PartitionProblem& problem,
       options.max_moves >= 0 ? options.max_moves
                              : 200 * static_cast<std::int64_t>(n);
 
-  std::vector<std::int32_t> conflicted;
+  // Conflict counts are maintained incrementally: moving component j can
+  // only change the violation status of constraints incident to j, i.e. the
+  // counts of j and its timing partners.  One O(total Dc entries) scan here,
+  // then O(degree^2) per move instead of the O(n * degree) full rescan.
+  std::vector<std::int32_t> conflict_count(static_cast<std::size_t>(n), 0);
+  ConflictedSet conflicted(n);
+  for (std::int32_t j = 0; j < n; ++j) {
+    if (problem.timing().partners(j).empty()) continue;
+    conflict_count[static_cast<std::size_t>(j)] =
+        conflicts_at(problem, assignment, j, assignment[j]);
+    conflicted.set(j, conflict_count[static_cast<std::size_t>(j)] > 0);
+  }
+  const auto recount = [&](std::int32_t j) {
+    if (problem.timing().partners(j).empty()) return;
+    conflict_count[static_cast<std::size_t>(j)] =
+        conflicts_at(problem, assignment, j, assignment[j]);
+    conflicted.set(j, conflict_count[static_cast<std::size_t>(j)] > 0);
+  };
+
   std::vector<PartitionId> best_targets;
   while (result.moves < budget) {
-    // Components currently involved in at least one violated constraint.
-    conflicted.clear();
-    for (std::int32_t j = 0; j < n; ++j) {
-      if (problem.timing().partners(j).empty()) continue;
-      if (conflicts_at(problem, assignment, j, assignment[j]) > 0) {
-        conflicted.push_back(j);
-      }
-    }
-    if (conflicted.empty()) break;
+    if (conflicted.count() == 0) break;
 
-    const std::int32_t j = conflicted[rng.pick_index(conflicted)];
+    const std::int32_t j =
+        conflicted.select(static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::uint64_t>(conflicted.count()))));
     const std::int32_t current_conflicts =
-        conflicts_at(problem, assignment, j, assignment[j]);
+        conflict_count[static_cast<std::size_t>(j)];
 
     // Best capacity-feasible target by conflict count (<= current; sideways
     // allowed so the walk can escape plateaus), random tie-break.  With
@@ -98,6 +156,10 @@ RepairResult repair_timing(const PartitionProblem& problem,
     ledger.add(target, sizes[static_cast<std::size_t>(j)]);
     assignment.set(j, target);
     ++result.moves;
+    recount(j);
+    for (const std::int32_t partner : problem.timing().partners(j)) {
+      recount(partner);
+    }
   }
 
   result.feasible = problem.satisfies_capacity(assignment) &&

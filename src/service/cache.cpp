@@ -86,6 +86,11 @@ Hash128 spec_fingerprint(const SolverSpec& spec, bool effective_validate) {
   hasher.absorb(static_cast<std::uint64_t>(spec.presolve ? 1 : 0));
   hasher.absorb(spec.presolve_rn);
   hasher.absorb_bytes(spec.presolve_rules);
+  // The V-cycle shape changes the answer (threads do not, so they stay
+  // excluded above).
+  hasher.absorb(spec.ml_levels);
+  hasher.absorb(spec.ml_min_shrink);
+  hasher.absorb(spec.ml_refine_passes);
   return hasher.finish();
 }
 

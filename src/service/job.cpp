@@ -28,10 +28,17 @@ std::unique_ptr<engine::Solver> make_spec_solver(const SolverSpec& spec) {
     options.inner_threads = spec.inner_threads;
     return std::make_unique<engine::BurkardSolver>(options);
   }
-  if (spec.method == "multilevel" && spec.inner_threads != 1) {
+  if (spec.method == "multilevel") {
     MultilevelOptions options;
+    options.coarsen.inner_threads = spec.inner_threads;
     options.coarse_solver.inner_threads = spec.inner_threads;
     options.refine_solver.inner_threads = spec.inner_threads;
+    // Sentinels (0 / 0.0 / -1) keep the core/multilevel.hpp defaults.
+    if (spec.ml_levels > 0) options.max_levels = spec.ml_levels;
+    if (spec.ml_min_shrink > 0.0) options.min_shrink = spec.ml_min_shrink;
+    if (spec.ml_refine_passes >= 0) {
+      options.refine_passes = spec.ml_refine_passes;
+    }
     return std::make_unique<engine::MultilevelSolver>(options);
   }
   return engine::make_solver(spec.method);

@@ -105,6 +105,25 @@ ParseResult parse_request(std::string_view line, Request& out) {
       }
       out.solver.presolve_rules = rules->as_string();
     }
+    if (!read_int32(*solver, "ml_levels", out.solver.ml_levels, error) ||
+        !read_int32(*solver, "ml_refine_passes", out.solver.ml_refine_passes,
+                    error)) {
+      return {false, error};
+    }
+    if (out.solver.ml_levels < 0) {
+      return {false, "'ml_levels' must be >= 0 (0 = solver default)"};
+    }
+    if (out.solver.ml_refine_passes < -1) {
+      return {false, "'ml_refine_passes' must be >= -1 (-1 = solver default)"};
+    }
+    if (const json::Value* shrink = solver->find("ml_min_shrink");
+        shrink != nullptr) {
+      const double ratio = shrink->as_number(std::nan(""));
+      if (!std::isfinite(ratio) || ratio < 0.0 || ratio >= 1.0) {
+        return {false, "'ml_min_shrink' must be in [0, 1)"};
+      }
+      out.solver.ml_min_shrink = ratio;
+    }
   }
 
   if (const json::Value* cache = value.find("cache"); cache != nullptr) {
@@ -157,6 +176,15 @@ std::string format_request(const Request& request) {
     }
     if (request.solver.presolve_rules != SolverSpec{}.presolve_rules) {
       solver.set("presolve_rules", request.solver.presolve_rules);
+    }
+    if (request.solver.ml_levels != 0) {
+      solver.set("ml_levels", request.solver.ml_levels);
+    }
+    if (request.solver.ml_min_shrink != 0.0) {
+      solver.set("ml_min_shrink", request.solver.ml_min_shrink);
+    }
+    if (request.solver.ml_refine_passes != -1) {
+      solver.set("ml_refine_passes", request.solver.ml_refine_passes);
     }
     value.set("solver", std::move(solver));
     if (request.deadline_ms > 0.0) value.set("deadline_ms", request.deadline_ms);

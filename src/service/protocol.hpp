@@ -80,6 +80,15 @@ struct SolverSpec {
   /// Which reduction rules run ("presolve_rules": comma-separated subset of
   /// r0,r1,r2,rn); same grammar as qbpart_cli --presolve-rules.
   std::string presolve_rules = "r0,r1,r2,rn";
+  /// Multilevel V-cycle shape ("ml_levels" / "ml_min_shrink" /
+  /// "ml_refine_passes"; multilevel method only, ignored otherwise).  The
+  /// sentinels keep the library defaults (core/multilevel.hpp): 0 levels =
+  /// default depth, 0 shrink = default floor, -1 passes = default count.
+  /// Unlike the thread knobs these shape the answer, so they are part of
+  /// the cache spec fingerprint.
+  std::int32_t ml_levels = 0;       // total levels incl. finest; 1 = flat
+  double ml_min_shrink = 0.0;       // stop when a level shrinks less than this
+  std::int32_t ml_refine_passes = -1;  // polish sweeps per uncoarsened level
 };
 
 enum class RequestType { kSubmit, kCancel, kStats, kShutdown };

@@ -1,0 +1,144 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QBP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define QBP_SIMD_X86 0
+#endif
+
+namespace qbp::simd {
+
+namespace {
+
+// See the header's determinism note: the toggle only selects between two
+// bit-identical implementations, so relaxed ordering is sufficient.
+std::atomic<bool> g_enabled{true};
+
+void axpy_scalar(double a, const double* x, double* y,
+                 std::int64_t n) noexcept {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+std::int64_t swap_profit_scan_scalar(const double* masked,
+                                     const std::int32_t* agent,
+                                     const double* row,
+                                     const double* assigned, double c11,
+                                     double threshold, std::int64_t begin,
+                                     std::int64_t end) noexcept {
+  for (std::int64_t j = begin; j < end; ++j) {
+    double delta = masked[agent[j]];
+    delta += row[j];
+    delta -= c11;
+    delta -= assigned[j];
+    if (delta < threshold) return j;
+  }
+  return -1;
+}
+
+#if QBP_SIMD_X86
+
+// Vector bodies carry an explicit target attribute so the rest of the
+// translation unit (and the whole build) stays at the baseline ISA; only
+// these functions emit AVX2 instructions, and they are only reachable after
+// the CPUID check below.  Mul and add stay separate instructions -- an FMA
+// would round once instead of twice and break bit-identity with the scalar
+// path.
+__attribute__((target("avx2"))) void axpy_avx2(double a, const double* x,
+                                               double* y,
+                                               std::int64_t n) noexcept {
+  const __m256d va = _mm256_set1_pd(a);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+__attribute__((target("avx2"))) std::int64_t swap_profit_scan_avx2(
+    const double* masked, const std::int32_t* agent, const double* row,
+    const double* assigned, double c11, double threshold, std::int64_t begin,
+    std::int64_t end) noexcept {
+  const __m256d vc11 = _mm256_set1_pd(c11);
+  const __m256d vthr = _mm256_set1_pd(threshold);
+  std::int64_t j = begin;
+  for (; j + 4 <= end; j += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(agent + j));
+    // Masked gather with a zeroed source and an all-ones mask: semantically
+    // the plain gather, but the initialized source operand keeps GCC's
+    // -Wmaybe-uninitialized quiet under -Werror.
+    const __m256d vmasked = _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), masked, idx,
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+    // Same association as the scalar loop: ((masked + row) - c11) - assigned.
+    const __m256d vdelta = _mm256_sub_pd(
+        _mm256_sub_pd(_mm256_add_pd(vmasked, _mm256_loadu_pd(row + j)), vc11),
+        _mm256_loadu_pd(assigned + j));
+    const int hits =
+        _mm256_movemask_pd(_mm256_cmp_pd(vdelta, vthr, _CMP_LT_OQ));
+    if (hits != 0) return j + __builtin_ctz(static_cast<unsigned>(hits));
+  }
+  return swap_profit_scan_scalar(masked, agent, row, assigned, c11, threshold,
+                                 j, end);
+}
+
+bool detect_avx2() noexcept { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool detect_avx2() noexcept { return false; }
+
+#endif  // QBP_SIMD_X86
+
+bool use_vector() noexcept {
+  static const bool supported = detect_avx2();
+  return supported && g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool vector_supported() noexcept {
+  static const bool supported = detect_avx2();
+  return supported;
+}
+
+void set_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+const char* active_kernel() noexcept {
+  return use_vector() ? "avx2" : "scalar";
+}
+
+void axpy(double a, const double* x, double* y, std::int64_t n) noexcept {
+#if QBP_SIMD_X86
+  if (use_vector()) {
+    axpy_avx2(a, x, y, n);
+    return;
+  }
+#endif
+  axpy_scalar(a, x, y, n);
+}
+
+std::int64_t swap_profit_scan(const double* masked, const std::int32_t* agent,
+                              const double* row, const double* assigned,
+                              double c11, double threshold, std::int64_t begin,
+                              std::int64_t end) noexcept {
+#if QBP_SIMD_X86
+  if (use_vector()) {
+    return swap_profit_scan_avx2(masked, agent, row, assigned, c11, threshold,
+                                 begin, end);
+  }
+#endif
+  return swap_profit_scan_scalar(masked, agent, row, assigned, c11, threshold,
+                                 begin, end);
+}
+
+}  // namespace qbp::simd

@@ -1,0 +1,65 @@
+// Runtime-dispatched SIMD kernels for the two flat hot loops (the STEP 3/5
+// eta column gather and the GAP swap scan), with a scalar fallback that is
+// the reference semantics.
+//
+// Determinism contract (DESIGN.md section 11 applies here too): every kernel
+// produces bit-identical results to its scalar fallback.  That is possible
+// because both kernels are element-wise -- each output lane depends on
+// exactly one input index, evaluated with the same IEEE-754 operations in
+// the same per-element order as the scalar loop.  Concretely:
+//
+//   * no FMA: a fused multiply-add rounds once where mul-then-add rounds
+//     twice, so the vector bodies use separate mul/add instructions even
+//     where the hardware could fuse them;
+//   * no reassociation: sums that the scalar code evaluates left-to-right
+//     stay left-to-right per lane;
+//   * scans return the *first* index whose predicate fires, exactly like
+//     the scalar loop (the vector body locates the first candidate block,
+//     then the lowest set lane within it).
+//
+// Dispatch is resolved once per process from CPUID (AVX2 on x86-64; every
+// other architecture gets the scalar path) and can be forced off with
+// set_enabled(false) -- the bench harness and CI use that to verify the
+// SIMD-on and SIMD-off objectives are identical.  The toggle is a relaxed
+// atomic: it only selects between two implementations that produce the same
+// bits, so there is nothing to order.
+#pragma once
+
+#include <cstdint>
+
+namespace qbp::simd {
+
+/// True when the CPU supports the vector path compiled into this binary
+/// (AVX2 on x86-64, false elsewhere).
+[[nodiscard]] bool vector_supported() noexcept;
+
+/// Process-wide switch; defaults to on.  Disabling forces every kernel onto
+/// the scalar fallback.  Results are bit-identical either way -- this knob
+/// exists so benches and tests can prove exactly that.
+void set_enabled(bool enabled) noexcept;
+[[nodiscard]] bool enabled() noexcept;
+
+/// The dispatch actually in effect: "avx2" or "scalar".
+[[nodiscard]] const char* active_kernel() noexcept;
+
+/// y[i] += a * x[i] for i in [0, n).  The eta gather's wire-block
+/// accumulation and the STEP 5 direction update are both this shape.
+void axpy(double a, const double* x, double* y, std::int64_t n) noexcept;
+
+/// First j in [begin, end) with
+///
+///   ((masked[agent[j]] + row[j]) - c11) - assigned[j] < threshold
+///
+/// or -1 when no element qualifies.  This is the GAP swap scan's
+/// profitability pre-filter; the caller re-checks capacities at the returned
+/// index and resumes the scan one past it on rejection.  The sum order
+/// matches the scalar formulation exactly.
+[[nodiscard]] std::int64_t swap_profit_scan(const double* masked,
+                                            const std::int32_t* agent,
+                                            const double* row,
+                                            const double* assigned,
+                                            double c11, double threshold,
+                                            std::int64_t begin,
+                                            std::int64_t end) noexcept;
+
+}  // namespace qbp::simd

@@ -115,6 +115,9 @@ TEST(Protocol, SubmitRoundTripPreservesEveryField) {
   request.deadline_ms = 1500.5;
   request.priority = -2;
   request.solver.presolve_rules = "r0,r2";
+  request.solver.ml_levels = 6;
+  request.solver.ml_min_shrink = 0.85;
+  request.solver.ml_refine_passes = 2;
   request.cache = false;
   request.warm_start = false;
 
@@ -133,8 +136,35 @@ TEST(Protocol, SubmitRoundTripPreservesEveryField) {
   EXPECT_DOUBLE_EQ(decoded.deadline_ms, 1500.5);
   EXPECT_EQ(decoded.priority, -2);
   EXPECT_EQ(decoded.solver.presolve_rules, "r0,r2");
+  EXPECT_EQ(decoded.solver.ml_levels, 6);
+  EXPECT_DOUBLE_EQ(decoded.solver.ml_min_shrink, 0.85);
+  EXPECT_EQ(decoded.solver.ml_refine_passes, 2);
   EXPECT_FALSE(decoded.cache);
   EXPECT_FALSE(decoded.warm_start);
+}
+
+TEST(Protocol, MultilevelSpecFieldsValidateAndDefault) {
+  Request out;
+  // Defaults survive an absent solver block.
+  ASSERT_TRUE(parse_request(
+                  "{\"type\":\"submit\",\"problem\":\"p\"}", out)
+                  .ok);
+  EXPECT_EQ(out.solver.ml_levels, 0);
+  EXPECT_DOUBLE_EQ(out.solver.ml_min_shrink, 0.0);
+  EXPECT_EQ(out.solver.ml_refine_passes, -1);
+  // Out-of-range values are rejected with a message.
+  EXPECT_FALSE(parse_request("{\"type\":\"submit\",\"problem\":\"p\","
+                             "\"solver\":{\"ml_levels\":-1}}",
+                             out)
+                   .ok);
+  EXPECT_FALSE(parse_request("{\"type\":\"submit\",\"problem\":\"p\","
+                             "\"solver\":{\"ml_min_shrink\":1.0}}",
+                             out)
+                   .ok);
+  EXPECT_FALSE(parse_request("{\"type\":\"submit\",\"problem\":\"p\","
+                             "\"solver\":{\"ml_refine_passes\":-2}}",
+                             out)
+                   .ok);
 }
 
 TEST(Protocol, ResultRoundTripPreservesAssignment) {

@@ -1,0 +1,126 @@
+// util/simd.hpp contract tests: every kernel must be bit-identical to its
+// scalar fallback (the repo-wide determinism contract extends to SIMD
+// on/off, which is what lets CI gate "same objectives with the vector path
+// forced off").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace qbp {
+namespace {
+
+/// Runs `body` twice -- vector path enabled, then forced off -- restoring
+/// the process-wide toggle afterwards.
+template <typename Body>
+void with_both_paths(const Body& body) {
+  const bool was_enabled = simd::enabled();
+  simd::set_enabled(true);
+  body();
+  simd::set_enabled(false);
+  body();
+  simd::set_enabled(was_enabled);
+}
+
+std::vector<double> random_doubles(Rng& rng, std::size_t n, double lo,
+                                   double hi) {
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.next_double(lo, hi);
+  return values;
+}
+
+TEST(Simd, ActiveKernelReflectsToggle) {
+  const bool was_enabled = simd::enabled();
+  simd::set_enabled(false);
+  EXPECT_STREQ(simd::active_kernel(), "scalar");
+  simd::set_enabled(true);
+  if (simd::vector_supported()) {
+    EXPECT_STREQ(simd::active_kernel(), "avx2");
+  } else {
+    EXPECT_STREQ(simd::active_kernel(), "scalar");
+  }
+  simd::set_enabled(was_enabled);
+}
+
+TEST(Simd, AxpyMatchesScalarBitForBit) {
+  Rng rng(0x51de);
+  // Odd lengths exercise the vector body plus its scalar tail; length < 4
+  // is tail-only.
+  for (const std::int64_t n : {1, 3, 4, 7, 16, 33, 1021}) {
+    const auto x = random_doubles(rng, static_cast<std::size_t>(n), -3.0, 3.0);
+    const auto y0 = random_doubles(rng, static_cast<std::size_t>(n), -3.0, 3.0);
+    const double a = rng.next_double(-2.0, 2.0);
+
+    std::vector<double> reference = y0;
+    for (std::int64_t i = 0; i < n; ++i) reference[i] += a * x[i];
+
+    with_both_paths([&] {
+      std::vector<double> y = y0;
+      simd::axpy(a, x.data(), y.data(), n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        // Bit-identical, not just close: compare without tolerance.
+        EXPECT_EQ(y[i], reference[i]) << "n=" << n << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST(Simd, SwapProfitScanMatchesScalarFirstHit) {
+  Rng rng(0xacc5);
+  constexpr std::int32_t kAgents = 16;
+  for (const std::int64_t n : {1, 5, 8, 64, 1000}) {
+    const auto masked = random_doubles(rng, kAgents, 0.0, 10.0);
+    const auto row = random_doubles(rng, static_cast<std::size_t>(n), 0.0, 10.0);
+    const auto assigned =
+        random_doubles(rng, static_cast<std::size_t>(n), 0.0, 10.0);
+    std::vector<std::int32_t> agent(static_cast<std::size_t>(n));
+    for (auto& a : agent) {
+      a = static_cast<std::int32_t>(rng.next_below(kAgents));
+    }
+    // Sweep c11 so some sweeps have no hit, early hits, and late hits.
+    for (const double c11 : {-100.0, 0.0, 5.0, 10.0, 30.0}) {
+      const auto reference = [&](std::int64_t begin) -> std::int64_t {
+        for (std::int64_t j = begin; j < n; ++j) {
+          double delta = masked[static_cast<std::size_t>(agent[j])];
+          delta += row[j];
+          delta -= c11;
+          delta -= assigned[j];
+          if (delta < -1e-12) return j;
+        }
+        return -1;
+      };
+      for (const std::int64_t begin : {std::int64_t{0}, n / 2, n - 1}) {
+        const std::int64_t expected = reference(begin);
+        with_both_paths([&] {
+          EXPECT_EQ(simd::swap_profit_scan(masked.data(), agent.data(),
+                                           row.data(), assigned.data(), c11,
+                                           -1e-12, begin, n),
+                    expected)
+              << "n=" << n << " c11=" << c11 << " begin=" << begin;
+        });
+      }
+    }
+  }
+}
+
+TEST(Simd, SwapProfitScanHandlesInfinityMask) {
+  // The GAP scan masks the current agent's entry with +inf; the resulting
+  // +inf delta must never fire, in either path.
+  constexpr std::int64_t kN = 9;
+  std::vector<double> masked(4, 1.0);
+  masked[2] = std::numeric_limits<double>::infinity();
+  std::vector<std::int32_t> agent(kN, 2);  // all point at the masked slot
+  std::vector<double> row(kN, -100.0);     // would fire without the mask
+  std::vector<double> assigned(kN, 0.0);
+  with_both_paths([&] {
+    EXPECT_EQ(simd::swap_profit_scan(masked.data(), agent.data(), row.data(),
+                                     assigned.data(), 0.0, -1e-12, 0, kN),
+              -1);
+  });
+}
+
+}  // namespace
+}  // namespace qbp
