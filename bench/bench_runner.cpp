@@ -33,6 +33,7 @@
 #include "bench_support/circuits.hpp"
 #include "bench_support/eco_stream.hpp"
 #include "bench_support/experiment.hpp"
+#include "bench_support/serve_bench.hpp"
 #include "core/burkard.hpp"
 #include "core/initial.hpp"
 #include "core/multilevel.hpp"
@@ -60,9 +61,13 @@ struct RunnerConfig {
   bool presolve = true;
 };
 
+// "serve" is deliberately NOT part of "all": it spins up multi-worker
+// servers and measures saturated throughput, which would perturb (and be
+// perturbed by) the solver suites sharing the machine.  CI runs it as its
+// own bench-gate step against bench/BENCH_serve.json.
 constexpr const char* kSuiteNames[] = {"table1",   "table2", "table3",
                                        "scaling",  "presolve", "eco",
-                                       "vcycle",   "all"};
+                                       "vcycle",   "serve",  "all"};
 
 struct ScalingRow {
   std::int32_t n = 0;
@@ -488,6 +493,38 @@ qbp::json::Value run_table1_suite(const RunnerConfig& config) {
   return rows;
 }
 
+// Serve suite (bench_support/serve_bench): saturated qbpartd throughput
+// under both edge framings.  Smoke shrinks the problem and batch sizes.
+std::vector<qbp::ServeRow> run_serve_suite(const RunnerConfig& config) {
+  qbp::ServeBenchConfig serve;
+  serve.inner_threads = static_cast<std::int32_t>(config.inner_threads);
+  if (config.smoke) {
+    serve.n = 200;
+    serve.jobs = 24;
+    serve.warm_jobs = 8;
+  }
+  return qbp::run_serve_bench(serve);
+}
+
+qbp::json::Value serve_to_json(const std::vector<qbp::ServeRow>& rows) {
+  qbp::json::Value out = qbp::json::Value::array();
+  for (const auto& row : rows) {
+    qbp::json::Value entry = qbp::json::Value::object();
+    entry.set("scenario", row.scenario);
+    entry.set("framing", row.framing);
+    entry.set("workers", static_cast<std::int64_t>(row.workers));
+    entry.set("jobs", static_cast<std::int64_t>(row.jobs));
+    entry.set("seconds", row.seconds);
+    entry.set("jobs_per_sec", row.jobs_per_sec);
+    entry.set("results_hash", row.results_hash);
+    entry.set("cache_hits", static_cast<std::int64_t>(row.cache_hits));
+    entry.set("warm_hits", static_cast<std::int64_t>(row.warm_hits));
+    entry.set("ok", row.ok);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
 qbp::json::Value scaling_to_json(const std::vector<ScalingRow>& rows) {
   qbp::json::Value out = qbp::json::Value::array();
   for (const auto& row : rows) {
@@ -728,6 +765,91 @@ void check_vcycle_suite(Gate& gate, const qbp::json::Value& baseline,
   }
 }
 
+// Serve gate.  `results_hash` is the acceptance contract in one number:
+// within the current run it must agree between the NDJSON and binary rows
+// of every (scenario, workers) pair -- bit-identical results across
+// framings and worker counts -- and against the baseline it pins the
+// payloads over time.  Wall clock gets the usual tolerance, and the binary
+// framing must hold its throughput edge on the saturated exact-hit row
+// (>= 3x NDJSON jobs/sec at one worker), measured from the current run so
+// the gate cannot be satisfied by a stale baseline.
+void check_serve_suite(Gate& gate, const qbp::json::Value& baseline,
+                       const std::vector<qbp::ServeRow>& rows) {
+  const auto find_row =
+      [&rows](const std::string& scenario, const std::string& framing,
+              std::int32_t workers) -> const qbp::ServeRow* {
+    for (const auto& row : rows) {
+      if (row.scenario == scenario && row.framing == framing &&
+          row.workers == workers) {
+        return &row;
+      }
+    }
+    return nullptr;
+  };
+
+  for (const auto& row : rows) {
+    const std::string where = "serve/" + row.scenario + "/" + row.framing +
+                              "/w" + std::to_string(row.workers);
+    if (!row.ok) {
+      std::fprintf(stderr, "GATE FAIL %s: replies were not all results\n",
+                   where.c_str());
+      ++gate.failures;
+    }
+    if (row.framing == "binary") {
+      const qbp::ServeRow* ndjson =
+          find_row(row.scenario, "ndjson", row.workers);
+      if (ndjson != nullptr && ndjson->results_hash != row.results_hash) {
+        std::fprintf(stderr,
+                     "GATE FAIL %s: results diverge from the NDJSON row\n",
+                     where.c_str());
+        ++gate.failures;
+      }
+    }
+
+    const qbp::json::Value* base_row = nullptr;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      const qbp::json::Value& candidate = baseline.at(i);
+      if (candidate.get_string("scenario") == row.scenario &&
+          candidate.get_string("framing") == row.framing &&
+          static_cast<std::int32_t>(candidate.get_number("workers", -1.0)) ==
+              row.workers) {
+        base_row = &candidate;
+        break;
+      }
+    }
+    if (base_row == nullptr) {
+      gate.missing(where);
+      continue;
+    }
+    if (base_row->get_string("results_hash") != row.results_hash) {
+      std::fprintf(stderr, "GATE FAIL %s: results_hash changed\n",
+                   where.c_str());
+      ++gate.failures;
+    }
+    // Deterministic cache behaviour: the exact scenario must stay
+    // all-hits, the warm scenario must keep warm-starting.
+    gate.objective(where + "/cache_hits",
+                   base_row->get_number("cache_hits", -1.0), row.cache_hits);
+    gate.objective(where + "/warm_hits",
+                   base_row->get_number("warm_hits", -1.0), row.warm_hits);
+    gate.wall_clock(where + "/seconds", base_row->get_number("seconds", 0.0),
+                    row.seconds);
+  }
+
+  const qbp::ServeRow* exact_ndjson = find_row("exact", "ndjson", 1);
+  const qbp::ServeRow* exact_binary = find_row("exact", "binary", 1);
+  if (exact_ndjson == nullptr || exact_binary == nullptr) {
+    gate.missing("serve/exact w1 rows for the framing ratio");
+  } else if (exact_binary->jobs_per_sec <
+             3.0 * exact_ndjson->jobs_per_sec) {
+    std::fprintf(stderr,
+                 "GATE FAIL serve/exact/w1: binary %.0f jobs/s < 3x NDJSON "
+                 "%.0f jobs/s\n",
+                 exact_binary->jobs_per_sec, exact_ndjson->jobs_per_sec);
+    ++gate.failures;
+  }
+}
+
 void check_scaling_suite(Gate& gate, const qbp::json::Value& baseline,
                          const std::vector<ScalingRow>& rows) {
   for (const auto& row : rows) {
@@ -768,7 +890,8 @@ int main(int argc, char** argv) {
   cli.add_flag("smoke", config.smoke,
                "reduced sizes/iterations for the CI gate");
   cli.add_string("suite", suite,
-                 "table1|table2|table3|scaling|presolve|eco|vcycle|all");
+                 "table1|table2|table3|scaling|presolve|eco|vcycle|serve|all "
+                 "(all = every solver suite; serve runs only when named)");
   cli.add_flag("list-suites", list_suites,
                "print the valid --suite values and exit");
   cli.add_int("inner-threads", config.inner_threads,
@@ -817,7 +940,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto want = [&](const char* name) {
-    return suite == "all" || suite == name;
+    // "all" covers the solver suites; serve must be asked for by name (it
+    // saturates the machine with worker pools -- see kSuiteNames).
+    if (suite == "all") return std::string_view(name) != "serve";
+    return suite == name;
   };
 
   if (profile) qbp::prof::set_enabled(true);
@@ -832,6 +958,7 @@ int main(int argc, char** argv) {
   std::vector<PresolveRow> presolve;
   std::vector<EcoRow> eco;
   std::vector<VcycleRow> vcycle;
+  std::vector<qbp::ServeRow> serve;
 
   if (want("table1")) {
     std::fprintf(stderr, "suite table1 (circuit descriptions)\n");
@@ -920,6 +1047,22 @@ int main(int argc, char** argv) {
     suites.set("vcycle", vcycle_to_json(vcycle));
   }
 
+  if (want("serve")) {
+    std::fprintf(stderr, "suite serve (wire framing throughput)\n");
+    serve = run_serve_suite(config);
+    qbp::TextTable table(
+        {"scenario", "framing", "workers", "jobs", "secs", "jobs/s", "ok"});
+    for (const auto& row : serve) {
+      table.add_row({row.scenario, row.framing, std::to_string(row.workers),
+                     std::to_string(row.jobs),
+                     qbp::format_double(row.seconds, 3),
+                     qbp::format_double(row.jobs_per_sec, 0),
+                     row.ok ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    suites.set("serve", serve_to_json(serve));
+  }
+
   qbp::json::Value out = qbp::json::Value::object();
   out.set("schema", static_cast<std::int64_t>(1));
   out.set("mode", config.smoke ? "smoke" : "full");
@@ -985,6 +1128,10 @@ int main(int argc, char** argv) {
   if (want("vcycle")) {
     if (const auto* base = suite_of("vcycle"))
       check_vcycle_suite(gate, *base, vcycle);
+  }
+  if (want("serve")) {
+    if (const auto* base = suite_of("serve"))
+      check_serve_suite(gate, *base, serve);
   }
 
   if (gate.failures > 0) {

@@ -1,0 +1,75 @@
+// Standalone serve-throughput bench: saturated qbpartd jobs/sec under both
+// edge framings (NDJSON lines vs binary wire frames), per scenario and
+// worker count.  The same rows run inside `bench_runner --suite serve`,
+// which is what CI gates; this binary is the quick local loop:
+//
+//   ./bench_serve                         # default sizes
+//   ./bench_serve --n 1000 --jobs 200     # bigger problems, longer batches
+#include <cstdio>
+#include <string>
+
+#include "bench_support/serve_bench.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  qbp::ServeBenchConfig config;
+  std::int64_t n = config.n;
+  std::int64_t jobs = config.jobs;
+  std::int64_t warm_jobs = config.warm_jobs;
+  std::int64_t iterations = config.iterations;
+  std::int64_t inner_threads = config.inner_threads;
+
+  qbp::CliParser cli("bench_serve",
+                     "saturated job-server throughput, NDJSON vs binary "
+                     "wire framing");
+  cli.add_int("n", n, "components per submitted problem");
+  cli.add_int("jobs", jobs, "jobs per timed batch (cold/exact scenarios)");
+  cli.add_int("warm-jobs", warm_jobs, "ECO variants in the warm scenario");
+  cli.add_int("iterations", iterations, "QBP iteration budget per solve");
+  cli.add_int("inner-threads", inner_threads, "threads inside each solve");
+  if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
+  if (n < 4 || jobs < 1 || warm_jobs < 1 || iterations < 1) {
+    std::fprintf(stderr, "--n must be >= 4, counts must be >= 1\n");
+    return 1;
+  }
+  config.n = static_cast<std::int32_t>(n);
+  config.jobs = static_cast<std::int32_t>(jobs);
+  config.warm_jobs = static_cast<std::int32_t>(warm_jobs);
+  config.iterations = static_cast<std::int32_t>(iterations);
+  config.inner_threads = static_cast<std::int32_t>(inner_threads);
+
+  const auto rows = qbp::run_serve_bench(config);
+
+  qbp::TextTable table({"scenario", "framing", "workers", "jobs", "secs",
+                        "jobs/s", "results hash", "ok"});
+  for (const auto& row : rows) {
+    table.add_row({row.scenario, row.framing, std::to_string(row.workers),
+                   std::to_string(row.jobs),
+                   qbp::format_double(row.seconds, 3),
+                   qbp::format_double(row.jobs_per_sec, 0),
+                   row.results_hash.substr(0, 16), row.ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Headline: the binary/NDJSON throughput ratio on the exact-hit row.
+  const auto find = [&rows](const char* framing) -> const qbp::ServeRow* {
+    for (const auto& row : rows) {
+      if (row.scenario == "exact" && row.framing == framing &&
+          row.workers == 1) {
+        return &row;
+      }
+    }
+    return nullptr;
+  };
+  const qbp::ServeRow* ndjson = find("ndjson");
+  const qbp::ServeRow* binary = find("binary");
+  if (ndjson != nullptr && binary != nullptr && ndjson->jobs_per_sec > 0.0) {
+    std::printf("exact-hit w1: binary %.0f jobs/s vs ndjson %.0f jobs/s "
+                "(%.1fx)\n",
+                binary->jobs_per_sec, ndjson->jobs_per_sec,
+                binary->jobs_per_sec / ndjson->jobs_per_sec);
+  }
+  return 0;
+}

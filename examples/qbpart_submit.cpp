@@ -13,13 +13,17 @@
 // is how the CI smoke test and the bench load generator exercise queueing.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/problem_io.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
+#include "service/wire.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -29,6 +33,65 @@ bool read_file(const std::string& path, std::string& out) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   out = buffer.str();
+  return true;
+}
+
+/// Render one binary reply frame as the equivalent NDJSON line (so output
+/// is identical to --wire ndjson runs) and update the exit code.
+bool print_reply_frame(std::uint8_t type, const std::string& payload,
+                       int& exit_code) {
+  namespace svc = qbp::service;
+  std::string id;
+  std::string text;
+  std::string error;
+  std::string line;
+  switch (static_cast<svc::WireMsg>(type)) {
+    case svc::WireMsg::kResult: {
+      svc::JobResult result;
+      if (!svc::decode_result(payload, result, error)) break;
+      line = svc::result_to_json(result).dump();
+      break;
+    }
+    case svc::WireMsg::kReject:
+      if (!svc::decode_note(payload, id, text, error)) break;
+      line = svc::format_reject(id, text);
+      exit_code = 2;
+      break;
+    case svc::WireMsg::kError:
+      if (!svc::decode_note(payload, id, text, error)) break;
+      line = svc::format_error(text);
+      exit_code = 2;
+      break;
+    case svc::WireMsg::kStatsReply:
+      if (!svc::decode_note(payload, id, text, error)) break;
+      line = std::string(text);  // the stats JSON travels verbatim
+      break;
+    case svc::WireMsg::kCancelAck: {
+      if (!svc::decode_note(payload, id, text, error)) break;
+      qbp::json::Value ack = qbp::json::Value::object();
+      ack.set("type", "cancel");
+      ack.set("id", std::string(id));
+      ack.set("status", std::string(text));
+      line = ack.dump();
+      break;
+    }
+    case svc::WireMsg::kShutdownAck: {
+      if (!svc::decode_note(payload, id, text, error)) break;
+      qbp::json::Value ack = qbp::json::Value::object();
+      ack.set("type", "shutdown");
+      ack.set("status", std::string(text));
+      line = ack.dump();
+      break;
+    }
+    default:
+      error = "unexpected frame type " + std::to_string(type);
+      break;
+  }
+  if (line.empty()) {
+    std::fprintf(stderr, "bad reply frame: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("%s\n", line.c_str());
   return true;
 }
 
@@ -60,6 +123,7 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool shutdown = false;
   bool print_only = false;
+  std::string wire = "ndjson";
 
   qbp::CliParser cli("qbpart_submit",
                      "compose qbpartd job requests; print them or deliver "
@@ -106,6 +170,10 @@ int main(int argc, char** argv) {
   cli.add_flag("shutdown", shutdown, "ask the server to drain and exit");
   cli.add_int("tcp", tcp_port, "deliver to 127.0.0.1:PORT and await replies");
   cli.add_flag("print", print_only, "print request lines to stdout only");
+  cli.add_string("wire", wire,
+                 "ndjson (default) | binary: binary parses the problem "
+                 "locally and ships wire frames (docs/PROTOCOL.md); "
+                 "replies print as the same NDJSON lines either way");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
   if (presolve_mode != "on" && presolve_mode != "off") {
     std::fprintf(stderr, "--presolve must be on|off\n");
@@ -126,9 +194,24 @@ int main(int argc, char** argv) {
                  "--ml-refine-passes >= -1\n");
     return 1;
   }
+  if (wire != "ndjson" && wire != "binary") {
+    std::fprintf(stderr, "--wire must be ndjson|binary\n");
+    return 1;
+  }
+  const bool binary = wire == "binary";
 
+  // Rendered messages: NDJSON lines, or complete wire frames in binary mode.
   std::vector<std::string> lines;
   std::size_t expected_replies = 0;
+  const auto render = [binary, &lines](const qbp::service::Request& request) {
+    if (binary) {
+      std::string frame;
+      qbp::service::encode_request_frame(request, frame);
+      lines.push_back(std::move(frame));
+    } else {
+      lines.push_back(qbp::service::format_request(request));
+    }
+  };
 
   if (!problem_path.empty()) {
     qbp::service::Request request;
@@ -151,6 +234,17 @@ int main(int argc, char** argv) {
     request.priority = static_cast<std::int32_t>(priority);
     if (by_path) {
       request.problem_file = problem_path;
+    } else if (binary) {
+      // Binary framing ships the parsed problem struct: the server's
+      // zero-copy decode path skips the text parser entirely.
+      auto problem = std::make_shared<qbp::PartitionProblem>();
+      const auto parsed = qbp::read_problem_file(problem_path, *problem);
+      if (!parsed.ok) {
+        std::fprintf(stderr, "cannot parse '%s': %s\n", problem_path.c_str(),
+                     parsed.message.c_str());
+        return 1;
+      }
+      request.problem = std::move(problem);
     } else if (!read_file(problem_path, request.problem_text)) {
       std::fprintf(stderr, "cannot read '%s'\n", problem_path.c_str());
       return 1;
@@ -159,7 +253,7 @@ int main(int argc, char** argv) {
       request.id = id.empty()
                        ? std::string{}
                        : (count == 1 ? id : id + "-" + std::to_string(k));
-      lines.push_back(qbp::service::format_request(request));
+      render(request);
       ++expected_replies;
     }
   }
@@ -167,19 +261,19 @@ int main(int argc, char** argv) {
     qbp::service::Request request;
     request.type = qbp::service::RequestType::kCancel;
     request.id = cancel_id;
-    lines.push_back(qbp::service::format_request(request));
+    render(request);
     ++expected_replies;
   }
   if (stats) {
     qbp::service::Request request;
     request.type = qbp::service::RequestType::kStats;
-    lines.push_back(qbp::service::format_request(request));
+    render(request);
     ++expected_replies;
   }
   if (shutdown) {
     qbp::service::Request request;
     request.type = qbp::service::RequestType::kShutdown;
-    lines.push_back(qbp::service::format_request(request));
+    render(request);
     ++expected_replies;
   }
   if (lines.empty()) {
@@ -191,7 +285,14 @@ int main(int argc, char** argv) {
   }
 
   if (print_only || tcp_port < 0) {
-    for (const auto& line : lines) std::printf("%s\n", line.c_str());
+    if (binary) {
+      // Raw frames (a pipe-mode server reads these verbatim from stdin).
+      for (const auto& frame : lines) {
+        std::fwrite(frame.data(), 1, frame.size(), stdout);
+      }
+    } else {
+      for (const auto& line : lines) std::printf("%s\n", line.c_str());
+    }
     return 0;
   }
   if (tcp_port > 65535) {
@@ -206,13 +307,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (const auto& line : lines) {
-    if (!client.send_line(line)) {
+    const bool sent = binary ? client.send_bytes(line)
+                             : client.send_line(line);
+    if (!sent) {
       std::fprintf(stderr, "send failed: %s\n", client.error().c_str());
       return 1;
     }
   }
   int exit_code = 0;
   for (std::size_t k = 0; k < expected_replies; ++k) {
+    if (binary) {
+      std::uint8_t type = 0;
+      std::string payload;
+      if (!client.read_frame(type, payload)) {
+        std::fprintf(stderr, "server closed the connection: %s\n",
+                     client.error().c_str());
+        return 1;
+      }
+      if (!print_reply_frame(type, payload, exit_code)) return 1;
+      continue;
+    }
     std::string reply;
     if (!client.read_line(reply)) {
       std::fprintf(stderr, "server closed the connection: %s\n",

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   std::string check_mode = "throw";
   std::string cache_mode = "on";
   std::int64_t cache_capacity = 64;
+  std::string wire = "auto";
 
   qbp::CliParser cli("qbpartd",
                      "batch partitioning job server: NDJSON jobs in, "
@@ -86,6 +87,10 @@ int main(int argc, char** argv) {
                  "to the pre-cache server)");
   cli.add_int("cache-capacity", cache_capacity,
               "solution cache bound in entries (LRU eviction)");
+  cli.add_string("wire", wire,
+                 "edge framing: auto (sniff each connection's first byte; "
+                 "default), ndjson (text only, pre-binary behavior), or "
+                 "binary (wire frames only; see docs/PROTOCOL.md)");
   if (const auto exit_code = cli.run(argc, argv)) return *exit_code;
   if (workers < 1 || queue_capacity < 1) {
     std::fprintf(stderr, "--workers and --queue must be >= 1\n");
@@ -110,6 +115,15 @@ int main(int argc, char** argv) {
   }
   if (cache_capacity < 0) {
     std::fprintf(stderr, "--cache-capacity must be >= 0\n");
+    return 1;
+  }
+  qbp::service::WireMode wire_mode = qbp::service::WireMode::kAuto;
+  if (wire == "ndjson") {
+    wire_mode = qbp::service::WireMode::kNdjson;
+  } else if (wire == "binary") {
+    wire_mode = qbp::service::WireMode::kBinary;
+  } else if (wire != "auto") {
+    std::fprintf(stderr, "--wire must be auto|ndjson|binary\n");
     return 1;
   }
   qbp::set_validation_enabled(validate);
@@ -141,10 +155,10 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   if (tcp_port >= 0 && !pipe_mode) {
     exit_code = qbp::service::serve_tcp(
-        server, static_cast<std::uint16_t>(tcp_port), wake[0]);
+        server, static_cast<std::uint16_t>(tcp_port), wake[0], wire_mode);
   } else {
     exit_code = qbp::service::serve_fd(server, STDIN_FILENO, STDOUT_FILENO,
-                                       wake[0]);
+                                       wake[0], wire_mode);
   }
   ::close(wake[0]);
   ::close(wake[1]);

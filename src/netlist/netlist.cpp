@@ -15,6 +15,36 @@ ComponentId Netlist::add_component(std::string component_name, double size) {
   return static_cast<ComponentId>(components_.size() - 1);
 }
 
+Netlist Netlist::from_sorted_parts(std::string name,
+                                   std::vector<Component> components,
+                                   std::vector<WireBundle> bundles) {
+  Netlist netlist{std::move(name)};
+  netlist.components_ = std::move(components);
+  netlist.sizes_.reserve(netlist.components_.size());
+  for (const Component& component : netlist.components_) {
+    netlist.sizes_.push_back(component.size);
+  }
+
+  // Multiplicities are checked here; ordering and endpoint ranges are
+  // checked by from_symmetric_pairs below on the same arrays.
+  std::vector<std::int32_t> a(bundles.size());
+  std::vector<std::int32_t> b(bundles.size());
+  std::vector<std::int32_t> multiplicity(bundles.size());
+  for (std::size_t k = 0; k < bundles.size(); ++k) {
+    QBP_CHECK_GT(bundles[k].multiplicity, 0)
+        << "wire multiplicity must be positive";
+    a[k] = bundles[k].a;
+    b[k] = bundles[k].b;
+    multiplicity[k] = bundles[k].multiplicity;
+  }
+  netlist.adjacency_ = Csr<std::int32_t>::from_symmetric_pairs(
+      netlist.num_components(), a, b, multiplicity);
+  netlist.bundles_ = std::move(bundles);
+  netlist.bundles_dirty_ = false;
+  netlist.adjacency_dirty_ = false;
+  return netlist;
+}
+
 void Netlist::add_wires(ComponentId a, ComponentId b, std::int32_t multiplicity) {
   // Always-on: this is a boundary the parsers (problem_io, netlist/io) feed
   // from untrusted bytes.  Under the server's throw mode a violation fails

@@ -40,6 +40,19 @@ class Netlist {
   Netlist() = default;
   explicit Netlist(std::string name) : name_(std::move(name)) {}
 
+  /// Bulk construction from pre-normalized parts.  `bundles` must already
+  /// be in finalize() order: strictly ascending by (a, b), each a < b and
+  /// in range, positive multiplicities -- verified in one linear pass
+  /// (QBP_CHECK; the parts arrive from possibly hostile wire frames).
+  /// Skips the per-element add_wires() replay, the finalize() sort and the
+  /// from_triplets sort: the symmetric connection matrix is built directly
+  /// in O(N + W), and the result is value-identical to the incremental
+  /// path.  This is the wire decoder's fast path for frames whose bundle
+  /// list is in canonical (re-encoded) order.
+  [[nodiscard]] static Netlist from_sorted_parts(
+      std::string name, std::vector<Component> components,
+      std::vector<WireBundle> bundles);
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 

@@ -8,6 +8,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/wire.hpp"
+
 namespace qbp::service {
 
 TcpClient::~TcpClient() { close(); }
@@ -41,21 +43,25 @@ bool TcpClient::connect(std::uint16_t port) {
 }
 
 bool TcpClient::send_line(std::string_view line) {
+  std::string buffer(line);
+  buffer.push_back('\n');
+  return send_bytes(buffer);
+}
+
+bool TcpClient::send_bytes(std::string_view bytes) {
   if (fd_ < 0) {
     error_ = "not connected";
     return false;
   }
-  std::string buffer(line);
-  buffer.push_back('\n');
-  std::string_view data = buffer;
-  while (!data.empty()) {
-    const ssize_t written = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+  while (!bytes.empty()) {
+    const ssize_t written =
+        ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
     if (written < 0) {
       if (errno == EINTR) continue;
       error_ = std::strerror(errno);
       return false;
     }
-    data.remove_prefix(static_cast<std::size_t>(written));
+    bytes.remove_prefix(static_cast<std::size_t>(written));
   }
   return true;
 }
@@ -71,6 +77,41 @@ bool TcpClient::read_line(std::string& out) {
       out = pending_.substr(0, newline);
       pending_.erase(0, newline + 1);
       return true;
+    }
+    char buffer[4096];
+    const ssize_t count = ::read(fd_, buffer, sizeof buffer);
+    if (count < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::strerror(errno);
+      return false;
+    }
+    if (count == 0) {
+      error_ = "connection closed";
+      return false;
+    }
+    pending_.append(buffer, static_cast<std::size_t>(count));
+  }
+}
+
+bool TcpClient::read_frame(std::uint8_t& type, std::string& payload) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  for (;;) {
+    wire::FrameView frame;
+    std::string frame_error;
+    switch (wire::peek_frame(pending_, frame, frame_error)) {
+      case wire::FrameStatus::kFrame:
+        type = frame.type;
+        payload.assign(frame.payload.data(), frame.payload.size());
+        pending_.erase(0, frame.frame_size);
+        return true;
+      case wire::FrameStatus::kBad:
+        error_ = frame_error;
+        return false;
+      case wire::FrameStatus::kIncomplete:
+        break;
     }
     char buffer[4096];
     const ssize_t count = ::read(fd_, buffer, sizeof buffer);

@@ -1,8 +1,9 @@
-// Minimal qbpartd client: a blocking line-oriented TCP connection to a
-// local server, plus helpers shared by qbpart_submit and the service tests.
-// Pipe mode needs no client class at all -- requests are plain NDJSON lines
-// on stdin -- so the interesting part here is only connect/send/recv with
-// line buffering.
+// Minimal qbpartd client: a blocking TCP connection to a local server
+// speaking either edge framing (NDJSON lines or binary wire frames --
+// docs/PROTOCOL.md), plus helpers shared by qbpart_submit and the service
+// tests.  Pipe mode needs no client class at all -- requests are plain
+// NDJSON lines on stdin -- so the interesting part here is only
+// connect/send/recv with message buffering.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +29,13 @@ class TcpClient {
   /// Block until one full response line arrives (newline stripped).
   /// False on EOF or error.
   [[nodiscard]] bool read_line(std::string& out);
+
+  /// Send raw bytes verbatim (a pre-encoded wire frame).  False on failure.
+  [[nodiscard]] bool send_bytes(std::string_view bytes);
+
+  /// Block until one full binary frame arrives; yields its message type and
+  /// payload bytes.  False on EOF, socket error, or a malformed frame.
+  [[nodiscard]] bool read_frame(std::uint8_t& type, std::string& payload);
 
   void close();
 

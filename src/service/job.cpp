@@ -1,8 +1,10 @@
 #include "service/job.hpp"
 
 #include <exception>
+#include <istream>
 #include <memory>
-#include <sstream>
+#include <optional>
+#include <streambuf>
 #include <utility>
 
 #include "core/fingerprint.hpp"
@@ -51,6 +53,18 @@ JobResult error_result(const Job& job, std::string reason) {
   result.reason = std::move(reason);
   return result;
 }
+
+/// Read-only streambuf over the job's problem text.  read_problem consumes
+/// an std::istream; going through this instead of istringstream avoids
+/// copying the full problem text once per job.
+class TextBuf : public std::streambuf {
+ public:
+  explicit TextBuf(const std::string& text) {
+    // std::streambuf needs char*; the get area is never written through.
+    char* base = const_cast<char*>(text.data());
+    setg(base, base, base + text.size());
+  }
+};
 
 void apply_presolve_spec(engine::PipelineOptions& options,
                          const SolverSpec& spec) {
@@ -180,25 +194,36 @@ JobResult run_job(const Job& job) { return run_job(job, nullptr); }
 JobResult run_job(const Job& job, SolutionCache* cache) {
   const Timer timer;
 
-  PartitionProblem problem;
-  try {
-    std::istringstream in(job.problem_text);
-    if (const auto parsed = read_problem(in, problem); !parsed.ok) {
-      return error_result(job, "problem parse failed: " + parsed.message);
+  // Binary submits arrive pre-parsed (service/wire.hpp kProblemStruct);
+  // everything below sees the same value-identical instance either way.
+  PartitionProblem parsed;
+  if (job.problem == nullptr) {
+    try {
+      TextBuf buffer(job.problem_text);
+      std::istream in(&buffer);
+      if (const auto status = read_problem(in, parsed); !status.ok) {
+        return error_result(job, "problem parse failed: " + status.message);
+      }
+    } catch (const std::exception& failure) {
+      // Under the daemon's throw fail mode a contract violation at the parse
+      // boundary (netlist/csr/timing construction) surfaces here as
+      // qbp::ContractViolation: the job fails with a descriptive reason, the
+      // server survives.
+      return error_result(job,
+                          std::string("problem rejected: ") + failure.what());
     }
-  } catch (const std::exception& failure) {
-    // Under the daemon's throw fail mode a contract violation at the parse
-    // boundary (netlist/csr/timing construction) surfaces here as
-    // qbp::ContractViolation: the job fails with a descriptive reason, the
-    // server survives.
-    return error_result(job, std::string("problem rejected: ") + failure.what());
   }
+  const PartitionProblem& problem =
+      job.problem != nullptr ? *job.problem : parsed;
 
   // Cache lookup: exact fingerprint hit first, then the ECO neighbor path.
   const bool use_cache =
       cache != nullptr && cache->enabled() && job.use_cache;
   Hash128 cache_key;
   Hash128 spec_fp;
+  // Computed at most once per job: the warm-start lookup and the cold-path
+  // insert share the same digest (it used to be rebuilt for the insert).
+  std::optional<ProblemDigest> digest;
   if (use_cache) {
     const bool effective_validate =
         job.solver.validate.value_or(validation_enabled());
@@ -212,16 +237,16 @@ JobResult run_job(const Job& job, SolutionCache* cache) {
       return result;
     }
     if (job.warm_start) {
-      ProblemDigest digest = make_digest(problem);
+      digest = make_digest(problem);
       SolutionCache::Neighbor neighbor;
-      if (cache->find_nearest(spec_fp, digest,
+      if (cache->find_nearest(spec_fp, *digest,
                               SolutionCache::default_edit_budget(
                                   problem.num_components()),
                               neighbor)) {
         JobResult warm;
         if (try_warm_solve(job, problem, neighbor, warm)) {
           warm.solve_s = timer.seconds();
-          cache->insert(cache_key, spec_fp, std::move(digest),
+          cache->insert(cache_key, spec_fp, std::move(*digest),
                         to_cached(warm));
           log::info("job ", job.id, ": warm start (", neighbor.edits,
                     " edits, ", warm.eco_repairs,
@@ -313,7 +338,10 @@ JobResult run_job(const Job& job, SolutionCache* cache) {
 
   // Only uninterrupted feasible answers are worth remembering.
   if (use_cache && result.status == "ok") {
-    cache->insert(cache_key, spec_fp, make_digest(problem), to_cached(result));
+    cache->insert(cache_key, spec_fp,
+                  digest.has_value() ? std::move(*digest)
+                                     : make_digest(problem),
+                  to_cached(result));
   }
 
   log::info("job ", job.id, ": status=", result.status,

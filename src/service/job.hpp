@@ -38,9 +38,17 @@ struct Job {
   std::int32_t priority = 0;  // higher first
   SolverSpec solver;
   std::string problem_text;
+  /// Pre-parsed problem from a binary kProblemStruct submit
+  /// (service/wire.hpp); when set, run_job skips the text parse entirely.
+  /// Value-identical to parsing problem_text, so cache fingerprints and
+  /// results are bit-identical across framings.
+  std::shared_ptr<const PartitionProblem> problem;
   /// Request-level cache opt-outs (protocol "cache"/"warm_start" fields).
   bool use_cache = true;
   bool warm_start = true;
+  /// The submitting connection spoke binary framing; finish_job renders
+  /// the result as a wire frame instead of an NDJSON line.
+  bool binary_respond = false;
 
   Clock::time_point submitted_at{};
   Clock::time_point deadline{Clock::time_point::max()};

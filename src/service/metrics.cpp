@@ -14,19 +14,28 @@ constexpr std::array<double, 17> kLatencyBounds = {
 
 }  // namespace
 
+std::size_t Counter::stripe_index() noexcept {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kStripes - 1);
+}
+
 Histogram::Histogram(std::span<const double> bounds)
     : bounds_(bounds.begin(), bounds.end()),
       bucket_counts_(bounds.size() + 1, 0) {}
 
 void Histogram::observe(double value) noexcept {
+  // bounds_ is immutable after construction, so the bucket search can run
+  // before taking the lock; the critical section is five plain updates.
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
   const sync::MutexLock lock(mutex_);
   ++count_;
   sum_ += value;
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
-  const auto bucket = static_cast<std::size_t>(
-      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
-      bounds_.begin());
   ++bucket_counts_[bucket];
 }
 

@@ -2,12 +2,18 @@
 //
 // Three instrument kinds, all safe for concurrent writers:
 //
-//   * Counter   -- monotonically increasing event count (atomic add);
-//   * Gauge     -- instantaneous level, e.g. queue depth (atomic set/add);
+//   * Counter   -- monotonically increasing event count.  Writes are
+//                  striped across cache-line-padded per-thread slots (the
+//                  util/prof thread-local-bucket pattern) so hot request
+//                  counters never bounce one cache line between workers;
+//                  the stripes are merged when a snapshot reads value().
+//   * Gauge     -- instantaneous level, e.g. queue depth (atomic set/add;
+//                  set() semantics rule out striping, and gauges change at
+//                  queue granularity, not per-frame).
 //   * Histogram -- observation distribution with fixed bucket upper bounds
 //                  plus count/sum/min/max (one small mutex per histogram:
 //                  observations happen at job granularity, never in solver
-//                  inner loops, so contention is irrelevant).
+//                  inner loops; the bucket search runs outside the lock).
 //
 // The MetricsRegistry owns every instrument by name and renders one JSON
 // snapshot for the `stats` protocol request and the periodic stderr line.
@@ -15,7 +21,9 @@
 // valid for the registry's lifetime, so hot paths can cache them.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -32,14 +40,31 @@ namespace qbp::service {
 class Counter {
  public:
   void inc(std::int64_t delta = 1) noexcept {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    stripes_[stripe_index()].value.fetch_add(delta,
+                                             std::memory_order_relaxed);
   }
+  /// Merge all stripes.  Monotone for any single stripe, so a concurrent
+  /// reader may see a value between two increments but never a decrease
+  /// from its own previous read of a quiescent counter.
   [[nodiscard]] std::int64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    std::int64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
   }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  static constexpr std::size_t kStripes = 8;  // power of two
+  struct alignas(64) Stripe {
+    std::atomic<std::int64_t> value{0};
+  };
+  /// Stable per-thread stripe slot, assigned round-robin on first use so
+  /// worker threads land on distinct stripes (hashing std::thread::id
+  /// offers no such guarantee for a handful of threads).
+  [[nodiscard]] static std::size_t stripe_index() noexcept;
+
+  std::array<Stripe, kStripes> stripes_;
 };
 
 class Gauge {

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -48,6 +49,10 @@
 
 #include "netlist/io.hpp"  // ParseResult
 #include "util/json.hpp"
+
+namespace qbp {
+class PartitionProblem;
+}  // namespace qbp
 
 namespace qbp::service {
 
@@ -98,6 +103,10 @@ struct Request {
   std::string id;            // submit (optional; server assigns) / cancel
   std::string problem_text;  // inline .qp source ("problem" field)
   std::string problem_file;  // or a server-local path ("problem_file")
+  /// Binary framing only (service/wire.hpp kProblemStruct): the already
+  /// parsed problem, decoded zero-copy from the frame buffer.  When set,
+  /// run_job skips the text parse; NDJSON requests always leave it null.
+  std::shared_ptr<const PartitionProblem> problem;
   SolverSpec solver;
   double deadline_ms = 0.0;  // relative to receipt; 0 = no deadline
   std::int32_t priority = 0;  // higher runs first; FIFO within a priority

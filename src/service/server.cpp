@@ -12,12 +12,16 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include "service/wire.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/prof.hpp"
 #include "util/strings.hpp"
+#include "util/timer.hpp"
+#include "util/wire.hpp"
 
 namespace qbp::service {
 
@@ -74,7 +78,12 @@ Server::Server(ServerOptions options)
       solve_seconds_(
           metrics_.histogram("solve_seconds", Histogram::latency_bounds())),
       objective_(metrics_.histogram("objective")),
-      contract_violations_(metrics_.counter("contract_violations")) {
+      contract_violations_(metrics_.counter("contract_violations")),
+      wire_frames_(metrics_.counter("wire.frames")),
+      wire_bytes_in_(metrics_.counter("wire.bytes_in")),
+      wire_bytes_out_(metrics_.counter("wire.bytes_out")),
+      wire_decode_seconds_(metrics_.histogram("wire.decode_seconds",
+                                              Histogram::latency_bounds())) {
   options_.workers = std::max<std::int32_t>(1, options_.workers);
   // Contract framework wiring: violations fail one job, not the process,
   // and every firing lands in the metrics snapshot.  Both settings are
@@ -124,6 +133,11 @@ void Server::emit(const Sink& sink, const std::string& line) {
   sink(line);
 }
 
+void Server::emit_frame(const Sink& sink, const std::string& frame) {
+  wire_bytes_out_.inc(static_cast<std::int64_t>(frame.size()));
+  emit(sink, frame);
+}
+
 void Server::handle_line(std::string_view line, const Sink& respond) {
   requests_total_.inc();
   Request request;
@@ -134,10 +148,10 @@ void Server::handle_line(std::string_view line, const Sink& respond) {
   }
   switch (request.type) {
     case RequestType::kSubmit:
-      handle_submit(std::move(request), respond);
+      handle_submit(std::move(request), respond, /*binary=*/false);
       return;
     case RequestType::kCancel:
-      handle_cancel(request, respond);
+      handle_cancel(request, respond, /*binary=*/false);
       return;
     case RequestType::kStats:
       emit(respond, stats_json().dump());
@@ -150,6 +164,62 @@ void Server::handle_line(std::string_view line, const Sink& respond) {
       emit(respond, ack.dump());
       return;
     }
+  }
+}
+
+void Server::handle_frame(std::uint8_t type, std::string_view payload,
+                          const Sink& respond) {
+  requests_total_.inc();
+  wire_frames_.inc();
+  wire_bytes_in_.inc(
+      static_cast<std::int64_t>(payload.size() + wire::kHeaderSize));
+  const auto malformed = [&](const std::string& reason) {
+    requests_malformed_.inc();
+    std::string frame;
+    encode_error_frame(reason, frame);
+    emit_frame(respond, frame);
+  };
+  switch (static_cast<WireMsg>(type)) {
+    case WireMsg::kSubmit: {
+      const Timer decode_timer;
+      Request request;
+      std::string error;
+      if (!decode_submit(payload, request, error)) {
+        malformed(error);
+        return;
+      }
+      wire_decode_seconds_.observe(decode_timer.seconds());
+      handle_submit(std::move(request), respond, /*binary=*/true);
+      return;
+    }
+    case WireMsg::kCancel: {
+      Request request;
+      std::string error;
+      if (!decode_cancel(payload, request, error)) {
+        malformed(error);
+        return;
+      }
+      handle_cancel(request, respond, /*binary=*/true);
+      return;
+    }
+    case WireMsg::kStats: {
+      // The stats snapshot stays a JSON document inside a frame: it is a
+      // cold debug surface, and one schema for both framings keeps every
+      // dashboard working (docs/PROTOCOL.md).
+      std::string frame;
+      encode_stats_reply_frame(stats_json().dump(), frame);
+      emit_frame(respond, frame);
+      return;
+    }
+    case WireMsg::kShutdown: {
+      shutdown_.store(true);
+      std::string frame;
+      encode_shutdown_ack_frame("draining", frame);
+      emit_frame(respond, frame);
+      return;
+    }
+    default:
+      malformed("unknown frame type " + std::to_string(type));
   }
 }
 
@@ -178,12 +248,22 @@ std::int32_t Server::clamp_inner_threads(const SolverSpec& spec) const {
   return requested;
 }
 
-void Server::handle_submit(Request request, const Sink& respond) {
+void Server::handle_submit(Request request, const Sink& respond, bool binary) {
+  const auto reject = [&](const std::string& id, const std::string& reason) {
+    jobs_rejected_.inc();
+    if (binary) {
+      std::string frame;
+      encode_reject_frame(id, reason, frame);
+      emit_frame(respond, frame);
+    } else {
+      emit(respond, format_reject(id, reason));
+    }
+  };
+
   if (!request.problem_file.empty() &&
       !read_file_to_string(request.problem_file, request.problem_text)) {
-    jobs_rejected_.inc();
-    emit(respond, format_reject(request.id, "cannot read problem_file '" +
-                                                request.problem_file + "'"));
+    reject(request.id,
+           "cannot read problem_file '" + request.problem_file + "'");
     return;
   }
 
@@ -196,6 +276,8 @@ void Server::handle_submit(Request request, const Sink& respond) {
   job.use_cache = request.cache;
   job.warm_start = request.warm_start;
   job.problem_text = std::move(request.problem_text);
+  job.problem = std::move(request.problem);
+  job.binary_respond = binary;
   job.submitted_at = Job::Clock::now();
   if (request.deadline_ms > 0.0) {
     job.has_deadline = true;
@@ -215,9 +297,8 @@ void Server::handle_submit(Request request, const Sink& respond) {
     job.id = request.id.empty() ? "job-" + std::to_string(job.seq)
                                 : std::move(request.id);
     if (active_.count(job.id) != 0) {
-      jobs_rejected_.inc();
-      emit(respond, format_reject(job.id, "duplicate id: a job with this id "
-                                          "is still queued or running"));
+      reject(job.id, "duplicate id: a job with this id is still queued or "
+                     "running");
       return;
     }
     active_.emplace(job.id, ActiveJob{job.stop, job.stop_cause});
@@ -237,10 +318,8 @@ void Server::handle_submit(Request request, const Sink& respond) {
         const sync::MutexLock lock(active_mutex_);
         active_.erase(id);
       }
-      jobs_rejected_.inc();
-      emit(respond,
-           format_reject(id, "queue full (capacity " +
-                                 std::to_string(queue_.capacity()) + ")"));
+      reject(id, "queue full (capacity " + std::to_string(queue_.capacity()) +
+                     ")");
       return;
     }
     case JobQueue::PushOutcome::kClosed: {
@@ -248,8 +327,7 @@ void Server::handle_submit(Request request, const Sink& respond) {
         const sync::MutexLock lock(active_mutex_);
         active_.erase(id);
       }
-      jobs_rejected_.inc();
-      emit(respond, format_reject(id, "server draining"));
+      reject(id, "server draining");
       return;
     }
   }
@@ -270,7 +348,8 @@ void Server::handle_submit(Request request, const Sink& respond) {
   log::info("job ", id, ": accepted (queue depth ", queue_.size(), ")");
 }
 
-void Server::handle_cancel(const Request& request, const Sink& respond) {
+void Server::handle_cancel(const Request& request, const Sink& respond,
+                           bool binary) {
   // Still queued: remove it and answer on the job's own sink.
   Job job;
   if (queue_.cancel(request.id, job)) {
@@ -293,15 +372,27 @@ void Server::handle_cancel(const Request& request, const Sink& respond) {
       found->second.cause->compare_exchange_strong(
           expected, static_cast<int>(StopCause::kCancel));
       found->second.stop->request_stop();
-      json::Value ack = json::Value::object();
-      ack.set("type", "cancel");
-      ack.set("id", request.id);
-      ack.set("status", "signalled");
-      emit(respond, ack.dump());
+      if (binary) {
+        std::string frame;
+        encode_cancel_ack_frame(request.id, "signalled", frame);
+        emit_frame(respond, frame);
+      } else {
+        json::Value ack = json::Value::object();
+        ack.set("type", "cancel");
+        ack.set("id", request.id);
+        ack.set("status", "signalled");
+        emit(respond, ack.dump());
+      }
       return;
     }
   }
-  emit(respond, format_reject(request.id, "unknown job id"));
+  if (binary) {
+    std::string frame;
+    encode_reject_frame(request.id, "unknown job id", frame);
+    emit_frame(respond, frame);
+  } else {
+    emit(respond, format_reject(request.id, "unknown job id"));
+  }
 }
 
 void Server::worker_loop(std::int32_t worker_index) {
@@ -384,7 +475,16 @@ void Server::finish_job(const Job& job, JobResult result) {
     const sync::MutexLock lock(active_mutex_);
     active_.erase(job.id);
   }
-  emit(job.respond, result_to_json(result).dump());
+  // Render in the framing the submitting connection spoke; either way the
+  // sink receives one complete response to write verbatim (plus newline
+  // for NDJSON, added by the connection's sink).
+  if (job.binary_respond) {
+    std::string frame;
+    encode_result_frame(result, frame);
+    emit_frame(job.respond, frame);
+  } else {
+    emit(job.respond, result_to_json(result).dump());
+  }
 }
 
 void Server::watchdog_loop() {
@@ -475,14 +575,42 @@ void Server::drain() {
 
 namespace {
 
-void write_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t written = ::write(fd, data.data(), data.size());
+/// Write `message` (plus a trailing newline for NDJSON framing) with one
+/// vectored call per attempt -- no per-response concatenation copy.
+/// `use_send` routes through sendmsg(MSG_NOSIGNAL) so a vanished TCP
+/// client cannot SIGPIPE the daemon.
+void write_response(int fd, std::string_view message, bool append_newline,
+                    bool use_send) {
+  char newline = '\n';
+  const std::size_t total = message.size() + (append_newline ? 1 : 0);
+  std::size_t sent = 0;
+  while (sent < total) {
+    iovec iov[2];
+    int count = 0;
+    if (sent < message.size()) {
+      iov[count].iov_base = const_cast<char*>(message.data()) + sent;
+      iov[count].iov_len = message.size() - sent;
+      ++count;
+    }
+    if (append_newline) {
+      iov[count].iov_base = &newline;
+      iov[count].iov_len = 1;
+      ++count;
+    }
+    ssize_t written = 0;
+    if (use_send) {
+      msghdr header{};
+      header.msg_iov = iov;
+      header.msg_iovlen = static_cast<std::size_t>(count);
+      written = ::sendmsg(fd, &header, MSG_NOSIGNAL);
+    } else {
+      written = ::writev(fd, iov, count);
+    }
     if (written < 0) {
       if (errno == EINTR) continue;
       return;  // client went away; results are dropped, not fatal
     }
-    data.remove_prefix(static_cast<std::size_t>(written));
+    sent += static_cast<std::size_t>(written);
   }
 }
 
@@ -500,18 +628,97 @@ bool dispatch_lines(Server& server, std::string& pending,
   return true;
 }
 
+/// Per-connection framing state: the auto-detect decision, the NDJSON line
+/// buffer, and the binary receive arena.  Shared (via shared_ptr) between
+/// the connection's read loop and its response sink, because accepted jobs
+/// keep the sink alive after the read loop exits.
+class WireConnection {
+ public:
+  WireConnection(Server& server, WireMode mode) : server_(server) {
+    if (mode == WireMode::kNdjson) framing_ = Framing::kNdjson;
+    if (mode == WireMode::kBinary) framing_ = Framing::kBinary;
+  }
+
+  /// Buffer `size` freshly read bytes and dispatch every complete message.
+  /// Returns false when this connection should stop reading: shutdown
+  /// request, or a malformed frame (answered with one error frame --
+  /// failing the connection, never the daemon).
+  bool feed(const char* data, std::size_t size, const Server::Sink& sink) {
+    if (framing_ == Framing::kUnknown && size > 0) {
+      // First byte decides: the frame magic opens with a byte that can
+      // never start an NDJSON line, so the sniff is unambiguous.  The
+      // decision is made before any request is dispatched, so sinks read
+      // a settled value (the queue hand-off orders it for workers).
+      framing_ = static_cast<unsigned char>(data[0]) == wire::kMagic[0]
+                     ? Framing::kBinary
+                     : Framing::kNdjson;
+    }
+    if (framing_ == Framing::kBinary) {
+      frames_.append(data, size);
+      return drain_frames(sink);
+    }
+    pending_.append(data, size);
+    return dispatch_lines(server_, pending_, sink);
+  }
+
+  /// EOF: a final NDJSON line without a trailing newline still counts.  A
+  /// truncated binary frame is dropped silently, like a partial line from
+  /// a client that never finished writing it.
+  void finish(const Server::Sink& sink) {
+    if (framing_ != Framing::kBinary && !failed_ &&
+        !server_.shutdown_requested() && !trim(pending_).empty()) {
+      server_.handle_line(pending_, sink);
+    }
+  }
+
+  [[nodiscard]] bool is_binary() const {
+    return framing_ == Framing::kBinary;
+  }
+
+ private:
+  enum class Framing { kUnknown, kNdjson, kBinary };
+
+  bool drain_frames(const Server::Sink& sink) {
+    for (;;) {
+      wire::FrameView frame;
+      std::string error;
+      switch (frames_.next(frame, error)) {
+        case wire::FrameStatus::kIncomplete:
+          return true;
+        case wire::FrameStatus::kBad: {
+          std::string reply;
+          encode_error_frame(error, reply);
+          sink(reply);
+          failed_ = true;
+          return false;
+        }
+        case wire::FrameStatus::kFrame: {
+          server_.handle_frame(frame.type, frame.payload, sink);
+          frames_.consume(frame.frame_size);
+          if (server_.shutdown_requested()) return false;
+          break;
+        }
+      }
+    }
+  }
+
+  Server& server_;
+  Framing framing_ = Framing::kUnknown;
+  std::string pending_;      // NDJSON line accumulator
+  wire::FrameBuffer frames_; // binary receive arena, reused across requests
+  bool failed_ = false;
+};
+
 }  // namespace
 
-int serve_fd(Server& server, int in_fd, int out_fd, int wake_fd) {
-  const Server::Sink sink = [out_fd](const std::string& line) {
-    std::string buffer;
-    buffer.reserve(line.size() + 1);
-    buffer = line;
-    buffer.push_back('\n');
-    write_all(out_fd, buffer);
+int serve_fd(Server& server, int in_fd, int out_fd, int wake_fd,
+             WireMode mode) {
+  const auto conn = std::make_shared<WireConnection>(server, mode);
+  const Server::Sink sink = [out_fd, conn](const std::string& message) {
+    write_response(out_fd, message, /*append_newline=*/!conn->is_binary(),
+                   /*use_send=*/false);
   };
 
-  std::string pending;
   bool interrupted = false;
   for (;;) {
     pollfd fds[2] = {{in_fd, POLLIN, 0}, {wake_fd, POLLIN, 0}};
@@ -529,19 +736,15 @@ int serve_fd(Server& server, int in_fd, int out_fd, int wake_fd) {
     char buffer[4096];
     const ssize_t count = ::read(in_fd, buffer, sizeof buffer);
     if (count <= 0) break;  // EOF or read error: drain and exit
-    pending.append(buffer, static_cast<std::size_t>(count));
-    if (!dispatch_lines(server, pending, sink)) break;  // shutdown request
+    if (!conn->feed(buffer, static_cast<std::size_t>(count), sink)) break;
   }
-  // A final line without a trailing newline still counts (EOF-terminated),
-  // unless a signal interrupted the loop mid-read.
-  if (!interrupted && !server.shutdown_requested() && !trim(pending).empty()) {
-    server.handle_line(pending, sink);
-  }
+  if (!interrupted) conn->finish(sink);
   server.drain();
   return 0;
 }
 
-int serve_tcp(Server& server, std::uint16_t port, int wake_fd) {
+int serve_tcp(Server& server, std::uint16_t port, int wake_fd, WireMode mode,
+              std::atomic<std::uint16_t>* bound_port) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     log::error("qbpartd: socket() failed: ", std::strerror(errno));
@@ -565,6 +768,7 @@ int serve_tcp(Server& server, std::uint16_t port, int wake_fd) {
   // stderr line before serving.
   socklen_t address_len = sizeof address;
   ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&address), &address_len);
+  if (bound_port != nullptr) bound_port->store(ntohs(address.sin_port));
   std::fprintf(stderr, "{\"type\":\"listening\",\"port\":%u}\n",
                static_cast<unsigned>(ntohs(address.sin_port)));
   std::fflush(stderr);
@@ -574,22 +778,15 @@ int serve_tcp(Server& server, std::uint16_t port, int wake_fd) {
   std::vector<std::thread> connections;  // qbp-lint: allow(raw-thread)
   sync::Mutex connections_mutex;
 
-  const auto connection_loop = [&server, &closing](int conn_fd) {
-    const Server::Sink sink = [conn_fd](const std::string& line) {
-      std::string buffer = line;
-      buffer.push_back('\n');
-      std::string_view data = buffer;
-      while (!data.empty()) {
-        const ssize_t written =
-            ::send(conn_fd, data.data(), data.size(), MSG_NOSIGNAL);
-        if (written < 0) {
-          if (errno == EINTR) continue;
-          return;
-        }
-        data.remove_prefix(static_cast<std::size_t>(written));
-      }
+  const auto connection_loop = [&server, &closing, mode](int conn_fd) {
+    // shared_ptr: accepted jobs copy the sink, which may outlive this
+    // reader thread; the connection's framing state must survive with it.
+    const auto conn = std::make_shared<WireConnection>(server, mode);
+    const Server::Sink sink = [conn_fd, conn](const std::string& message) {
+      write_response(conn_fd, message,
+                     /*append_newline=*/!conn->is_binary(),
+                     /*use_send=*/true);
     };
-    std::string pending;
     while (!closing.load()) {
       pollfd pfd{conn_fd, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, 200);
@@ -597,9 +794,8 @@ int serve_tcp(Server& server, std::uint16_t port, int wake_fd) {
       if (ready <= 0 || pfd.revents == 0) continue;
       char buffer[4096];
       const ssize_t count = ::read(conn_fd, buffer, sizeof buffer);
-      if (count <= 0) break;
-      pending.append(buffer, static_cast<std::size_t>(count));
-      if (!dispatch_lines(server, pending, sink)) break;
+      if (count <= 0) break;  // TCP: a line needs its newline, as before
+      if (!conn->feed(buffer, static_cast<std::size_t>(count), sink)) break;
     }
     ::close(conn_fd);
   };

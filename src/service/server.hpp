@@ -1,4 +1,6 @@
-// qbpartd's core: a long-running job server over the NDJSON protocol.
+// qbpartd's core: a long-running job server over the NDJSON protocol,
+// with an optional binary framing on the same connections (handle_frame /
+// WireMode; layouts in docs/PROTOCOL.md).
 //
 // Architecture (one Server instance, any number of client connections):
 //
@@ -47,6 +49,13 @@
 #include "util/check.hpp"
 
 namespace qbp::service {
+
+/// Edge framing for the serve loops (docs/PROTOCOL.md).  kAuto sniffs the
+/// first byte of each connection: the binary frame magic starts with a
+/// byte that can never open an NDJSON line, so detection is unambiguous.
+/// kNdjson pins the pre-binary behaviour exactly (frames are treated as
+/// text and answered with NDJSON parse errors); kBinary requires frames.
+enum class WireMode { kAuto, kNdjson, kBinary };
 
 struct ServerOptions {
   /// Concurrent jobs (each job may additionally fan out portfolio threads
@@ -99,6 +108,13 @@ class Server {
   /// returns.  Thread-safe.
   void handle_line(std::string_view line, const Sink& respond);
 
+  /// Dispatch one binary frame (already split from the byte stream by
+  /// util/wire FrameBuffer).  The same contract as handle_line, except
+  /// every response delivered to `respond` is a complete binary frame and
+  /// the sink must write it verbatim (no newline framing).  Thread-safe.
+  void handle_frame(std::uint8_t type, std::string_view payload,
+                    const Sink& respond);
+
   /// Stop accepting submits; queued and running jobs keep going.
   void begin_drain();
 
@@ -128,16 +144,20 @@ class Server {
     std::weak_ptr<std::atomic<int>> cause;
   };
 
-  void handle_submit(Request request, const Sink& respond);
+  /// `binary` selects the rendering of immediate responses (NDJSON line vs
+  /// wire frame) and is stamped into the job for its eventual result.
+  void handle_submit(Request request, const Sink& respond, bool binary);
   /// Resolve and clamp a spec's inner_threads against the combined budget
   /// (workers x starts x inner <= thread_limit); logs when it clamps.
   [[nodiscard]] std::int32_t clamp_inner_threads(const SolverSpec& spec) const;
-  void handle_cancel(const Request& request, const Sink& respond);
+  void handle_cancel(const Request& request, const Sink& respond, bool binary);
   void worker_loop(std::int32_t worker_index);
   void finish_job(const Job& job, JobResult result);
   void watchdog_loop();
   void stats_loop();
   void emit(const Sink& sink, const std::string& line);
+  /// emit() plus the wire.bytes_out accounting for binary responses.
+  void emit_frame(const Sink& sink, const std::string& frame);
 
   ServerOptions options_;
   MetricsRegistry metrics_;
@@ -210,17 +230,31 @@ class Server {
   Histogram& solve_seconds_;
   Histogram& objective_;
   Counter& contract_violations_;
+  // Binary wire framing (docs/PROTOCOL.md): frames dispatched, raw bytes
+  // in both directions (headers included), and the per-frame decode cost
+  // of the zero-copy submit path.
+  Counter& wire_frames_;
+  Counter& wire_bytes_in_;
+  Counter& wire_bytes_out_;
+  Histogram& wire_decode_seconds_;
 };
 
-/// Pipe / socket serve loops (POSIX).  Both read NDJSON requests until EOF,
-/// a shutdown request, or a byte on `wake_fd` (the signal handler's
+/// Pipe / socket serve loops (POSIX).  Both read requests until EOF, a
+/// shutdown request, or a byte on `wake_fd` (the signal handler's
 /// self-pipe; pass -1 for none), then drain the server and return 0.
+/// `mode` picks the edge framing per connection (WireMode above); a
+/// malformed binary frame answers with one error frame and fails only that
+/// connection, never the daemon.
 /// serve_fd reads from `in_fd` and writes every response to `out_fd`.
-[[nodiscard]] int serve_fd(Server& server, int in_fd, int out_fd, int wake_fd);
+[[nodiscard]] int serve_fd(Server& server, int in_fd, int out_fd, int wake_fd,
+                           WireMode mode = WireMode::kAuto);
 
 /// Listens on 127.0.0.1:`port` (one thread per connection; responses route
 /// to the submitting connection).  Returns 0 on clean drain, 1 on socket
-/// setup failure.
-[[nodiscard]] int serve_tcp(Server& server, std::uint16_t port, int wake_fd);
+/// setup failure.  `bound_port`, when non-null, receives the actual
+/// listening port (useful with port 0) before the accept loop starts.
+[[nodiscard]] int serve_tcp(Server& server, std::uint16_t port, int wake_fd,
+                            WireMode mode = WireMode::kAuto,
+                            std::atomic<std::uint16_t>* bound_port = nullptr);
 
 }  // namespace qbp::service

@@ -40,6 +40,20 @@ class Csr {
   static Csr from_triplets(std::int32_t rows, std::int32_t cols,
                            std::vector<Triplet<T>> triplets);
 
+  /// Build the symmetric n x n matrix S with S[a][b] = S[b][a] = value for
+  /// each (a[k], b[k], values[k]) pair, without the from_triplets sort: two
+  /// counting passes, O(n + pairs).  Requires the pair list in canonical
+  /// upper-triangle order -- strictly ascending by (a, b) with a < b -- which
+  /// is verified in one linear pass (the pairs arrive from possibly hostile
+  /// wire frames; a violation is a contract failure, not a malformed
+  /// matrix).  Produces exactly the CSR that from_triplets would for the
+  /// symmetrized triplet list; this is the wire decoder's fast path for
+  /// frames that ship pairs in canonical (re-encoded) order.
+  static Csr from_symmetric_pairs(std::int32_t n,
+                                  std::span<const std::int32_t> a,
+                                  std::span<const std::int32_t> b,
+                                  std::span<const T> values);
+
   [[nodiscard]] std::int32_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::int32_t cols() const noexcept { return cols_; }
   [[nodiscard]] std::size_t nonzeros() const noexcept { return values_.size(); }
@@ -164,6 +178,58 @@ Csr<T> Csr<T>::from_triplets(std::int32_t rows, std::int32_t cols,
   for (std::int32_t r = 0; r < rows; ++r) {
     matrix.row_start_[static_cast<std::size_t>(r) + 1] +=
         matrix.row_start_[static_cast<std::size_t>(r)];
+  }
+  return matrix;
+}
+
+template <typename T>
+Csr<T> Csr<T>::from_symmetric_pairs(std::int32_t n,
+                                    std::span<const std::int32_t> a,
+                                    std::span<const std::int32_t> b,
+                                    std::span<const T> values) {
+  QBP_CHECK(n >= 0) << "Csr shape must be non-negative (" << n << " x " << n
+                    << ")";
+  QBP_CHECK(a.size() == b.size() && a.size() == values.size())
+      << "pair arrays must have equal lengths";
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    QBP_CHECK(a[k] >= 0 && a[k] < b[k] && b[k] < n)
+        << "pair (" << a[k] << ", " << b[k]
+        << ") not upper-triangle in [0, " << n << ")";
+    QBP_CHECK(k == 0 || a[k - 1] < a[k] || (a[k - 1] == a[k] && b[k - 1] < b[k]))
+        << "pairs must be strictly ascending by (a, b)";
+  }
+
+  Csr matrix;
+  matrix.rows_ = n;
+  matrix.cols_ = n;
+  matrix.row_start_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ++matrix.row_start_[static_cast<std::size_t>(a[k]) + 1];
+    ++matrix.row_start_[static_cast<std::size_t>(b[k]) + 1];
+  }
+  for (std::int32_t r = 0; r < n; ++r) {
+    matrix.row_start_[static_cast<std::size_t>(r) + 1] +=
+        matrix.row_start_[static_cast<std::size_t>(r)];
+  }
+  matrix.col_index_.resize(2 * a.size());
+  matrix.values_.resize(2 * a.size());
+  std::vector<std::int64_t> cursor(matrix.row_start_.begin(),
+                                   matrix.row_start_.end() - 1);
+  // Row j's columns below the diagonal all come from pairs with b == j
+  // (their a's ascend with the pair order), the columns above it from pairs
+  // with a == j (b's ascend likewise); filling the lower half first keeps
+  // every row's column list ascending, as from_triplets' sort would.
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const auto slot =
+        static_cast<std::size_t>(cursor[static_cast<std::size_t>(b[k])]++);
+    matrix.col_index_[slot] = a[k];
+    matrix.values_[slot] = values[k];
+  }
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const auto slot =
+        static_cast<std::size_t>(cursor[static_cast<std::size_t>(a[k])]++);
+    matrix.col_index_[slot] = b[k];
+    matrix.values_[slot] = values[k];
   }
   return matrix;
 }

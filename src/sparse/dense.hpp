@@ -72,6 +72,15 @@ class Matrix {
             static_cast<std::size_t>(cols_)};
   }
 
+  /// Whole storage as one row-major span -- the binary wire codec bulk
+  /// copies matrices through this without a per-element loop.
+  [[nodiscard]] std::span<const T> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<T> flat() noexcept {
+    return {data_.data(), data_.size()};
+  }
+
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
   [[nodiscard]] Matrix transposed() const {

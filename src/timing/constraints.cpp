@@ -24,6 +24,26 @@ void TimingConstraints::add(ComponentId j1, ComponentId j2, double max_delay) {
   dirty_ = true;
 }
 
+TimingConstraints TimingConstraints::from_sorted_pairs(
+    std::int32_t num_components, std::span<const std::int32_t> j1,
+    std::span<const std::int32_t> j2, std::span<const double> bounds) {
+  TimingConstraints timing(num_components);
+  QBP_CHECK(j1.size() == j2.size() && j1.size() == bounds.size())
+      << "constraint arrays must have equal lengths";
+  timing.pending_.reserve(j1.size());
+  for (std::size_t k = 0; k < j1.size(); ++k) {
+    // Ordering and endpoint ranges are checked by from_symmetric_pairs.
+    QBP_CHECK(bounds[k] >= 0.0 && std::isfinite(bounds[k]))
+        << "constraint bound must be finite and non-negative, got "
+        << bounds[k];
+    timing.pending_.push_back({j1[k], j2[k], bounds[k]});
+  }
+  timing.matrix_ =
+      Csr<double>::from_symmetric_pairs(num_components, j1, j2, bounds);
+  timing.dirty_ = false;
+  return timing;
+}
+
 void TimingConstraints::rebuild() const {
   if (!dirty_ && matrix_.rows() == num_components_) return;
   std::sort(pending_.begin(), pending_.end(),

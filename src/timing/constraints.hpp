@@ -31,6 +31,17 @@ class TimingConstraints {
   explicit TimingConstraints(std::int32_t num_components)
       : num_components_(num_components) {}
 
+  /// Bulk construction from pre-normalized constraint arrays: pairs
+  /// strictly ascending by (j1, j2) with j1 < j2 and in range, bounds
+  /// finite and non-negative.  Verified in one linear pass (QBP_CHECK; the
+  /// arrays arrive from possibly hostile wire frames), then the symmetric
+  /// Dc matrix is built directly in O(N + pairs) -- no per-add replay, no
+  /// rebuild() sort.  Value-identical to the add() path on the same data;
+  /// the wire decoder uses this for frames in canonical (re-encoded) order.
+  [[nodiscard]] static TimingConstraints from_sorted_pairs(
+      std::int32_t num_components, std::span<const std::int32_t> j1,
+      std::span<const std::int32_t> j2, std::span<const double> bounds);
+
   [[nodiscard]] std::int32_t num_components() const noexcept {
     return num_components_;
   }

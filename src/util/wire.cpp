@@ -1,0 +1,245 @@
+#include "util/wire.hpp"
+
+#include <array>
+#include <bit>
+
+namespace qbp::wire {
+
+namespace {
+
+/// Packed little-endian array copy.  All supported targets are
+/// little-endian (the SIMD kernels already assume it); the byte-swapping
+/// fallback keeps the format well-defined if that ever changes.
+template <typename T>
+void append_packed(std::string& out, std::span<const T> values) {
+  static_assert(std::endian::native == std::endian::little ||
+                std::endian::native == std::endian::big);
+  if (values.empty()) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    const char* raw = reinterpret_cast<const char*>(values.data());
+    out.append(raw, values.size() * sizeof(T));
+  } else {
+    for (const T value : values) {
+      auto bytes = std::bit_cast<std::array<char, sizeof(T)>>(value);
+      for (std::size_t k = sizeof(T); k-- > 0;) out.push_back(bytes[k]);
+    }
+  }
+}
+
+template <typename T>
+void read_packed(const char* raw, std::size_t count, std::vector<T>& out) {
+  out.resize(count);
+  if (count == 0) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), raw, count * sizeof(T));
+  } else {
+    for (std::size_t j = 0; j < count; ++j) {
+      std::array<char, sizeof(T)> bytes;
+      for (std::size_t k = 0; k < sizeof(T); ++k) {
+        bytes[k] = raw[j * sizeof(T) + sizeof(T) - 1 - k];
+      }
+      out[j] = std::bit_cast<T>(bytes);
+    }
+  }
+}
+
+std::uint16_t load_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t load_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void Writer::varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    u8(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(value));
+}
+
+void Writer::svarint(std::int64_t value) {
+  const auto raw = static_cast<std::uint64_t>(value);
+  varint((raw << 1) ^ static_cast<std::uint64_t>(value >> 63));
+}
+
+void Writer::f64(double value) {
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  u32(static_cast<std::uint32_t>(bits & 0xFFFFFFFF));
+  u32(static_cast<std::uint32_t>(bits >> 32));
+}
+
+void Writer::string(std::string_view text) {
+  varint(text.size());
+  if (!text.empty()) out_->append(text.data(), text.size());
+}
+
+void Writer::f64_array(std::span<const double> values) {
+  varint(values.size());
+  append_packed(*out_, values);
+}
+
+void Writer::i32_array(std::span<const std::int32_t> values) {
+  varint(values.size());
+  append_packed(*out_, values);
+}
+
+bool Reader::u8(std::uint8_t& out) {
+  if (remaining() < 1) return false;
+  out = static_cast<std::uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool Reader::u16(std::uint16_t& out) {
+  if (remaining() < 2) return false;
+  out = load_u16(reinterpret_cast<const unsigned char*>(data_.data()) + pos_);
+  pos_ += 2;
+  return true;
+}
+
+bool Reader::u32(std::uint32_t& out) {
+  if (remaining() < 4) return false;
+  out = load_u32(reinterpret_cast<const unsigned char*>(data_.data()) + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool Reader::varint(std::uint64_t& out) {
+  out = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    std::uint8_t byte = 0;
+    if (!u8(byte)) return false;
+    const std::uint64_t chunk = byte & 0x7F;
+    // The tenth byte carries the final bit only; reject overflow so every
+    // encodable value has exactly one accepted encoding length.
+    if (shift == 63 && chunk > 1) return false;
+    out |= chunk << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // continuation bit set past 10 bytes
+}
+
+bool Reader::svarint(std::int64_t& out) {
+  std::uint64_t raw = 0;
+  if (!varint(raw)) return false;
+  out = static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  return true;
+}
+
+bool Reader::f64(double& out) {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  if (!u32(lo) || !u32(hi)) return false;
+  out = std::bit_cast<double>((static_cast<std::uint64_t>(hi) << 32) | lo);
+  return true;
+}
+
+bool Reader::string(std::string_view& out) {
+  std::uint64_t size = 0;
+  if (!varint(size) || size > remaining()) return false;
+  out = data_.substr(pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool Reader::f64_array(std::vector<double>& out) {
+  std::uint64_t count = 0;
+  if (!varint(count) || count > remaining() / sizeof(double)) return false;
+  read_packed(data_.data() + pos_, count, out);
+  pos_ += count * sizeof(double);
+  return true;
+}
+
+bool Reader::i32_array(std::vector<std::int32_t>& out) {
+  std::uint64_t count = 0;
+  if (!varint(count) || count > remaining() / sizeof(std::int32_t)) {
+    return false;
+  }
+  read_packed(data_.data() + pos_, count, out);
+  pos_ += count * sizeof(std::int32_t);
+  return true;
+}
+
+FrameStatus peek_frame(std::string_view buffer, FrameView& out,
+                       std::string& error) {
+  if (buffer.size() < kHeaderSize) {
+    // The magic can be refuted before the full header arrives.
+    for (std::size_t k = 0; k < buffer.size() && k < 4; ++k) {
+      if (static_cast<unsigned char>(buffer[k]) != kMagic[k]) {
+        error = "bad frame magic";
+        return FrameStatus::kBad;
+      }
+    }
+    return FrameStatus::kIncomplete;
+  }
+  const auto* head = reinterpret_cast<const unsigned char*>(buffer.data());
+  if (std::memcmp(head, kMagic, 4) != 0) {
+    error = "bad frame magic";
+    return FrameStatus::kBad;
+  }
+  if (head[4] != kVersion) {
+    error = "unsupported wire version " + std::to_string(head[4]) +
+            " (expected " + std::to_string(kVersion) + ")";
+    return FrameStatus::kBad;
+  }
+  if (load_u16(head + 6) != 0) {
+    error = "reserved frame flags must be zero";
+    return FrameStatus::kBad;
+  }
+  const std::uint32_t payload_size = load_u32(head + 8);
+  if (payload_size > kMaxPayload) {
+    error = "frame payload of " + std::to_string(payload_size) +
+            " bytes exceeds the " + std::to_string(kMaxPayload) + " byte cap";
+    return FrameStatus::kBad;
+  }
+  if (buffer.size() - kHeaderSize < payload_size) {
+    return FrameStatus::kIncomplete;
+  }
+  out.type = head[5];
+  out.payload = buffer.substr(kHeaderSize, payload_size);
+  out.frame_size = kHeaderSize + payload_size;
+  return FrameStatus::kFrame;
+}
+
+void append_frame(std::string& out, std::uint8_t type,
+                  std::string_view payload) {
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  out.append(reinterpret_cast<const char*>(kMagic), 4);
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(type));
+  Writer writer(out);
+  writer.u16(0);  // reserved flags
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty()) out.append(payload.data(), payload.size());
+}
+
+void FrameBuffer::append(const char* data, std::size_t size) {
+  // Compact before growing once the dead prefix dominates, so steady-state
+  // traffic moves each byte O(1) times instead of once per erase().
+  if (offset_ > 4096 && offset_ > buffer_.size() / 2) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameStatus FrameBuffer::next(FrameView& out, std::string& error) {
+  return peek_frame(
+      std::string_view(buffer_).substr(offset_), out, error);
+}
+
+void FrameBuffer::consume(std::size_t frame_size) {
+  offset_ += frame_size;
+  if (offset_ >= buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  }
+}
+
+}  // namespace qbp::wire

@@ -1,0 +1,152 @@
+// Length-prefixed little-endian binary framing for the qbpartd wire
+// protocol (docs/PROTOCOL.md) -- the transport layer below the message
+// codec in service/wire.hpp.
+//
+// Frame layout (12-byte header + payload):
+//
+//   offset  size  field
+//   0       4     magic 0x9B 'Q' 'B' 'W' (first byte is invalid UTF-8 /
+//                 JSON, so binary traffic is distinguishable from NDJSON
+//                 by the first byte of a connection)
+//   4       1     protocol version (kVersion; mismatches are rejected)
+//   5       1     message type (service-level enum; opaque here)
+//   6       2     flags, little-endian (reserved, must be zero in v1)
+//   8       4     payload size in bytes, little-endian (<= kMaxPayload)
+//   12      ...   payload
+//
+// Payload primitives (Writer/Reader): LEB128 varints for unsigned ints,
+// zigzag varints for signed ints, raw IEEE-754 little-endian bytes for
+// doubles (bit-preserving -- the determinism contract extends to the
+// codec), length-prefixed UTF-8 strings, and count-prefixed packed arrays
+// of f64/i32 that bulk-memcpy on little-endian hosts.  Reader is fully
+// bounds-checked and never throws or aborts on malformed input: every
+// accessor returns false once the payload is exhausted or corrupt
+// (fuzz/fuzz_wire.cpp hammers this contract).
+//
+// FrameBuffer is the per-connection receive arena: bytes append to one
+// growing buffer, complete frames are peeked in place (zero-copy
+// string_view payloads), and the consumed prefix is compacted lazily so a
+// long-lived connection does not pay O(bytes^2) erase-from-front churn.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbp::wire {
+
+inline constexpr unsigned char kMagic[4] = {0x9B, 'Q', 'B', 'W'};
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Hard cap on one frame's payload; a header advertising more is treated
+/// as malformed (protects the receive arena from hostile length fields).
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;  // 1 GiB
+
+/// Appends payload primitives to a caller-owned byte buffer (std::string,
+/// so the result can flow through the existing response Sink unchanged).
+/// The buffer is reusable across frames: callers clear() and re-encode.
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(&out) {}
+
+  void u8(std::uint8_t value) { out_->push_back(static_cast<char>(value)); }
+  void u16(std::uint16_t value) {
+    u8(static_cast<std::uint8_t>(value & 0xFF));
+    u8(static_cast<std::uint8_t>(value >> 8));
+  }
+  void u32(std::uint32_t value) {
+    u16(static_cast<std::uint16_t>(value & 0xFFFF));
+    u16(static_cast<std::uint16_t>(value >> 16));
+  }
+  /// LEB128: 7 value bits per byte, high bit = continuation.
+  void varint(std::uint64_t value);
+  /// Zigzag-mapped varint for signed values (small magnitudes stay small).
+  void svarint(std::int64_t value);
+  /// Raw IEEE-754 bits, little-endian; exact round-trip for every value
+  /// including -0.0, infinities and NaN payloads.
+  void f64(double value);
+  void string(std::string_view text);
+  void f64_array(std::span<const double> values);
+  void i32_array(std::span<const std::int32_t> values);
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked payload reader over a borrowed byte range.  Accessors
+/// return false (and leave the cursor at the failure point) on truncation
+/// or malformed varints; callers bail on the first false.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : data_(payload) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& out);
+  [[nodiscard]] bool u16(std::uint16_t& out);
+  [[nodiscard]] bool u32(std::uint32_t& out);
+  [[nodiscard]] bool varint(std::uint64_t& out);
+  [[nodiscard]] bool svarint(std::int64_t& out);
+  [[nodiscard]] bool f64(double& out);
+  /// Zero-copy: the view aliases the frame buffer and is only valid until
+  /// the owning FrameBuffer next mutates.
+  [[nodiscard]] bool string(std::string_view& out);
+  /// Count-prefixed packed arrays.  The element count is validated against
+  /// the bytes actually remaining BEFORE any allocation, so a hostile
+  /// count cannot drive a huge resize.
+  [[nodiscard]] bool f64_array(std::vector<double>& out);
+  [[nodiscard]] bool i32_array(std::vector<std::int32_t>& out);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// True when the whole payload was consumed (trailing garbage is a
+  /// framing error for fixed-schema messages).
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// One complete frame viewed in place inside a receive buffer.
+struct FrameView {
+  std::uint8_t type = 0;
+  std::string_view payload;     // aliases the buffer; copy before reuse
+  std::size_t frame_size = 0;   // header + payload, for consume()
+};
+
+enum class FrameStatus {
+  kIncomplete,  // need more bytes
+  kFrame,       // `out` holds a complete frame
+  kBad,         // malformed header; connection should error out
+};
+
+/// Inspect the start of `buffer` for one frame.  kBad covers bad magic,
+/// version mismatch, nonzero reserved flags and oversized payloads;
+/// `error` gets a one-line description.
+[[nodiscard]] FrameStatus peek_frame(std::string_view buffer, FrameView& out,
+                                     std::string& error);
+
+/// Encode a frame header + payload into `out` (appended).  The payload is
+/// written by `fill` through a Writer so message codecs can stream
+/// directly into the connection's reusable encode buffer.
+void append_frame(std::string& out, std::uint8_t type,
+                  std::string_view payload);
+
+/// Per-connection receive arena.  append() accumulates raw bytes; next()
+/// peeks the frame at the current read offset without copying; consume()
+/// advances past it; the consumed prefix is compacted only once it
+/// dominates the buffer, amortizing the move.
+class FrameBuffer {
+ public:
+  void append(const char* data, std::size_t size);
+  [[nodiscard]] FrameStatus next(FrameView& out, std::string& error);
+  void consume(std::size_t frame_size);
+  [[nodiscard]] std::size_t pending() const { return buffer_.size() - offset_; }
+
+ private:
+  std::string buffer_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace qbp::wire

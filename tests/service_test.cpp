@@ -10,8 +10,12 @@
 // completion order assertions deterministic.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -20,12 +24,15 @@
 
 #include "core/problem_io.hpp"
 #include "core/validate.hpp"
+#include "service/client.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/queue.hpp"
 #include "service/server.hpp"
+#include "service/wire.hpp"
 #include "test_support.hpp"
 #include "util/prof.hpp"
+#include "util/wire.hpp"
 
 namespace qbp::service {
 namespace {
@@ -752,7 +759,361 @@ TEST(Server, ShutdownRequestFlagsTheServeLoop) {
   server.drain();
 }
 
+// ------------------------------------------------- binary wire framing ----
+
+Request make_wire_request(const std::string& id, const std::string& problem,
+                          std::uint64_t seed = 1) {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.id = id;
+  request.problem_text = problem;
+  request.solver.starts = 2;
+  request.solver.iterations = 40;
+  request.solver.seed = seed;
+  return request;
+}
+
+std::string wire_frame(const Request& request) {
+  std::string frame;
+  encode_request_frame(request, frame);
+  return frame;
+}
+
+/// Decode the binary kResult frames collected by a sink, arrival order.
+std::vector<JobResult> binary_results(const std::vector<std::string>& frames) {
+  std::vector<JobResult> out;
+  for (const auto& bytes : frames) {
+    wire::FrameView frame;
+    std::string error;
+    if (wire::peek_frame(bytes, frame, error) != wire::FrameStatus::kFrame) {
+      continue;
+    }
+    if (static_cast<WireMsg>(frame.type) != WireMsg::kResult) continue;
+    JobResult result;
+    EXPECT_TRUE(decode_result(frame.payload, result, error)) << error;
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+void expect_same_result(const JobResult& a, const JobResult& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.best_penalized, b.best_penalized);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.starts_run, b.starts_run);
+  EXPECT_EQ(a.cache_hit, b.cache_hit);
+  EXPECT_EQ(a.warm_start, b.warm_start);
+}
+
+void sort_by_id(std::vector<JobResult>& results) {
+  std::sort(results.begin(), results.end(),
+            [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+}
+
+TEST(Server, BinaryFramesBitIdenticalToNdjsonAcrossWorkers) {
+  const std::string problem = tiny_problem_text();
+  constexpr int kJobs = 6;
+
+  for (const std::int32_t workers : {1, 4}) {
+    ResponseLog ndjson_log;
+    {
+      ServerOptions options;
+      options.workers = workers;
+      Server server(options);
+      for (int k = 0; k < kJobs; ++k) {
+        const auto request =
+            make_wire_request("j" + std::to_string(k), problem, 7);
+        server.handle_line(format_request(request), ndjson_log.sink());
+      }
+      server.drain();
+    }
+    ResponseLog binary_log;
+    {
+      ServerOptions options;
+      options.workers = workers;
+      Server server(options);
+      for (int k = 0; k < kJobs; ++k) {
+        const auto request =
+            make_wire_request("j" + std::to_string(k), problem, 7);
+        const std::string frame = wire_frame(request);
+        wire::FrameView view;
+        std::string error;
+        ASSERT_EQ(wire::peek_frame(frame, view, error),
+                  wire::FrameStatus::kFrame);
+        server.handle_frame(view.type, view.payload, binary_log.sink());
+      }
+      server.drain();
+    }
+
+    std::vector<JobResult> from_lines = ndjson_log.results();
+    std::vector<JobResult> from_frames = binary_results(binary_log.lines());
+    ASSERT_EQ(from_lines.size(), static_cast<std::size_t>(kJobs));
+    ASSERT_EQ(from_frames.size(), static_cast<std::size_t>(kJobs));
+    sort_by_id(from_lines);
+    sort_by_id(from_frames);
+    for (int k = 0; k < kJobs; ++k) {
+      expect_same_result(from_lines[static_cast<std::size_t>(k)],
+                         from_frames[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(Server, WireMetricsPopulateOnBinaryTraffic) {
+  const std::string problem = tiny_problem_text();
+  ResponseLog log;
+  Server server(ServerOptions{});
+  const std::string frame = wire_frame(make_wire_request("w1", problem));
+  wire::FrameView view;
+  std::string error;
+  ASSERT_EQ(wire::peek_frame(frame, view, error), wire::FrameStatus::kFrame);
+  server.handle_frame(view.type, view.payload, log.sink());
+  server.drain();
+
+  const json::Value stats = server.stats_json();
+  const json::Value* counters = stats.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->get_number("wire.frames", 0), 1.0);
+  EXPECT_GE(counters->get_number("wire.bytes_in", 0),
+            static_cast<double>(view.payload.size()));
+  EXPECT_GE(counters->get_number("wire.bytes_out", 0), 1.0);
+  const json::Value* histograms = stats.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* decode = histograms->find("wire.decode_seconds");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_GE(decode->get_number("count", 0), 1.0);
+}
+
+// ---------------------------------------------------------- serve loops ----
+
+/// Run serve_fd over pipes: feed `input` as the connection's bytes, return
+/// everything the serve loop wrote.  The write side closes after the
+/// input, so the loop sees EOF, drains and exits -- one whole connection.
+std::string serve_fd_session(Server& server, const std::string& input,
+                             WireMode mode) {
+  int in_pipe[2];
+  int out_pipe[2];
+  EXPECT_EQ(::pipe(in_pipe), 0);
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  std::thread serve([&server, &in_pipe, &out_pipe, mode] {
+    (void)serve_fd(server, in_pipe[0], out_pipe[1], /*wake_fd=*/-1, mode);
+  });
+  std::size_t written = 0;
+  while (written < input.size()) {
+    const ssize_t n = ::write(in_pipe[1], input.data() + written,
+                              input.size() - written);
+    if (n <= 0) {
+      ADD_FAILURE() << "pipe write failed";
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::close(in_pipe[1]);
+  serve.join();
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  std::string output;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(out_pipe[0], buffer, sizeof buffer);
+    if (n <= 0) break;
+    output.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(out_pipe[0]);
+  return output;
+}
+
+TEST(ServeLoop, AutoDetectServesBothFramingsOverPipes) {
+  const std::string problem = tiny_problem_text();
+
+  // NDJSON connection: first byte '{' -> line framing.
+  std::string ndjson_reply;
+  {
+    Server server(ServerOptions{});
+    ndjson_reply = serve_fd_session(
+        server, format_request(make_wire_request("a1", problem, 7)) + "\n",
+        WireMode::kAuto);
+  }
+  json::Value value;
+  ASSERT_TRUE(json::parse(ndjson_reply, value).ok) << ndjson_reply;
+  JobResult ndjson_result;
+  ASSERT_TRUE(result_from_json(value, ndjson_result).ok);
+  EXPECT_EQ(ndjson_result.id, "a1");
+
+  // Binary connection on the SAME entry point: first byte 0x9B -> frames.
+  std::string binary_reply;
+  {
+    Server server(ServerOptions{});
+    binary_reply = serve_fd_session(
+        server, wire_frame(make_wire_request("a1", problem, 7)),
+        WireMode::kAuto);
+  }
+  const std::vector<JobResult> results = binary_results({binary_reply});
+  ASSERT_EQ(results.size(), 1u);
+  expect_same_result(ndjson_result, results[0]);
+}
+
+TEST(ServeLoop, ForcedNdjsonTreatsBinaryBytesAsText) {
+  // With --wire ndjson the sniffing is off: frame bytes are just a very
+  // broken text line, answered with a parse error -- the pre-binary
+  // behaviour a pinned deployment relies on.
+  Server server(ServerOptions{});
+  const std::string reply = serve_fd_session(
+      server, wire_frame(make_wire_request("n1", tiny_problem_text())) + "\n",
+      WireMode::kNdjson);
+  EXPECT_NE(reply.find("\"type\":\"error\""), std::string::npos) << reply;
+}
+
+TEST(ServeLoop, ForcedBinaryRejectsTextBytes) {
+  Server server(ServerOptions{});
+  const std::string reply = serve_fd_session(
+      server, "{\"type\":\"stats\"}\n", WireMode::kBinary);
+  // The reply is an error FRAME (kBad magic on the text bytes).
+  wire::FrameView frame;
+  std::string error;
+  ASSERT_EQ(wire::peek_frame(reply, frame, error), wire::FrameStatus::kFrame)
+      << "expected a binary error frame, got: " << reply;
+  EXPECT_EQ(static_cast<WireMsg>(frame.type), WireMsg::kError);
+}
+
+class TcpServerFixture {
+ public:
+  explicit TcpServerFixture(ServerOptions options = {})
+      : server_(options), thread_([this] {
+          (void)serve_tcp(server_, /*port=*/0, /*wake_fd=*/-1, WireMode::kAuto,
+                          &port_);
+        }) {
+    while (port_.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  ~TcpServerFixture() {
+    // A shutdown request flags the accept loop; it exits on its next poll.
+    TcpClient client;
+    if (client.connect(port())) {
+      (void)client.send_line("{\"type\":\"shutdown\"}");
+      std::string line;
+      (void)client.read_line(line);
+    }
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_.load(); }
+  [[nodiscard]] Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::atomic<std::uint16_t> port_{0};
+  std::thread thread_;
+};
+
+TEST(ServeLoop, MixedFramingClientsOnOneTcpServer) {
+  const std::string problem = tiny_problem_text();
+  TcpServerFixture fixture;
+
+  TcpClient ndjson_client;
+  ASSERT_TRUE(ndjson_client.connect(fixture.port()));
+  ASSERT_TRUE(ndjson_client.send_line(
+      format_request(make_wire_request("t1", problem, 7))));
+
+  TcpClient binary_client;
+  ASSERT_TRUE(binary_client.connect(fixture.port()));
+  ASSERT_TRUE(binary_client.send_bytes(
+      wire_frame(make_wire_request("t2", problem, 7))));
+
+  std::string line;
+  ASSERT_TRUE(ndjson_client.read_line(line));
+  json::Value value;
+  ASSERT_TRUE(json::parse(line, value).ok) << line;
+  JobResult ndjson_result;
+  ASSERT_TRUE(result_from_json(value, ndjson_result).ok);
+
+  std::uint8_t type = 0;
+  std::string payload;
+  ASSERT_TRUE(binary_client.read_frame(type, payload));
+  ASSERT_EQ(static_cast<WireMsg>(type), WireMsg::kResult);
+  JobResult binary_result;
+  std::string error;
+  ASSERT_TRUE(decode_result(payload, binary_result, error)) << error;
+
+  // Same problem, same seed -> identical bits modulo the id and timing.
+  EXPECT_EQ(ndjson_result.id, "t1");
+  EXPECT_EQ(binary_result.id, "t2");
+  EXPECT_EQ(ndjson_result.status, binary_result.status);
+  EXPECT_EQ(ndjson_result.objective, binary_result.objective);
+  EXPECT_EQ(ndjson_result.assignment, binary_result.assignment);
+}
+
+TEST(ServeLoop, MalformedFramesFailOneConnectionNotTheDaemon) {
+  const std::string problem = tiny_problem_text();
+  TcpServerFixture fixture;
+
+  {
+    // Bad magic after the binary sniff byte: the connection gets an error
+    // frame and is closed.
+    TcpClient hostile;
+    ASSERT_TRUE(hostile.connect(fixture.port()));
+    ASSERT_TRUE(hostile.send_bytes(std::string("\x9BXYZ-not-a-frame", 16)));
+    std::uint8_t type = 0;
+    std::string payload;
+    ASSERT_TRUE(hostile.read_frame(type, payload));
+    EXPECT_EQ(static_cast<WireMsg>(type), WireMsg::kError);
+    // The server closes its side; the next read sees EOF.
+    EXPECT_FALSE(hostile.read_frame(type, payload));
+  }
+  {
+    // A header advertising an oversized payload is kBad, same containment.
+    std::string oversized = wire_frame(make_wire_request("x", problem));
+    const std::uint32_t huge = wire::kMaxPayload + 1;
+    std::memcpy(oversized.data() + 8, &huge, sizeof huge);
+    TcpClient hostile;
+    ASSERT_TRUE(hostile.connect(fixture.port()));
+    ASSERT_TRUE(hostile.send_bytes(oversized));
+    std::uint8_t type = 0;
+    std::string payload;
+    ASSERT_TRUE(hostile.read_frame(type, payload));
+    EXPECT_EQ(static_cast<WireMsg>(type), WireMsg::kError);
+  }
+  {
+    // A truncated frame then disconnect: no reply owed, nothing crashes.
+    TcpClient hostile;
+    ASSERT_TRUE(hostile.connect(fixture.port()));
+    const std::string frame = wire_frame(make_wire_request("y", problem));
+    ASSERT_TRUE(hostile.send_bytes(frame.substr(0, frame.size() / 2)));
+    hostile.close();
+  }
+
+  // The daemon is still healthy: a fresh well-formed client round-trips.
+  TcpClient good;
+  ASSERT_TRUE(good.connect(fixture.port()));
+  ASSERT_TRUE(good.send_bytes(wire_frame(make_wire_request("z1", problem))));
+  std::uint8_t type = 0;
+  std::string payload;
+  ASSERT_TRUE(good.read_frame(type, payload));
+  EXPECT_EQ(static_cast<WireMsg>(type), WireMsg::kResult);
+}
+
 // ------------------------------------------------------------ metrics ----
+
+TEST(Metrics, StripedCounterSumsConcurrentIncrements) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("striped");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int k = 0; k < kIncrements; ++k) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::int64_t>(kThreads) * kIncrements);
+}
 
 TEST(Metrics, HistogramBucketsAreCumulativeInJson) {
   MetricsRegistry registry;
